@@ -1,0 +1,291 @@
+package dvsync
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"dvsync/internal/exp"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (§3 and §6). Each reports the reproduced headline metrics via
+// b.ReportMetric, so `go test -bench=. -benchmem` both times the harness
+// and prints the paper-vs-measured numbers. EXPERIMENTS.md records the
+// comparison in full.
+
+// BenchmarkFig1CDF regenerates Figure 1 (frame rendering time CDF).
+func BenchmarkFig1CDF(b *testing.B) {
+	var within, beyond float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig1()
+		within, beyond = r.WithinOnePeriod, r.BeyondTriple
+	}
+	b.ReportMetric(100*within, "%within-1-period")
+	b.ReportMetric(100*beyond, "%beyond-triple")
+}
+
+// BenchmarkFig5Summary regenerates Figure 5 (FD% per device/backend).
+func BenchmarkFig5Summary(b *testing.B) {
+	var res *exp.Fig5Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig5()
+	}
+	b.ReportMetric(res.AvgPercent["Google Pixel 5 (AOSP 60Hz, GLES)"], "pixel5-FD%")
+	b.ReportMetric(res.AvgPercent["Mate 60 Pro (OH 120Hz, Vulkan)"], "mate60-vk-FD%")
+}
+
+// BenchmarkFig6Distribution regenerates Figure 6 (frame distribution).
+func BenchmarkFig6Distribution(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		share = exp.Fig6().StuffedShare
+	}
+	b.ReportMetric(100*share, "%stuffed")
+}
+
+// BenchmarkFig7LatencyBall regenerates Figure 7 (touch-follow displacement).
+func BenchmarkFig7LatencyBall(b *testing.B) {
+	var maxPx float64
+	for i := 0; i < b.N; i++ {
+		maxPx = exp.Fig7().MaxDisplacementPx
+	}
+	b.ReportMetric(maxPx, "max-px")
+}
+
+// BenchmarkFig9Scope regenerates Figure 9 (applicability scope).
+func BenchmarkFig9Scope(b *testing.B) {
+	var obliv, aware float64
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig9()
+		obliv, aware = r.DecoupledShareOblivious, r.DecoupledShareAware
+	}
+	b.ReportMetric(100*obliv, "%decoupled-oblivious")
+	b.ReportMetric(100*aware, "%decoupled-aware")
+}
+
+// BenchmarkFig10Patterns regenerates Figure 10 (execution patterns).
+func BenchmarkFig10Patterns(b *testing.B) {
+	var v, d int
+	for i := 0; i < b.N; i++ {
+		r := exp.Fig10()
+		v, d = r.VSyncJanks, r.DVSyncJanks
+	}
+	b.ReportMetric(float64(v), "vsync-janks")
+	b.ReportMetric(float64(d), "dvsync-janks")
+}
+
+// BenchmarkFig11Apps regenerates Figure 11 (25 apps, buffer sweep).
+func BenchmarkFig11Apps(b *testing.B) {
+	var res *exp.FDPSResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig11()
+	}
+	b.ReportMetric(res.AvgBaseline, "vsync-fdps")
+	b.ReportMetric(res.AvgDVSync[4], "dvsync4-fdps")
+	b.ReportMetric(res.AvgDVSync[5], "dvsync5-fdps")
+	b.ReportMetric(res.AvgDVSync[7], "dvsync7-fdps")
+}
+
+// BenchmarkFig12Vulkan regenerates Figure 12 (Mate 60 Pro, Vulkan).
+func BenchmarkFig12Vulkan(b *testing.B) {
+	benchCaseFigure(b, exp.Fig12, 4)
+}
+
+// BenchmarkFig13GLESMate40 regenerates Figure 13 left (Mate 40 Pro).
+func BenchmarkFig13GLESMate40(b *testing.B) {
+	benchCaseFigure(b, exp.Fig13Mate40, 4)
+}
+
+// BenchmarkFig13GLESMate60 regenerates Figure 13 right (Mate 60 Pro).
+func BenchmarkFig13GLESMate60(b *testing.B) {
+	benchCaseFigure(b, exp.Fig13Mate60, 4)
+}
+
+func benchCaseFigure(b *testing.B, run func() *exp.FDPSResult, buffers int) {
+	b.Helper()
+	var res *exp.FDPSResult
+	for i := 0; i < b.N; i++ {
+		res = run()
+	}
+	b.ReportMetric(res.AvgBaseline, "vsync-fdps")
+	b.ReportMetric(res.AvgDVSync[buffers], "dvsync-fdps")
+	b.ReportMetric(res.Reductions()[buffers], "%reduction")
+}
+
+// BenchmarkFig14Games regenerates Figure 14 (15 games).
+func BenchmarkFig14Games(b *testing.B) {
+	var res *exp.FDPSResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig14()
+	}
+	b.ReportMetric(res.AvgBaseline, "vsync-fdps")
+	b.ReportMetric(res.AvgDVSync[4], "dvsync4-fdps")
+	b.ReportMetric(res.AvgDVSync[5], "dvsync5-fdps")
+}
+
+// BenchmarkFig15Latency regenerates Figure 15 (rendering latency).
+func BenchmarkFig15Latency(b *testing.B) {
+	var res *exp.LatencyResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig15()
+	}
+	for _, dev := range Devices() {
+		row := res.Rows[dev.Name]
+		label := strings.ReplaceAll(dev.Name, " ", "-")
+		b.ReportMetric(row[0], label+"-vsync-ms")
+		b.ReportMetric(row[1], label+"-dvsync-ms")
+	}
+}
+
+// BenchmarkFig16MapApp regenerates Figure 16 (map app case study).
+func BenchmarkFig16MapApp(b *testing.B) {
+	var res *exp.Fig16Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Fig16()
+	}
+	b.ReportMetric(res.BaselineFDPS, "vsync-fdps")
+	b.ReportMetric(res.DVSyncFDPS, "dvsync-fdps")
+	b.ReportMetric(res.LatencyReductionPct, "%latency-reduction")
+	b.ReportMetric(res.ZDPMeanNs, "zdp-ns/frame")
+}
+
+// BenchmarkTable2Stutters regenerates Table 2 (UX stutters).
+func BenchmarkTable2Stutters(b *testing.B) {
+	var res *exp.Table2Result
+	for i := 0; i < b.N; i++ {
+		res = exp.Table2()
+	}
+	b.ReportMetric(res.AvgReductionPct, "%stutter-reduction")
+}
+
+// BenchmarkDVSyncOverhead regenerates the §6.4 cost accounting.
+func BenchmarkDVSyncOverhead(b *testing.B) {
+	var res *exp.CostsResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Costs()
+	}
+	b.ReportMetric(res.OverheadPerFrameUs, "overhead-us/frame")
+	b.ReportMetric(res.AndroidExtraMB, "android-extra-MB")
+}
+
+// BenchmarkChromium regenerates the §6.6 case study.
+func BenchmarkChromium(b *testing.B) {
+	var res *exp.FDPSResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Chromium()
+	}
+	b.ReportMetric(res.AvgBaseline, "vsync-fdps")
+	b.ReportMetric(res.AvgDVSync[4], "dvsync-fdps")
+}
+
+// BenchmarkPowerOverhead regenerates §6.7 (power/instructions).
+func BenchmarkPowerOverhead(b *testing.B) {
+	var res *exp.PowerResult
+	for i := 0; i < b.N; i++ {
+		res = exp.Power()
+	}
+	b.ReportMetric(res.EnergyIncreasePct, "%energy-increase")
+	b.ReportMetric(res.EnergyIncreaseZDPPct, "%energy-increase-zdp")
+	b.ReportMetric(res.InstrIncreasePct, "%instr-increase")
+}
+
+// BenchmarkSimulatorThroughput times the raw simulator: one 1000-frame
+// D-VSync run per iteration (the unit of work every experiment multiplies).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	profile := Profile{
+		Name: "bench", ShortMeanMs: 6.5, ShortSigmaMs: 2.2,
+		LongRatio: 0.05, LongScaleMs: 25, LongAlpha: 2.3,
+		Burstiness: 0.2, UIShare: 0.35,
+	}
+	tr := profile.Generate(1000, 1)
+	panel := Pixel5.Panel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(Config{Mode: DVSync, Panel: panel, Buffers: 4, Trace: tr})
+	}
+}
+
+// BenchmarkExperimentsRender times rendering every experiment's tables to a
+// discarded writer — the full dvbench run.
+func BenchmarkExperimentsRender(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full harness")
+	}
+	for i := 0; i < b.N; i++ {
+		for _, e := range Experiments() {
+			e.Run(io.Discard)
+		}
+	}
+}
+
+// BenchmarkAblationPreRenderLimit sweeps the §4.5 pre-render-limit API.
+func BenchmarkAblationPreRenderLimit(b *testing.B) {
+	var r *exp.PreRenderLimitResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblatePreRenderLimit()
+	}
+	b.ReportMetric(r.FDPS[1], "fdps-limit1")
+	b.ReportMetric(r.FDPS[4], "fdps-limit4")
+}
+
+// BenchmarkAblationDTVCalibration quantifies §5.1's calibration claim.
+func BenchmarkAblationDTVCalibration(b *testing.B) {
+	var r *exp.DTVCalibrationResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblateDTVCalibration()
+	}
+	b.ReportMetric(r.MeanAbsErrMs[4], "err-ms-calibrated")
+	b.ReportMetric(r.MeanAbsErrMs[0], "err-ms-freerun")
+}
+
+// BenchmarkAblationIPL compares the §4.6 predictors.
+func BenchmarkAblationIPL(b *testing.B) {
+	var r *exp.IPLPredictorResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblateIPLPredictors()
+	}
+	b.ReportMetric(r.ErrPx["pinch with tremor/last"], "pinch-last-px")
+	b.ReportMetric(r.ErrPx["pinch with tremor/linear"], "pinch-zdp-px")
+}
+
+// BenchmarkAblationPipelineDepth sweeps the baseline pipeline depth.
+func BenchmarkAblationPipelineDepth(b *testing.B) {
+	var r *exp.PipelineDepthResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblateVSyncPipelineDepth()
+	}
+	b.ReportMetric(r.FDPS[2], "fdps-depth2")
+	b.ReportMetric(r.LatencyMs[2], "latency-ms-depth2")
+}
+
+// BenchmarkAblationDTVPacing quantifies the §4.4 pacing guarantee.
+func BenchmarkAblationDTVPacing(b *testing.B) {
+	var r *exp.PacingResult
+	for i := 0; i < b.N; i++ {
+		r = exp.AblateDTVPacing()
+	}
+	b.ReportMetric(r.WithDTV, "pacing-err-dtv")
+	b.ReportMetric(r.WithExecTime, "pacing-err-naive")
+}
+
+// BenchmarkFutureProjection sweeps D-VSync across 90-165 Hz panels.
+func BenchmarkFutureProjection(b *testing.B) {
+	var r *exp.FutureResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Future()
+	}
+	b.ReportMetric(r.BaselineFDPS[165], "vsync-fdps-165hz")
+	b.ReportMetric(r.ReductionPct[165], "%reduction-165hz")
+}
+
+// BenchmarkCensus runs the Appendix A 75-case testing framework.
+func BenchmarkCensus(b *testing.B) {
+	var r *exp.CensusResult
+	for i := 0; i < b.N; i++ {
+		r = exp.Census()
+	}
+	b.ReportMetric(float64(r.VSyncCases), "vsync-cases-with-drops")
+	b.ReportMetric(float64(r.DVSyncCases), "dvsync-cases-with-drops")
+	b.ReportMetric(r.JankReductionPct, "%jank-reduction")
+}

@@ -1,0 +1,80 @@
+// Command dvbench regenerates the paper's tables and figures from
+// simulation.
+//
+// Usage:
+//
+//	dvbench                 # run every experiment
+//	dvbench -exp fig11      # run one experiment
+//	dvbench -list           # list experiment IDs
+//	dvbench -csv results/   # also export every table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dvsync"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csvDir := flag.String("csv", "", "directory to export tables as CSV files")
+	flag.Parse()
+
+	if *list {
+		for _, e := range dvsync.Experiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	run := dvsync.Experiments()
+	if *expID != "" {
+		e, ok := dvsync.FindExperiment(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dvbench: unknown experiment %q (try -list)\n", *expID)
+			os.Exit(2)
+		}
+		run = []dvsync.Experiment{e}
+	}
+	for i, e := range run {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csvDir != "" {
+			if err := exportCSV(*csvDir, e); err != nil {
+				fmt.Fprintln(os.Stderr, "dvbench:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		e.Run(os.Stdout)
+	}
+	if *csvDir != "" {
+		fmt.Printf("wrote CSV tables for %d experiments to %s\n", len(run), *csvDir)
+	}
+}
+
+func exportCSV(dir string, e dvsync.Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range e.Tables() {
+		name := e.ID
+		if i > 0 {
+			name += "-" + strconv.Itoa(i+1)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		t.CSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

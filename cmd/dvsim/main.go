@@ -1,0 +1,238 @@
+// Command dvsim runs a single rendering simulation and prints its metrics:
+// a quick way to explore how workload shape, buffer count and scheduler
+// interact.
+//
+// Usage examples:
+//
+//	dvsim -mode dvsync -hz 120 -buffers 5 -frames 2000
+//	dvsim -mode vsync -short-mean 7 -long-ratio 0.08 -long-scale 25
+//	dvsim -mode both -seed 7
+//	dvsim -app QQMusic            # a Figure 11 app, paper-calibrated
+//	dvsim -usecase "cls notif ctr" # an Appendix A case (scripted run)
+//	dvsim -game "8 Ball Pool"      # a Figure 14 game
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvsync"
+	"dvsync/internal/autotest"
+	"dvsync/internal/exp"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/workload"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "both", "vsync, dvsync, or both")
+		hz        = flag.Int("hz", 60, "panel refresh rate")
+		buffers   = flag.Int("buffers", 0, "buffer-queue size (0: 3 for vsync, 4 for dvsync)")
+		limit     = flag.Int("prerender", 0, "pre-render limit (0: buffers-1)")
+		frames    = flag.Int("frames", 1000, "workload length in frames")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		shortMean = flag.Float64("short-mean", 0, "short-frame mean cost ms (0: 40% of period)")
+		shortSig  = flag.Float64("short-sigma", 0, "short-frame cost stddev ms (0: 13% of period)")
+		longRatio = flag.Float64("long-ratio", 0.05, "key-frame probability")
+		longScale = flag.Float64("long-scale", 0, "key-frame Pareto scale ms (0: 1.5 periods)")
+		longAlpha = flag.Float64("long-alpha", 2.3, "key-frame Pareto shape")
+		burst     = flag.Float64("burst", 0.2, "key-frame clustering P(long|long)")
+		uiShare   = flag.Float64("ui-share", 0.35, "UI-thread share of frame cost")
+		jitterUs  = flag.Float64("jitter-us", 0, "panel edge jitter stddev (µs)")
+		appName   = flag.String("app", "", "run a Figure 11 app scenario by name")
+		caseName  = flag.String("usecase", "", "run an Appendix A use case by abbreviation")
+		gameName  = flag.String("game", "", "run a Figure 14 game scenario by name")
+		traceIn   = flag.String("trace-file", "", "replay a recorded workload trace (JSON, see workload.WriteJSON)")
+		traceOut  = flag.String("dump-trace", "", "write the generated workload trace as JSON and exit")
+	)
+	flag.Parse()
+
+	if *appName != "" || *caseName != "" || *gameName != "" {
+		if err := runScenario(*appName, *caseName, *gameName); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(1)
+		}
+		tr, err := workload.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(1)
+		}
+		runModes(*mode, *hz, *buffers, *limit, *jitterUs, tr)
+		return
+	}
+
+	period := dvsync.PeriodForHz(*hz).Milliseconds()
+	p := dvsync.Profile{
+		Name:         "dvsim",
+		ShortMeanMs:  orDefault(*shortMean, 0.40*period),
+		ShortSigmaMs: orDefault(*shortSig, 0.13*period),
+		LongRatio:    *longRatio,
+		LongScaleMs:  orDefault(*longScale, 1.5*period),
+		LongAlpha:    *longAlpha,
+		Burstiness:   *burst,
+		UIShare:      *uiShare,
+	}
+	tr := p.Generate(*frames, *seed)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d frames to %s\n", tr.Len(), *traceOut)
+		return
+	}
+
+	runModes(*mode, *hz, *buffers, *limit, *jitterUs, tr)
+}
+
+// runModes executes the requested architectures over one trace.
+func runModes(mode string, hz, buffers, limit int, jitterUs float64, tr *dvsync.Trace) {
+	panel := dvsync.PanelConfig{
+		Name: "dvsim", RefreshHz: hz,
+		JitterStdDev: dvsync.Duration(jitterUs * 1000),
+	}
+	run := func(m dvsync.Mode) {
+		bufs := buffers
+		if bufs == 0 {
+			if m == dvsync.VSync {
+				bufs = 3
+			} else {
+				bufs = 4
+			}
+		}
+		r := dvsync.Run(dvsync.Config{
+			Mode: m, Panel: panel, Buffers: bufs,
+			PreRenderLimit: limit, Trace: tr,
+		})
+		printResult(r, bufs)
+	}
+	switch mode {
+	case "vsync":
+		run(dvsync.VSync)
+	case "dvsync":
+		run(dvsync.DVSync)
+	case "both":
+		run(dvsync.VSync)
+		fmt.Println()
+		run(dvsync.DVSync)
+	default:
+		fmt.Fprintf(os.Stderr, "dvsim: unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+}
+
+func orDefault(v, def float64) float64 {
+	if v > 0 {
+		return v
+	}
+	return def
+}
+
+func printResult(r *dvsync.Result, buffers int) {
+	jr := r.Jank()
+	ls := r.LatencySummary()
+	fmt.Printf("%s (%d buffers)\n", r.Mode, buffers)
+	fmt.Printf("  frames presented   %d (skipped %d)\n", len(r.Presented), r.Skipped)
+	fmt.Printf("  frame drops        %d  (%.2f FDPS, %.2f%% of display time)\n",
+		jr.Janks, jr.FDPS(), jr.DropPercent())
+	fmt.Printf("  latency ms         mean %.1f  p50 %.1f  p95 %.1f  max %.1f\n",
+		ls.Mean, ls.P50, ls.P95, ls.Max)
+	fmt.Printf("  composition        direct %d / stuffed %d\n", r.Direct, r.Stuffed)
+	fmt.Printf("  executed work      %.1f ms (+%.1f ms bookkeeping)\n",
+		r.ExecutedWork.Milliseconds(), r.OverheadWork.Milliseconds())
+	if r.Mode == dvsync.DVSync {
+		fmt.Printf("  decoupled frames   %d (vsync path %d)\n", r.DecoupledFrames, r.VSyncPathFrames)
+		fmt.Printf("  FPE                %d starts, %d pre-starts, %d sync blocks\n",
+			r.FPEStarts, r.FPEPreStarts, r.FPESyncBlocks)
+		fmt.Printf("  DTV abs error ms   mean %.3f  max %.3f\n", r.DTVMeanAbsErrMs, r.DTVMaxAbsErrMs)
+	}
+	fmt.Printf("  buffer memory      %.1f MB\n", float64(r.MemoryBytes)/(1<<20))
+}
+
+// runScenario executes a catalog scenario the way the experiment harness
+// does: calibrated to the paper's measured baseline, then compared across
+// architectures.
+func runScenario(appName, caseName, gameName string) error {
+	switch {
+	case appName != "":
+		for _, a := range scenarios.Apps() {
+			if strings.EqualFold(a.Name, appName) {
+				dev := scenarios.Pixel5
+				reps := exp.CalibrateReplicas(a.Profile(), scenarios.AppFrames, dev,
+					dev.Buffers, a.PaperVSyncFDPS, exp.Seed)
+				fmt.Printf("%s on %s (calibrated to %.2f FDPS, %s tail)\n",
+					a.Name, dev.Name, a.PaperVSyncFDPS, a.Tail)
+				printResult(exp.VSyncRun(reps[0], dev, dev.Buffers), dev.Buffers)
+				fmt.Println()
+				printResult(exp.DVSyncRun(reps[0], dev, 4), 4)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown app %q (see Figure 11 for names)", appName)
+	case caseName != "":
+		uc := findCase(caseName)
+		if uc == nil {
+			return fmt.Errorf("unknown use case %q (see Appendix A abbreviations)", caseName)
+		}
+		fmt.Printf("#%d %s — %s\n", uc.ID, uc.Abbrev, uc.Description)
+		script := autotest.Compile(*uc)
+		for _, st := range script.Steps {
+			fmt.Printf("  %-7s %-26s %v load=%.2f keys=%.3f\n",
+				st.Kind, st.Label, st.Duration, st.Load, st.KeyFrameRatio)
+		}
+		for _, mode := range []sim.Mode{sim.ModeVSync, sim.ModeDVSync} {
+			rep := autotest.RunCase(*uc, scenarios.Mate60Pro, mode, exp.Seed)
+			fmt.Printf("%-8s janks=%.1f FDPS=%.2f latency=%.1fms (mean of %d runs)\n",
+				mode, rep.Janks, rep.FDPS, rep.LatencyMs, autotest.Runs)
+		}
+		return nil
+	default:
+		for _, g := range scenarios.Games() {
+			if strings.EqualFold(g.Name, gameName) {
+				dev := scenarios.Mate60Pro
+				dev.RefreshHz = g.RateHz
+				reps := exp.CalibrateReplicas(g.Profile(), scenarios.GameFrames, dev, 3,
+					g.PaperVSyncFDPS, exp.Seed)
+				fmt.Printf("%s at %d Hz (calibrated to %.2f FDPS)\n",
+					g.Name, g.RateHz, g.PaperVSyncFDPS)
+				printResult(exp.VSyncRun(reps[0], dev, 3), 3)
+				fmt.Println()
+				printResult(exp.DVSyncRun(reps[0], dev, 4, func(c *sim.Config) {
+					c.Predictor = dvsync.LinearPredictor{}
+				}), 4)
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown game %q (see Figure 14 for names)", gameName)
+	}
+}
+
+func findCase(abbrev string) *scenarios.UseCase {
+	for _, uc := range scenarios.UseCases() {
+		if strings.EqualFold(uc.Abbrev, abbrev) {
+			c := uc
+			return &c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Command dvtrace records a simulation as a structured event trace (JSONL)
+// or summarises a previously recorded trace — the workflow graphics
+// engineers use with Perfetto, on the simulated stack.
+//
+// Usage:
+//
+//	dvtrace -record -mode dvsync -o run.jsonl   # simulate and dump
+//	dvtrace run.jsonl                           # analyse a dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dvsync"
+	"dvsync/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.Bool("record", false, "run a simulation and dump its trace")
+		mode     = flag.String("mode", "dvsync", "vsync or dvsync (with -record)")
+		hz       = flag.Int("hz", 60, "panel refresh rate (with -record)")
+		buffers  = flag.Int("buffers", 4, "buffer count (with -record)")
+		frames   = flag.Int("frames", 240, "workload frames (with -record)")
+		seed     = flag.Int64("seed", 1, "workload seed (with -record)")
+		out      = flag.String("o", "", "output path (default stdout)")
+		timeline = flag.Bool("timeline", false, "render an ASCII timeline instead of a summary")
+	)
+	flag.Parse()
+
+	switch {
+	case *record:
+		if err := doRecord(*mode, *hz, *buffers, *frames, *seed, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "dvtrace:", err)
+			os.Exit(1)
+		}
+	case flag.NArg() == 1:
+		if err := doSummarize(flag.Arg(0), timeline); err != nil {
+			fmt.Fprintln(os.Stderr, "dvtrace:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doRecord(mode string, hz, buffers, frames int, seed int64, out string) error {
+	m := dvsync.DVSync
+	if mode == "vsync" {
+		m = dvsync.VSync
+	}
+	period := dvsync.PeriodForHz(hz).Milliseconds()
+	p := dvsync.Profile{
+		Name: "dvtrace", ShortMeanMs: 0.4 * period, ShortSigmaMs: 0.13 * period,
+		LongRatio: 0.05, LongScaleMs: 1.5 * period, LongAlpha: 2.3,
+		Burstiness: 0.2, UIShare: 0.35,
+	}
+	rec := dvsync.NewRecorder()
+	dvsync.Run(dvsync.Config{
+		Mode: m, Panel: dvsync.PanelConfig{Name: "dvtrace", RefreshHz: hz},
+		Buffers: buffers, Trace: p.Generate(frames, seed), Recorder: rec,
+	})
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return rec.WriteJSONL(w)
+}
+
+func doSummarize(path string, timeline *bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if *timeline {
+		fmt.Print(trace.RenderTimeline(rec, 120))
+		return nil
+	}
+	s := trace.Summarize(rec)
+	fmt.Printf("events            %d over %s\n", rec.Len(), s.Span)
+	for kind, n := range s.Events {
+		fmt.Printf("  %-14s  %d\n", kind, n)
+	}
+	fmt.Printf("frames presented  %d\n", s.Frames)
+	fmt.Printf("janks             %d\n", s.Janks)
+	fmt.Printf("mean queue wait   %.2f ms\n", s.MeanQueueLatency)
+	fmt.Printf("decoupled share   %.0f%%\n", 100*s.DecoupledShare)
+	return nil
+}

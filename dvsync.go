@@ -1,0 +1,283 @@
+// Package dvsync is a full reproduction of "D-VSync: Decoupled Rendering
+// and Displaying for Smartphone Graphics" (Wu et al., ASPLOS 2025) as a Go
+// library.
+//
+// The package is the public facade over the reproduction's building blocks:
+//
+//   - a deterministic discrete-event simulation of the smartphone rendering
+//     stack — panel, hardware/software VSync signals, BufferQueue, and the
+//     two-stage UI/render pipeline;
+//   - the conventional VSync architecture (Project-Butter style triple
+//     buffering) as the baseline;
+//   - D-VSync itself: the Frame Pre-Executor (FPE), the Display Time
+//     Virtualizer (DTV), the dual-channel decoupling APIs, the Input
+//     Prediction Layer (IPL), and the LTPO variable-refresh co-design;
+//   - workload models calibrated to the paper's measured baselines, and the
+//     experiment harness that regenerates every table and figure of the
+//     evaluation.
+//
+// # Quick start
+//
+//	profile := dvsync.Profile{
+//		Name: "my-app", ShortMeanMs: 6, ShortSigmaMs: 2,
+//		LongRatio: 0.05, LongScaleMs: 22, LongAlpha: 2.3,
+//		Burstiness: 0.2, UIShare: 0.35,
+//	}
+//	trace := profile.Generate(1000, 42)
+//	baseline := dvsync.Run(dvsync.Config{
+//		Mode: dvsync.VSync, Panel: dvsync.Pixel5.Panel(),
+//		Buffers: 3, Trace: trace,
+//	})
+//	decoupled := dvsync.Run(dvsync.Config{
+//		Mode: dvsync.DVSync, Panel: dvsync.Pixel5.Panel(),
+//		Buffers: 4, Trace: trace,
+//	})
+//	fmt.Printf("FDPS %.2f → %.2f\n", baseline.FDPS(), decoupled.FDPS())
+package dvsync
+
+import (
+	"dvsync/internal/anim"
+	"dvsync/internal/autotest"
+	"dvsync/internal/buffer"
+	"dvsync/internal/core"
+	"dvsync/internal/display"
+	"dvsync/internal/exp"
+	"dvsync/internal/input"
+	"dvsync/internal/ipl"
+	"dvsync/internal/ltpo"
+	"dvsync/internal/metrics"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// Virtual time.
+type (
+	// Time is an instant on the simulation clock (ns since t = 0).
+	Time = simtime.Time
+	// Duration is a span of simulated time in ns.
+	Duration = simtime.Duration
+)
+
+// Time helpers re-exported from the simulation clock.
+var (
+	// FromMillis converts milliseconds to a Duration.
+	FromMillis = simtime.FromMillis
+	// FromSeconds converts seconds to a Duration.
+	FromSeconds = simtime.FromSeconds
+	// PeriodForHz returns the refresh period of the given rate.
+	PeriodForHz = simtime.PeriodForHz
+)
+
+// Workload modelling.
+type (
+	// Profile parameterises a synthetic frame-cost workload (§3's
+	// power-law short/long mixture).
+	Profile = workload.Profile
+	// Trace is a concrete sequence of per-frame costs.
+	Trace = workload.Trace
+	// Cost is one frame's UI/render-stage demand.
+	Cost = workload.Cost
+	// Class tags frames with D-VSync applicability (Figure 9).
+	Class = workload.Class
+)
+
+// Frame classes (§4.2).
+const (
+	// Deterministic animation frames ride the decoupling-oblivious channel.
+	Deterministic = workload.Deterministic
+	// Interactive frames decouple through the aware channel with an IPL
+	// predictor.
+	Interactive = workload.Interactive
+	// Realtime frames always take the VSync path.
+	Realtime = workload.Realtime
+)
+
+// Simulation.
+type (
+	// Config describes one simulation run.
+	Config = sim.Config
+	// Result carries everything measured in a run.
+	Result = sim.Result
+	// Mode selects the rendering architecture.
+	Mode = sim.Mode
+	// PanelConfig describes the screen model.
+	PanelConfig = display.Config
+	// Recorder captures a structured event trace of a run.
+	Recorder = trace.Recorder
+	// Frame is the per-frame record flowing through the pipeline.
+	Frame = buffer.Frame
+)
+
+// Rendering architectures.
+const (
+	// VSync is the conventional baseline (Figure 10a).
+	VSync = sim.ModeVSync
+	// DVSync is the decoupled architecture (Figure 10b).
+	DVSync = sim.ModeDVSync
+)
+
+// Run executes one simulation to completion.
+func Run(cfg Config) *Result { return sim.Run(cfg) }
+
+// NewRecorder returns an empty trace recorder to attach to a Config.
+func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// Compare runs the same workload under both architectures and returns
+// (baseline, decoupled). The baseline uses the classic buffer count; the
+// decoupled run uses dvsyncBuffers.
+func Compare(tr *Trace, panel PanelConfig, vsyncBuffers, dvsyncBuffers int) (*Result, *Result) {
+	v := Run(Config{Mode: VSync, Panel: panel, Buffers: vsyncBuffers, Trace: tr})
+	d := Run(Config{Mode: DVSync, Panel: panel, Buffers: dvsyncBuffers, Trace: tr})
+	return v, d
+}
+
+// D-VSync core abstractions (for decoupling-aware integrations).
+type (
+	// InputPredictor is the IPL plug-in interface (§4.6).
+	InputPredictor = core.InputPredictor
+	// InputSample is one observed input event.
+	InputSample = core.InputSample
+	// DTVConfig tunes the Display Time Virtualizer.
+	DTVConfig = core.DTVConfig
+)
+
+// IPL predictors (§4.6, §6.5).
+type (
+	// LinearPredictor is the least-squares line fit (the map app's ZDP).
+	LinearPredictor = ipl.Linear
+	// QuadraticPredictor captures acceleration.
+	QuadraticPredictor = ipl.Quadratic
+	// LastValuePredictor is the no-prediction ablation baseline.
+	LastValuePredictor = ipl.LastValue
+	// KalmanPredictor is a constant-velocity Kalman filter, robust to
+	// digitizer noise.
+	KalmanPredictor = ipl.Kalman
+)
+
+// Input synthesis.
+type (
+	// Swipe is a constant-velocity drag gesture.
+	Swipe = input.Swipe
+	// Fling is a drag releasing into friction-decelerated scrolling.
+	Fling = input.Fling
+	// Pinch is a two-finger zoom gesture with tremor.
+	Pinch = input.Pinch
+	// Digitizer samples gestures at a touch-controller rate.
+	Digitizer = input.Digitizer
+)
+
+// Animation sampling.
+type (
+	// Animation binds a motion curve to a time window and value range.
+	Animation = anim.Animation
+	// Curve maps normalised time to progress.
+	Curve = anim.Curve
+	// LinearCurve is constant-velocity motion.
+	LinearCurve = anim.Linear
+	// EaseInOutCurve is the smoothstep ease.
+	EaseInOutCurve = anim.EaseInOut
+	// SpringCurve is a damped harmonic oscillator.
+	SpringCurve = anim.Spring
+	// FlingCurve is friction-decelerated scroll progress.
+	FlingCurve = anim.Fling
+)
+
+// LTPO variable refresh (§5.3).
+type (
+	// LTPOPolicy decides refresh rate from content velocity.
+	LTPOPolicy = ltpo.Policy
+	// RateStep is one velocity-threshold rule.
+	RateStep = ltpo.RateStep
+)
+
+// NewLTPOPolicy builds a step policy; DefaultLTPOPolicy mirrors §5.3's
+// 60/90/120 Hz example.
+var (
+	NewLTPOPolicy     = ltpo.NewThresholdPolicy
+	DefaultLTPOPolicy = ltpo.DefaultUIPolicy
+)
+
+// Metrics.
+type (
+	// Summary is a distribution summary (mean/std/percentiles).
+	Summary = metrics.Summary
+	// JankReport is the FDPS/FD% report of a run.
+	JankReport = metrics.JankReport
+	// StutterConfig tunes the perceived-stutter detector (§6.2).
+	StutterConfig = metrics.StutterConfig
+	// PowerModel converts work accounting into energy/instruction proxies.
+	PowerModel = metrics.PowerModel
+)
+
+// Metric helpers.
+var (
+	// CountStutters applies the Table 2 stutter detector.
+	CountStutters = metrics.CountStutters
+	// DefaultStutterConfig mirrors the industrial UX criteria.
+	DefaultStutterConfig = metrics.DefaultStutterConfig
+	// DefaultPowerModel returns the §6.7-calibrated coefficients.
+	DefaultPowerModel = metrics.DefaultPowerModel
+)
+
+// Evaluation catalog (Table 1, Figures 11–14, Table 2, …).
+type (
+	// Device is one evaluation platform (Table 1).
+	Device = scenarios.Device
+	// App is one of the 25 Figure 11 applications.
+	App = scenarios.App
+	// UseCase is one of the 75 Appendix A OS use cases.
+	UseCase = scenarios.UseCase
+	// Game is one of the 15 Figure 14 games.
+	Game = scenarios.Game
+	// UXTask is one of the Table 2 composite tasks.
+	UXTask = scenarios.UXTask
+)
+
+// Catalog accessors.
+var (
+	// Pixel5, Mate40Pro and Mate60Pro are the Table 1 devices.
+	Pixel5    = scenarios.Pixel5
+	Mate40Pro = scenarios.Mate40Pro
+	Mate60Pro = scenarios.Mate60Pro
+	// Devices lists Table 1 in order.
+	Devices = scenarios.Devices
+	// Apps lists Figure 11's applications.
+	Apps = scenarios.Apps
+	// UseCases lists Appendix A.
+	UseCases = scenarios.UseCases
+	// Games lists Figure 14's games.
+	Games = scenarios.Games
+	// UXTasks lists Table 2's tasks.
+	UXTasks = scenarios.UXTasks
+)
+
+// Appendix A testing framework (internal/autotest).
+type (
+	// UseCaseScript is a use case compiled to human operations.
+	UseCaseScript = autotest.Script
+	// UseCaseReport is one case's measured outcome (five-run mean).
+	UseCaseReport = autotest.Report
+)
+
+// Testing-framework entry points.
+var (
+	// CompileUseCase derives the operation script of an Appendix A case.
+	CompileUseCase = autotest.Compile
+	// RunUseCase executes one case under an architecture (five runs).
+	RunUseCase = autotest.RunCase
+	// RunCensus executes the full 75-case benchmark.
+	RunCensus = autotest.RunCensus
+)
+
+// Experiments exposes the harness that regenerates every table and figure;
+// each entry writes its reproduction to the supplied writer.
+type Experiment = exp.Experiment
+
+// Experiments returns the full experiment registry in presentation order.
+func Experiments() []Experiment { return exp.Registry() }
+
+// FindExperiment looks an experiment up by its short ID (e.g. "fig11").
+func FindExperiment(id string) (Experiment, bool) { return exp.Find(id) }

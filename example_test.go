@@ -1,0 +1,81 @@
+package dvsync_test
+
+import (
+	"fmt"
+
+	"dvsync"
+)
+
+// The paper's core result in four statements: the same power-law workload
+// drops far fewer frames under D-VSync, at lower rendering latency.
+func Example() {
+	profile := dvsync.Profile{
+		Name: "doc-example", ShortMeanMs: 6.5, ShortSigmaMs: 2.2,
+		LongRatio: 0.05, LongScaleMs: 25, LongAlpha: 2.3,
+		Burstiness: 0.2, UIShare: 0.35,
+	}
+	trace := profile.Generate(1000, 7)
+	baseline, decoupled := dvsync.Compare(trace, dvsync.Pixel5.Panel(), 3, 4)
+	fmt.Printf("VSync   janks=%d\n", baseline.Jank().Janks)
+	fmt.Printf("D-VSync janks=%d\n", decoupled.Jank().Janks)
+	fmt.Printf("latency reduced: %v\n",
+		decoupled.LatencySummary().Mean < baseline.LatencySummary().Mean)
+	// Output:
+	// VSync   janks=35
+	// D-VSync janks=14
+	// latency reduced: true
+}
+
+// ExampleController_runtimeSwitch shows the §4.5 runtime switch: D-VSync is
+// enabled only inside an activation window (the map app enables it only
+// while zooming).
+func ExampleConfig_runtimeSwitch() {
+	profile := dvsync.Profile{
+		Name: "switch-example", ShortMeanMs: 6, ShortSigmaMs: 2,
+		LongRatio: 0.04, LongScaleMs: 24, LongAlpha: 2.5,
+		Burstiness: 0.1, UIShare: 0.35,
+	}
+	trace := profile.Generate(120, 3)
+	window := func(now dvsync.Time) bool {
+		return now >= dvsync.Time(dvsync.FromMillis(500)) &&
+			now < dvsync.Time(dvsync.FromMillis(1500))
+	}
+	r := dvsync.Run(dvsync.Config{
+		Mode: dvsync.DVSync, Panel: dvsync.Pixel5.Panel(), Buffers: 5,
+		Trace: trace, RuntimeSwitch: window,
+	})
+	fmt.Printf("both channels used: %v\n", r.DecoupledFrames > 0 && r.VSyncPathFrames > 0)
+	// Output:
+	// both channels used: true
+}
+
+// ExampleCompileUseCase compiles an Appendix A use case to its operation
+// script, the way the paper's testing framework drives it.
+func ExampleCompileUseCase() {
+	uc := dvsync.UseCases()[22] // "clr all notif"
+	script := dvsync.CompileUseCase(uc)
+	fmt.Println(uc.Abbrev)
+	for _, st := range script.Steps {
+		fmt.Printf("  %v %s\n", st.Kind, st.Label)
+	}
+	// Output:
+	// clr all notif
+	//   settle enter from sceneboard
+	//   swipe notification center
+	//   settle return to sceneboard
+}
+
+// ExampleLinearPredictor demonstrates the IPL's ZDP-style extrapolation: a
+// steady 1000 px/s swipe predicted 50 ms ahead.
+func ExampleLinearPredictor() {
+	var history []dvsync.InputSample
+	for i := 0; i < 8; i++ {
+		at := dvsync.Time(i * 8_333_333) // 120 Hz digitizer
+		history = append(history, dvsync.InputSample{At: at, Value: 1000 * at.Seconds()})
+	}
+	target := history[len(history)-1].At.Add(dvsync.FromMillis(50))
+	pred := dvsync.LinearPredictor{}.Predict(history, target)
+	fmt.Printf("predicted %.1f px (truth %.1f px)\n", pred, 1000*target.Seconds())
+	// Output:
+	// predicted 108.3 px (truth 108.3 px)
+}

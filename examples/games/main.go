@@ -1,0 +1,60 @@
+// Games: the Figure 14 simulation. Mobile games use custom rendering
+// engines that bypass the OS rendering framework, so D-VSync applies
+// through the decoupling-aware APIs. This example replays game-style frame
+// traces at their capped rates and sweeps the pre-render window.
+//
+// Run with:
+//
+//	go run ./examples/games
+package main
+
+import (
+	"fmt"
+
+	"dvsync"
+)
+
+func main() {
+	fmt.Println("game UI/scene animations, decoupling-aware D-VSync (Figure 14 style)")
+	fmt.Println()
+	fmt.Printf("%-22s %5s  %12s  %12s  %12s\n", "game", "rate", "VSync 3bufs", "D-VSync 4", "D-VSync 5")
+
+	var v3, d4, d5 []float64
+	for _, g := range dvsync.Games() {
+		panel := dvsync.Mate60Pro.Panel()
+		panel.RefreshHz = g.RateHz
+		profile := g.Profile()
+		trace := profile.Generate(900, 99)
+
+		baseline := dvsync.Run(dvsync.Config{
+			Mode: dvsync.VSync, Panel: panel, Buffers: 3, Trace: trace,
+		})
+		aware := func(buffers int) *dvsync.Result {
+			return dvsync.Run(dvsync.Config{
+				Mode: dvsync.DVSync, Panel: panel, Buffers: buffers, Trace: trace,
+				Predictor: dvsync.LinearPredictor{}, // aware channel
+			})
+		}
+		r4, r5 := aware(4), aware(5)
+		fmt.Printf("%-22s %4dHz  %12.2f  %12.2f  %12.2f\n",
+			g.Name, g.RateHz, baseline.FDPS(), r4.FDPS(), r5.FDPS())
+		v3 = append(v3, baseline.FDPS())
+		d4 = append(d4, r4.FDPS())
+		d5 = append(d5, r5.FDPS())
+	}
+
+	fmt.Printf("\n%-22s %5s  %12.2f  %12.2f  %12.2f\n", "average", "",
+		mean(v3), mean(d4), mean(d5))
+	fmt.Printf("FDPS reduction: %.0f%% with 4 buffers, %.0f%% with 5\n",
+		100*(1-mean(d4)/mean(v3)), 100*(1-mean(d5)/mean(v3)))
+	fmt.Println("\n(note: uncalibrated profiles — run `dvbench -exp fig14` for the")
+	fmt.Println(" baseline-calibrated reproduction of the paper's figure)")
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,80 @@
+// LTPO: the §5.3 co-design. A fling starts fast (120 Hz), then decelerates;
+// the LTPO policy steps the panel down to 90 and 60 Hz to save power —
+// but only after D-VSync's accumulated buffers, each bound to the rate it
+// was rendered for, have been consumed.
+//
+// Run with:
+//
+//	go run ./examples/ltpo
+package main
+
+import (
+	"fmt"
+
+	"dvsync"
+)
+
+func main() {
+	panel := dvsync.Mate60Pro.Panel()
+
+	// The fling: 3000 px/s decaying with friction 1.2/s — crosses the
+	// 1200 px/s and 400 px/s policy thresholds as it settles.
+	fling := dvsync.Fling{
+		Start: 0, Velocity: 3000,
+		DownFor:  dvsync.FromMillis(150),
+		Friction: 1.2,
+		Settle:   dvsync.FromSeconds(4),
+	}
+	velocity := func(t dvsync.Time) float64 {
+		dt := dvsync.FromMillis(4)
+		a := fling.Value(t)
+		b := fling.Value(t.Add(dt))
+		return (b - a) / dt.Seconds()
+	}
+
+	period := dvsync.PeriodForHz(120).Milliseconds()
+	profile := dvsync.Profile{
+		Name:        "ltpo-fling",
+		ShortMeanMs: 0.4 * period, ShortSigmaMs: 0.12 * period,
+		LongRatio: 0.04, LongScaleMs: 1.5 * period, LongAlpha: 2.5,
+		Burstiness: 0.1, UIShare: 0.35,
+	}
+	trace := profile.Generate(400, 5)
+
+	rec := dvsync.NewRecorder()
+	r := dvsync.Run(dvsync.Config{
+		Mode: dvsync.DVSync, Panel: panel, Buffers: 4, Trace: trace,
+		LTPOPolicy:   dvsync.DefaultLTPOPolicy(),
+		LTPOVelocity: velocity,
+		Recorder:     rec,
+	})
+
+	fmt.Println("D-VSync + LTPO on a decelerating fling (120 Hz panel)")
+	fmt.Printf("  frames presented: %d, janks: %d\n", len(r.Presented), len(r.Janks))
+
+	// Walk the trace for rate changes and check the drain rule: no frame
+	// rendered for rate X may be displayed while the panel runs at Y.
+	fmt.Println("  refresh-rate switches:")
+	for _, ev := range rec.Events() {
+		if ev.Kind == "rate-change" {
+			fmt.Printf("    t=%-12v -> %d Hz\n", ev.At, ev.Hz)
+		}
+	}
+	violations := 0
+	rate := 120
+	byFrame := map[int]int{} // frame -> rate bound
+	for _, f := range r.Presented {
+		byFrame[f.Seq] = f.RateHz
+	}
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case "rate-change":
+			rate = ev.Hz
+		case "frame-latched":
+			if rb := byFrame[ev.Frame]; rb != 0 && rb != rate {
+				violations++
+			}
+		}
+	}
+	fmt.Printf("  rate-bound violations (X-rate frame shown at Y): %d\n", violations)
+}

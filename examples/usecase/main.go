@@ -1,0 +1,55 @@
+// Use case: run one of the paper's 75 Appendix A OS use cases through the
+// scripted testing framework — the industrial methodology of §3.2, from the
+// public API.
+//
+// Run with:
+//
+//	go run ./examples/usecase                       # default case
+//	go run ./examples/usecase "clr all notif"       # any Appendix A abbreviation
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dvsync"
+)
+
+func main() {
+	abbrev := "cls notif ctr"
+	if len(os.Args) > 1 {
+		abbrev = os.Args[1]
+	}
+	var found *dvsync.UseCase
+	for _, uc := range dvsync.UseCases() {
+		if strings.EqualFold(uc.Abbrev, abbrev) {
+			c := uc
+			found = &c
+			break
+		}
+	}
+	if found == nil {
+		fmt.Fprintf(os.Stderr, "unknown use case %q; Appendix A abbreviations:\n", abbrev)
+		for _, uc := range dvsync.UseCases() {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", uc.Abbrev, uc.Description)
+		}
+		os.Exit(2)
+	}
+
+	fmt.Printf("#%d %s — %s\n\n", found.ID, found.Abbrev, found.Description)
+	script := dvsync.CompileUseCase(*found)
+	fmt.Println("operation script (starts and ends on the sceneboard, A.2):")
+	for _, st := range script.Steps {
+		fmt.Printf("  %-7v %-26s %v\n", st.Kind, st.Label, st.Duration)
+	}
+
+	fmt.Println()
+	v := dvsync.RunUseCase(*found, dvsync.Mate60Pro, dvsync.VSync, 1)
+	d := dvsync.RunUseCase(*found, dvsync.Mate60Pro, dvsync.DVSync, 1)
+	fmt.Printf("%-8s janks %.1f   FDPS %.2f   latency %.1f ms\n", "VSync", v.Janks, v.FDPS, v.LatencyMs)
+	fmt.Printf("%-8s janks %.1f   FDPS %.2f   latency %.1f ms\n", "D-VSync", d.Janks, d.FDPS, d.LatencyMs)
+	if v.Janks > 0 {
+		fmt.Printf("\nframe-drop reduction: %.0f%% (means of 5 scripted runs)\n", 100*(1-d.Janks/v.Janks))
+	}
+}

@@ -1,0 +1,3 @@
+module dvsync
+
+go 1.23

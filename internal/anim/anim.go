@@ -1,0 +1,194 @@
+// Package anim provides the motion curves smartphone UI frameworks sample
+// when rendering animation frames — the consumers of the (D-)VSync
+// timestamp. An animation's visual correctness is entirely a function of
+// which timestamps its frames are sampled at: the Display Time Virtualizer
+// exists so that pre-rendered frames sample these curves at their *display*
+// time rather than their execution time (§4.4).
+package anim
+
+import (
+	"fmt"
+	"math"
+
+	"dvsync/internal/simtime"
+)
+
+// Curve maps normalised time u ∈ [0,1] to normalised progress [0,1].
+type Curve interface {
+	At(u float64) float64
+}
+
+// Linear is constant-velocity motion.
+type Linear struct{}
+
+// At implements Curve.
+func (Linear) At(u float64) float64 { return clamp01(u) }
+
+// EaseInOut is the standard smoothstep ease.
+type EaseInOut struct{}
+
+// At implements Curve.
+func (EaseInOut) At(u float64) float64 {
+	u = clamp01(u)
+	return u * u * (3 - 2*u)
+}
+
+// CubicBezier is the CSS-style timing function with control points
+// (X1,Y1), (X2,Y2); endpoints are fixed at (0,0) and (1,1).
+type CubicBezier struct {
+	X1, Y1, X2, Y2 float64
+}
+
+// At implements Curve by inverting x(t) with bisection, then evaluating
+// y(t).
+func (b CubicBezier) At(u float64) float64 {
+	u = clamp01(u)
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if bez(b.X1, b.X2, mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return bez(b.Y1, b.Y2, (lo+hi)/2)
+}
+
+func bez(p1, p2, t float64) float64 {
+	mt := 1 - t
+	return 3*mt*mt*t*p1 + 3*mt*t*t*p2 + t*t*t
+}
+
+// Spring is a damped harmonic oscillator settling at 1, the basis of
+// physics-based animations (dynamic effects the paper lists in §3.1).
+type Spring struct {
+	// Omega is the undamped angular frequency (rad/s of normalised time).
+	Omega float64
+	// Zeta is the damping ratio (< 1 underdamped).
+	Zeta float64
+}
+
+// At implements Curve.
+func (s Spring) At(u float64) float64 {
+	u = clamp01(u)
+	w, z := s.Omega, s.Zeta
+	if w <= 0 {
+		w = 12
+	}
+	if z <= 0 {
+		z = 0.8
+	}
+	if z < 1 {
+		wd := w * math.Sqrt(1-z*z)
+		e := math.Exp(-z * w * u)
+		return 1 - e*(math.Cos(wd*u)+z*w/wd*math.Sin(wd*u))
+	}
+	e := math.Exp(-w * u)
+	return 1 - e*(1+w*u)
+}
+
+// Fling models friction-decelerated scroll progress: position approaches 1
+// exponentially, mirroring input.Fling's kinematics.
+type Fling struct {
+	// K is the decay rate in units of normalised time.
+	K float64
+}
+
+// At implements Curve.
+func (f Fling) At(u float64) float64 {
+	u = clamp01(u)
+	k := f.K
+	if k <= 0 {
+		k = 4
+	}
+	return (1 - math.Exp(-k*u)) / (1 - math.Exp(-k))
+}
+
+func clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Animation is a curve bound to a wall-time window and a pixel range.
+type Animation struct {
+	// Name labels the animation.
+	Name string
+	// Curve shapes the motion.
+	Curve Curve
+	// Start is when the animation begins.
+	Start simtime.Time
+	// Duration is the animation length.
+	Duration simtime.Duration
+	// From and To bound the animated property (e.g. pixels).
+	From, To float64
+}
+
+// SampleAt returns the animated value for a frame whose content timestamp
+// is t — exactly what a UI framework does with the (D-)VSync timestamp.
+func (a *Animation) SampleAt(t simtime.Time) float64 {
+	if a.Duration <= 0 {
+		panic(fmt.Sprintf("anim %q: non-positive duration", a.Name))
+	}
+	u := float64(t.Sub(a.Start)) / float64(a.Duration)
+	return a.From + (a.To-a.From)*a.Curve.At(u)
+}
+
+// Done reports whether the animation has completed by t.
+func (a *Animation) Done(t simtime.Time) bool {
+	return t.Sub(a.Start) >= a.Duration
+}
+
+// PacingReport quantifies how uniformly an animation was presented to the
+// viewer: for each pair of consecutively displayed frames it compares the
+// on-screen progress step against the ideal step implied by the photon
+// interval. DTV's guarantee — "animations never appear fast in
+// accumulation or slow down in long frames" — is a statement about this
+// error being zero.
+type PacingReport struct {
+	// MaxAbsError and RMSError are in normalised-progress units.
+	MaxAbsError, RMSError float64
+	// Steps is the number of frame pairs evaluated.
+	Steps int
+}
+
+// Pacing evaluates presented frames: presentAt[i] is when frame i became
+// visible and value[i] is the animated value it showed.
+func (a *Animation) Pacing(presentAt []simtime.Time, values []float64) PacingReport {
+	if len(presentAt) != len(values) {
+		panic("anim: pacing input length mismatch")
+	}
+	var rep PacingReport
+	var sumsq float64
+	span := a.To - a.From
+	if span == 0 {
+		return rep
+	}
+	for i := 1; i < len(values); i++ {
+		gotStep := (values[i] - values[i-1]) / span
+		idealFrom := a.Curve.At(normTime(a, presentAt[i-1]))
+		idealTo := a.Curve.At(normTime(a, presentAt[i]))
+		err := gotStep - (idealTo - idealFrom)
+		if err < 0 {
+			err = -err
+		}
+		if err > rep.MaxAbsError {
+			rep.MaxAbsError = err
+		}
+		sumsq += err * err
+		rep.Steps++
+	}
+	if rep.Steps > 0 {
+		rep.RMSError = math.Sqrt(sumsq / float64(rep.Steps))
+	}
+	return rep
+}
+
+func normTime(a *Animation, t simtime.Time) float64 {
+	return float64(t.Sub(a.Start)) / float64(a.Duration)
+}

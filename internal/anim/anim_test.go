@@ -1,0 +1,171 @@
+package anim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dvsync/internal/simtime"
+)
+
+func TestCurveEndpoints(t *testing.T) {
+	curves := map[string]Curve{
+		"linear":  Linear{},
+		"easein":  EaseInOut{},
+		"bezier":  CubicBezier{X1: 0.25, Y1: 0.1, X2: 0.25, Y2: 1},
+		"fling":   Fling{K: 4},
+		"default": Fling{},
+	}
+	for name, c := range curves {
+		if got := c.At(0); math.Abs(got) > 1e-6 {
+			t.Errorf("%s.At(0) = %v", name, got)
+		}
+		if got := c.At(1); math.Abs(got-1) > 1e-6 {
+			t.Errorf("%s.At(1) = %v", name, got)
+		}
+	}
+}
+
+func TestCurvesMonotone(t *testing.T) {
+	curves := map[string]Curve{
+		"linear": Linear{},
+		"easein": EaseInOut{},
+		"bezier": CubicBezier{X1: 0.42, Y1: 0, X2: 0.58, Y2: 1},
+		"fling":  Fling{K: 3},
+	}
+	for name, c := range curves {
+		prev := -1e-9
+		for u := 0.0; u <= 1.0001; u += 0.001 {
+			v := c.At(u)
+			if v < prev-1e-9 {
+				t.Fatalf("%s not monotone at u=%v", name, u)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestCurvesClampOutsideRange(t *testing.T) {
+	f := func(u float64) bool {
+		if math.IsNaN(u) || math.IsInf(u, 0) {
+			return true
+		}
+		for _, c := range []Curve{Linear{}, EaseInOut{}, Fling{K: 4}} {
+			v := c.At(u)
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpringSettles(t *testing.T) {
+	s := Spring{Omega: 14, Zeta: 0.7}
+	if got := s.At(0); math.Abs(got) > 1e-9 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := s.At(1); math.Abs(got-1) > 0.05 {
+		t.Errorf("At(1) = %v, should settle near 1", got)
+	}
+	// Underdamped springs overshoot.
+	overshot := false
+	for u := 0.0; u <= 1; u += 0.005 {
+		if s.At(u) > 1.001 {
+			overshot = true
+			break
+		}
+	}
+	if !overshot {
+		t.Error("ζ=0.7 spring should overshoot")
+	}
+	// Critically damped does not.
+	cd := Spring{Omega: 14, Zeta: 1}
+	for u := 0.0; u <= 1; u += 0.005 {
+		if cd.At(u) > 1+1e-9 {
+			t.Fatal("critically damped spring overshot")
+		}
+	}
+}
+
+func TestAnimationSampleAt(t *testing.T) {
+	a := &Animation{
+		Name: "open", Curve: Linear{},
+		Start: simtime.Time(simtime.FromMillis(100)), Duration: simtime.FromMillis(400),
+		From: 0, To: 800,
+	}
+	if got := a.SampleAt(simtime.Time(simtime.FromMillis(100))); got != 0 {
+		t.Errorf("at start = %v", got)
+	}
+	if got := a.SampleAt(simtime.Time(simtime.FromMillis(300))); math.Abs(got-400) > 1e-6 {
+		t.Errorf("midway = %v", got)
+	}
+	if got := a.SampleAt(simtime.Time(simtime.FromMillis(600))); got != 800 {
+		t.Errorf("at end = %v", got)
+	}
+	if a.Done(simtime.Time(simtime.FromMillis(400))) {
+		t.Error("not done yet")
+	}
+	if !a.Done(simtime.Time(simtime.FromMillis(500))) {
+		t.Error("should be done")
+	}
+}
+
+func TestPacingPerfect(t *testing.T) {
+	a := &Animation{Name: "p", Curve: Linear{}, Start: 0,
+		Duration: simtime.FromMillis(500), From: 0, To: 1000}
+	period := simtime.PeriodForHz(60)
+	var at []simtime.Time
+	var vals []float64
+	for i := 0; i < 20; i++ {
+		tt := simtime.Time(int64(i) * int64(period))
+		at = append(at, tt)
+		vals = append(vals, a.SampleAt(tt))
+	}
+	rep := a.Pacing(at, vals)
+	if rep.MaxAbsError > 1e-9 {
+		t.Errorf("perfect pacing has error %v", rep.MaxAbsError)
+	}
+	if rep.Steps != 19 {
+		t.Errorf("steps = %d", rep.Steps)
+	}
+}
+
+// TestPacingDetectsStaleTimestamps: sampling with the *execution* time of
+// pre-rendered frames (instead of the display time) makes the animation run
+// fast then stall — the failure mode DTV prevents.
+func TestPacingDetectsStaleTimestamps(t *testing.T) {
+	a := &Animation{Name: "p", Curve: Linear{}, Start: 0,
+		Duration: simtime.FromMillis(500), From: 0, To: 1000}
+	period := simtime.PeriodForHz(60)
+	var at []simtime.Time
+	var vals []float64
+	for i := 0; i < 20; i++ {
+		present := simtime.Time(int64(i) * int64(period))
+		// Pre-rendered 3 frames ahead but sampled at execution time:
+		// content lags the photon by 3 periods.
+		exec := present - simtime.Time(3*int64(period))
+		if exec < 0 {
+			exec = 0
+		}
+		at = append(at, present)
+		vals = append(vals, a.SampleAt(exec))
+	}
+	rep := a.Pacing(at, vals)
+	if rep.MaxAbsError < 0.01 {
+		t.Errorf("stale sampling should produce pacing error, got %v", rep.MaxAbsError)
+	}
+}
+
+func TestPacingMismatchedInputPanics(t *testing.T) {
+	a := &Animation{Name: "x", Curve: Linear{}, Duration: 1000, From: 0, To: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Pacing([]simtime.Time{0}, nil)
+}

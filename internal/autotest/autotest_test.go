@@ -1,0 +1,144 @@
+package autotest
+
+import (
+	"testing"
+
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/workload"
+)
+
+func TestCompileCoversAllCases(t *testing.T) {
+	for _, uc := range scenarios.UseCases() {
+		s := Compile(uc)
+		if len(s.Steps) < 3 {
+			t.Errorf("%s: only %d steps (entry + op + exit expected)", uc.Abbrev, len(s.Steps))
+		}
+		if s.Steps[0].Kind != Settle || s.Steps[len(s.Steps)-1].Kind != Settle {
+			t.Errorf("%s: scripts must start and end on the sceneboard (A.2)", uc.Abbrev)
+		}
+		for i, st := range s.Steps {
+			if st.Duration <= 0 || st.Load <= 0 || st.KeyFrameRatio < 0 {
+				t.Errorf("%s step %d: invalid %+v", uc.Abbrev, i, st)
+			}
+		}
+		if n := s.Frames(scenarios.Mate60Pro); n < 30 {
+			t.Errorf("%s: only %d frames on a 120 Hz panel", uc.Abbrev, n)
+		}
+	}
+}
+
+func TestCompileCategorySpecifics(t *testing.T) {
+	rotation := Compile(scenarios.UseCaseByAbbrev("vert to hori"))
+	foundRotate := false
+	for _, st := range rotation.Steps {
+		if st.Kind == Rotate {
+			foundRotate = true
+			if st.Load < 1.3 {
+				t.Errorf("rotation load %v should be heavy (full re-layout)", st.Load)
+			}
+		}
+	}
+	if !foundRotate {
+		t.Error("rotation case lacks a Rotate step")
+	}
+
+	scroll := Compile(scenarios.UseCaseByAbbrev("scrl wechat"))
+	foundDrag := false
+	for _, st := range scroll.Steps {
+		if st.Kind == Drag {
+			foundDrag = true
+		}
+	}
+	if !foundDrag {
+		t.Error("scroll case lacks a Drag step")
+	}
+
+	// Clearing all notifications is heavier than tapping it closed.
+	clr := Compile(scenarios.UseCaseByAbbrev("clr all notif"))
+	tap := Compile(scenarios.UseCaseByAbbrev("tap cls notif"))
+	if maxLoad(clr) <= maxLoad(tap) {
+		t.Error("clearing all notifications should be the heavier operation")
+	}
+}
+
+func maxLoad(s *Script) float64 {
+	m := 0.0
+	for _, st := range s.Steps {
+		if st.Load > m {
+			m = st.Load
+		}
+	}
+	return m
+}
+
+func TestWorkloadClasses(t *testing.T) {
+	s := Compile(scenarios.UseCaseByAbbrev("scrl photos"))
+	tr := s.Workload(scenarios.Mate60Pro, 1)
+	interactive, deterministic := 0, 0
+	for _, c := range tr.Costs {
+		switch c.Class {
+		case workload.Interactive:
+			interactive++
+		case workload.Deterministic:
+			deterministic++
+		}
+	}
+	if interactive == 0 {
+		t.Error("drag windows should produce interactive frames")
+	}
+	if deterministic == 0 {
+		t.Error("fling/settle windows should produce deterministic frames")
+	}
+}
+
+func TestRunCaseDeterministic(t *testing.T) {
+	uc := scenarios.UseCaseByAbbrev("cls notif ctr")
+	a := RunCase(uc, scenarios.Mate60Pro, sim.ModeVSync, 9)
+	b := RunCase(uc, scenarios.Mate60Pro, sim.ModeVSync, 9)
+	if a.FDPS != b.FDPS || a.Janks != b.Janks {
+		t.Error("identical seeds must reproduce identical reports")
+	}
+}
+
+// TestCensusShape checks the §3.2 methodology outcome: a substantial
+// minority of the 75 cases exhibit frame drops under VSync (the paper
+// reports 20 of 75 with GLES and 29 with Vulkan), and D-VSync cures most
+// of them.
+func TestCensusShape(t *testing.T) {
+	v := RunCensus(scenarios.Mate60Pro, sim.ModeVSync, 1)
+	d := RunCensus(scenarios.Mate60Pro, sim.ModeDVSync, 1)
+	if v.CasesWithDrops < 15 || v.CasesWithDrops > 45 {
+		t.Errorf("VSync census: %d of 75 cases with drops, paper reports 20-29", v.CasesWithDrops)
+	}
+	if d.CasesWithDrops >= v.CasesWithDrops/2 {
+		t.Errorf("D-VSync should cure most dropping cases: %d vs %d",
+			d.CasesWithDrops, v.CasesWithDrops)
+	}
+	if d.TotalJanks >= 0.5*v.TotalJanks {
+		t.Errorf("D-VSync janks %.1f vs VSync %.1f: expected >50%% reduction",
+			d.TotalJanks, v.TotalJanks)
+	}
+	// The heavy categories lead the drop census, as in Figures 12/13.
+	heavy := map[string]bool{"Screen Rotation": true, "Camera": true, "Notification Center": true}
+	heavyDrops := 0
+	for _, r := range v.Reports {
+		if heavy[r.Case.Category] && r.Janks >= 1 {
+			heavyDrops++
+		}
+	}
+	if heavyDrops < 5 {
+		t.Errorf("heavy categories should dominate the census, got %d dropping", heavyDrops)
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	for k, want := range map[StepKind]string{
+		Tap: "tap", SwipeOp: "swipe", Drag: "drag", Rotate: "rotate",
+		ButtonPress: "button", Settle: "settle",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

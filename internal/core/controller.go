@@ -1,0 +1,102 @@
+package core
+
+import (
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// InputPredictor is the Input Prediction Layer interface (§4.6). Apps
+// register a predictor for interactive scenarios so that pre-rendered
+// frames can anticipate where the input will be at their display time.
+//
+// Predict receives the input history observed so far and the target
+// D-Timestamp, and returns the anticipated input status (a scalar such as a
+// coordinate or a pinch distance) at that instant.
+type InputPredictor interface {
+	Predict(history []InputSample, at simtime.Time) float64
+}
+
+// InputSample is one observed input event.
+type InputSample struct {
+	// At is the event timestamp.
+	At simtime.Time
+	// Value is the input status (y-coordinate, pinch distance, …).
+	Value float64
+}
+
+// Controller implements the dual-channel decoupling APIs (§4.5). It decides
+// per frame whether the decoupled path applies, and exposes the
+// decoupling-aware runtime controls: the pre-rendering limit, retrieval of
+// the frame display time, registration of IPL predictors, and the runtime
+// switch between D-VSync and VSync.
+type Controller struct {
+	enabled   bool
+	maxAhead  int
+	predictor InputPredictor
+	dtv       *DTV
+}
+
+// NewController creates a controller with D-VSync enabled and the given
+// pre-render limit.
+func NewController(maxAhead int, dtv *DTV) *Controller {
+	return &Controller{enabled: true, maxAhead: maxAhead, dtv: dtv}
+}
+
+// SetEnabled is the runtime switch between D-VSync and VSync (API #4 in
+// §4.5). Custom-rendering apps turn D-VSync off for scenarios where
+// pre-rendering is not applicable (PvP games, camera preview).
+func (c *Controller) SetEnabled(on bool) { c.enabled = on }
+
+// Enabled reports the runtime switch state.
+func (c *Controller) Enabled() bool { return c.enabled }
+
+// SetPreRenderLimit adjusts the pre-rendering limit, balancing performance
+// against memory (API #2 in §4.5).
+func (c *Controller) SetPreRenderLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.maxAhead = n
+}
+
+// PreRenderLimit returns the current limit.
+func (c *Controller) PreRenderLimit() int { return c.maxAhead }
+
+// RegisterPredictor installs an IPL predictor, making the app
+// decoupling-aware for interactive frames (API #1 in §4.5). Passing nil
+// unregisters.
+func (c *Controller) RegisterPredictor(p InputPredictor) { c.predictor = p }
+
+// Predictor returns the registered IPL predictor, if any.
+func (c *Controller) Predictor() InputPredictor { return c.predictor }
+
+// FrameDisplayTime exposes the DTV prediction to apps (API #3 in §4.5):
+// the display time of a frame triggered now with the given number of frames
+// ahead.
+func (c *Controller) FrameDisplayTime(now simtime.Time, ahead int) simtime.Time {
+	return c.dtv.DTimestamp(now, ahead)
+}
+
+// Decoupled decides the channel for a frame of the given class:
+//
+//   - Deterministic animation frames ride the decoupling-oblivious channel
+//     whenever D-VSync is enabled — no app changes needed.
+//   - Interactive frames are decoupled only when the app registered an IPL
+//     predictor (decoupling-aware channel).
+//   - Realtime frames always take the traditional VSync path.
+//
+// Decoupled is a pure query; callers may invoke it any number of times per
+// frame.
+func (c *Controller) Decoupled(class workload.Class) bool {
+	if !c.enabled {
+		return false
+	}
+	switch class {
+	case workload.Deterministic:
+		return true
+	case workload.Interactive:
+		return c.predictor != nil
+	default:
+		return false
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+const p60 = 16666666 * simtime.Nanosecond
+
+func feedEdges(d *DTV, n int, period simtime.Duration) simtime.Time {
+	var t simtime.Time
+	for i := 0; i < n; i++ {
+		t = simtime.Time(int64(i) * int64(period))
+		d.ObserveEdge(t, uint64(i), period)
+	}
+	return t
+}
+
+func TestDTVNextEdgeAfter(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 10, p60)
+	if got := d.NextEdgeAfter(last); got != last.Add(p60) {
+		t.Errorf("NextEdgeAfter(edge) = %v, want %v", got, last.Add(p60))
+	}
+	mid := last.Add(p60 / 2)
+	if got := d.NextEdgeAfter(mid); got != last.Add(p60) {
+		t.Errorf("NextEdgeAfter(mid) = %v, want %v", got, last.Add(p60))
+	}
+	if got := d.NextEdgeAfter(0); got != last {
+		t.Errorf("NextEdgeAfter(past) = %v, want last edge %v", got, last)
+	}
+}
+
+func TestDTVDTimestamp(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 5, p60)
+	// ahead=0: latch at next edge, visible one period later.
+	if got := d.DTimestamp(last, 0); got != last.Add(2*p60) {
+		t.Errorf("DTimestamp(ahead=0) = %v, want %v", got, last.Add(2*p60))
+	}
+	// ahead=3: three more periods.
+	if got := d.DTimestamp(last, 3); got != last.Add(5*p60) {
+		t.Errorf("DTimestamp(ahead=3) = %v", got)
+	}
+	if d.Issued() != 2 {
+		t.Errorf("Issued = %d", d.Issued())
+	}
+}
+
+func TestDTVNegativeAheadPanics(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.DTimestamp(0, -1)
+}
+
+func TestDTVPeriodCalibration(t *testing.T) {
+	// Panel runs 0.2 % slow; DTV must learn the true period.
+	nominal := p60
+	truePeriod := simtime.Duration(float64(nominal) * 1.002)
+	d := NewDTV(DTVConfig{CalibrateEvery: 4, PeriodSmoothing: 0.5}, p60)
+	for i := 0; i < 200; i++ {
+		d.ObserveEdge(simtime.Time(int64(i)*int64(truePeriod)), uint64(i), p60)
+	}
+	got := float64(d.Period())
+	want := float64(truePeriod)
+	if got < want*0.9995 || got > want*1.0005 {
+		t.Errorf("calibrated period %v, want ≈%v", d.Period(), truePeriod)
+	}
+}
+
+func TestDTVCalibrationOffAccumulatesError(t *testing.T) {
+	nominal := p60
+	truePeriod := simtime.Duration(float64(nominal) * 1.002)
+	calibrated := NewDTV(DTVConfig{CalibrateEvery: 4, PeriodSmoothing: 0.5}, p60)
+	frozen := NewDTV(DTVConfig{CalibrateEvery: 1 << 30, PeriodSmoothing: 0.5}, p60)
+	var last simtime.Time
+	for i := 0; i < 100; i++ {
+		last = simtime.Time(int64(i) * int64(truePeriod))
+		calibrated.ObserveEdge(last, uint64(i), p60)
+		frozen.ObserveEdge(last, uint64(i), p60)
+	}
+	// DTimestamp(ahead=3) lands 5 true periods out (next edge + 3 queued +
+	// 1 photon); the frozen model keeps the nominal period.
+	target := last.Add(5 * truePeriod)
+	errCal := absDur(calibrated.DTimestamp(last, 3).Sub(target))
+	errFro := absDur(frozen.DTimestamp(last, 3).Sub(target))
+	if errCal >= errFro {
+		t.Errorf("calibration did not help: %v vs %v", errCal, errFro)
+	}
+}
+
+func absDur(d simtime.Duration) simtime.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func TestDTVRateChangeReset(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 20, p60)
+	// Panel switches to 120 Hz (LTPO).
+	p120 := simtime.PeriodForHz(120)
+	t1 := last.Add(p120)
+	d.ObserveEdge(t1, 21, p120)
+	if got := d.Period(); got != p120 {
+		t.Errorf("period after rate change = %v, want %v", got, p120)
+	}
+	if got := d.DTimestamp(t1, 0); got != t1.Add(2*p120) {
+		t.Errorf("DTimestamp after rate change = %v, want %v", got, t1.Add(2*p120))
+	}
+}
+
+func TestDTVErrorTracking(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	d.RecordPresent(100, 100)
+	d.RecordPresent(100, 100+simtime.Time(simtime.FromMillis(2)))
+	d.RecordPresent(100, 100-simtime.Time(simtime.FromMillis(4)))
+	if got := d.MeanAbsErrorMs(); got != 2 {
+		t.Errorf("mean error = %v, want 2", got)
+	}
+	if got := d.MaxAbsErrorMs(); got != 4 {
+		t.Errorf("max error = %v, want 4", got)
+	}
+}
+
+// DTimestamp must be strictly in the future and monotone in `ahead`.
+func TestDTVDTimestampProperties(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 8, p60)
+	f := func(rawNow uint32, rawAhead uint8) bool {
+		now := last.Add(simtime.Duration(rawNow % uint32(p60)))
+		ahead := int(rawAhead % 8)
+		dts := d.DTimestamp(now, ahead)
+		if !dts.After(now) {
+			return false
+		}
+		return d.DTimestamp(now, ahead+1).Sub(dts) == d.Period()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// fakeView is a scriptable PipelineView.
+type fakeView struct {
+	ahead    int
+	free     int
+	uiFree   bool
+	requests int
+	started  []simtime.Time
+}
+
+func (v *fakeView) Ahead() int               { return v.ahead }
+func (v *fakeView) CanDequeue() bool         { return v.free > 0 }
+func (v *fakeView) UIFree(simtime.Time) bool { return v.uiFree }
+func (v *fakeView) HasPendingRequest() bool  { return v.requests > 0 }
+func (v *fakeView) StartFrame(now simtime.Time) {
+	v.started = append(v.started, now)
+	v.requests--
+	v.ahead++
+	v.free--
+	v.uiFree = false
+}
+
+func TestFPEStartsWhenUnconstrained(t *testing.T) {
+	v := &fakeView{ahead: 0, free: 4, uiFree: true, requests: 5}
+	f := NewFPE(FPEConfig{MaxAhead: 3}, v)
+	f.Pump(10)
+	if len(v.started) != 1 {
+		t.Fatalf("started %d frames, want 1 (UI becomes busy)", len(v.started))
+	}
+	if f.Stage() != Accumulation {
+		t.Errorf("stage = %v", f.Stage())
+	}
+	if f.Starts() != 1 || f.PreStarts() != 0 {
+		t.Errorf("starts=%d prestarts=%d", f.Starts(), f.PreStarts())
+	}
+}
+
+func TestFPEBlockedByPreRenderLimit(t *testing.T) {
+	v := &fakeView{ahead: 3, free: 4, uiFree: true, requests: 5}
+	f := NewFPE(FPEConfig{MaxAhead: 3}, v)
+	f.Pump(10)
+	if len(v.started) != 0 {
+		t.Fatal("must not start beyond the pre-render limit")
+	}
+	if f.Stage() != Sync {
+		t.Errorf("stage = %v, want sync", f.Stage())
+	}
+	if f.SyncBlocks() != 1 {
+		t.Errorf("SyncBlocks = %d", f.SyncBlocks())
+	}
+	// A slot frees: accumulation resumes.
+	v.ahead = 2
+	f.Pump(20)
+	if len(v.started) != 1 {
+		t.Fatal("must start once below the limit")
+	}
+	if f.Stage() != Accumulation {
+		t.Errorf("stage = %v, want accumulation", f.Stage())
+	}
+	if f.PreStarts() != 1 {
+		t.Errorf("PreStarts = %d (ahead was 2)", f.PreStarts())
+	}
+}
+
+func TestFPEBlockedByBuffers(t *testing.T) {
+	v := &fakeView{ahead: 1, free: 0, uiFree: true, requests: 5}
+	f := NewFPE(FPEConfig{MaxAhead: 3}, v)
+	f.Pump(10)
+	if len(v.started) != 0 {
+		t.Fatal("must not start without a free buffer")
+	}
+}
+
+func TestFPEBlockedByUIThread(t *testing.T) {
+	v := &fakeView{ahead: 0, free: 3, uiFree: false, requests: 5}
+	f := NewFPE(FPEConfig{MaxAhead: 3}, v)
+	f.Pump(10)
+	if len(v.started) != 0 {
+		t.Fatal("must not start while UI thread busy")
+	}
+	if f.SyncBlocks() != 0 {
+		t.Error("UI-busy is not a sync block")
+	}
+}
+
+func TestFPENoRequests(t *testing.T) {
+	v := &fakeView{ahead: 0, free: 3, uiFree: true, requests: 0}
+	f := NewFPE(FPEConfig{MaxAhead: 3}, v)
+	f.Pump(10)
+	if len(v.started) != 0 {
+		t.Fatal("must not start without a request")
+	}
+}
+
+func TestFPEValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for MaxAhead 0")
+		}
+	}()
+	NewFPE(FPEConfig{MaxAhead: 0}, &fakeView{})
+}
+
+func TestControllerChannels(t *testing.T) {
+	dtv := NewDTV(DefaultDTVConfig(), p60)
+	c := NewController(3, dtv)
+	if !c.Decoupled(workload.Deterministic) {
+		t.Error("deterministic frames should decouple by default")
+	}
+	if c.Decoupled(workload.Interactive) {
+		t.Error("interactive frames need a predictor")
+	}
+	if c.Decoupled(workload.Realtime) {
+		t.Error("realtime frames never decouple")
+	}
+	c.RegisterPredictor(linear{})
+	if !c.Decoupled(workload.Interactive) {
+		t.Error("interactive frames should decouple with a predictor")
+	}
+	c.SetEnabled(false)
+	if c.Decoupled(workload.Deterministic) {
+		t.Error("runtime switch off must disable decoupling")
+	}
+	c.SetEnabled(true)
+	if !c.Decoupled(workload.Deterministic) {
+		t.Error("runtime switch back on")
+	}
+}
+
+type linear struct{}
+
+func (linear) Predict(h []InputSample, at simtime.Time) float64 { return 0 }
+
+func TestControllerPreRenderLimit(t *testing.T) {
+	c := NewController(3, NewDTV(DefaultDTVConfig(), p60))
+	if c.PreRenderLimit() != 3 {
+		t.Errorf("limit = %d", c.PreRenderLimit())
+	}
+	c.SetPreRenderLimit(5)
+	if c.PreRenderLimit() != 5 {
+		t.Errorf("limit = %d", c.PreRenderLimit())
+	}
+	c.SetPreRenderLimit(0)
+	if c.PreRenderLimit() != 1 {
+		t.Errorf("limit clamped to %d, want 1", c.PreRenderLimit())
+	}
+}
+
+func TestControllerFrameDisplayTime(t *testing.T) {
+	dtv := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(dtv, 5, p60)
+	c := NewController(3, dtv)
+	if got := c.FrameDisplayTime(last, 2); got != last.Add(4*p60) {
+		t.Errorf("FrameDisplayTime = %v", got)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if Accumulation.String() != "accumulation" || Sync.String() != "sync" {
+		t.Error("stage strings wrong")
+	}
+}

@@ -1,0 +1,182 @@
+// Package core implements the D-VSync architecture from the paper: the
+// Frame Pre-Executor (FPE, §4.3) that paces decoupled pre-rendering, the
+// Display Time Virtualizer (DTV, §4.4) that predicts each frame's physical
+// display time, and the runtime Controller with the dual-channel decoupling
+// APIs (§4.5).
+//
+// The package contains decision logic only. It observes the rendering
+// system through narrow interfaces and is driven by the event-level wiring
+// in internal/sim, mirroring how the production implementation hooks into
+// the OS render service.
+package core
+
+import (
+	"fmt"
+
+	"dvsync/internal/metrics"
+	"dvsync/internal/simtime"
+)
+
+// DTVConfig tunes the Display Time Virtualizer.
+type DTVConfig struct {
+	// CalibrateEvery is the number of observed hardware edges between
+	// re-anchoring the virtual clock ("DTV calibrates the issued
+	// D-Timestamp every few frames with hardware VSync signals to avoid
+	// error accumulation", §5.1).
+	CalibrateEvery int
+	// PeriodSmoothing is the EMA coefficient applied to observed edge
+	// deltas when estimating the true panel period (0 < s ≤ 1; 1 means
+	// use the latest delta only).
+	PeriodSmoothing float64
+	// RateChangeTolerance is the fractional deviation of an observed edge
+	// delta from the current estimate beyond which DTV assumes the panel
+	// switched refresh rate (LTPO) and resets its model.
+	RateChangeTolerance float64
+}
+
+// DefaultDTVConfig returns the configuration used in the evaluation.
+func DefaultDTVConfig() DTVConfig {
+	return DTVConfig{
+		CalibrateEvery:      4,
+		PeriodSmoothing:     0.25,
+		RateChangeTolerance: 0.3,
+	}
+}
+
+// DTV is the Display Time Virtualizer. It maintains a model of the panel's
+// VSync timing (period and phase) from observed hardware edges and computes
+// the Frame Display Timestamp (D-Timestamp) for frames triggered by the FPE:
+// the instant the frame's content will become visible, given the number of
+// frames already rendered ahead.
+type DTV struct {
+	cfg DTVConfig
+
+	periodEst  simtime.Duration // estimated true panel period
+	anchor     simtime.Time     // phase reference, re-set at calibration
+	lastEdge   simtime.Time     // most recent observed edge
+	haveAnchor bool
+	sinceCalib int // edges since the last calibration
+
+	issued int // D-Timestamps handed out
+	errAbs metrics.Welford
+}
+
+// NewDTV creates a virtualizer expecting the given nominal period until the
+// first edges are observed.
+func NewDTV(cfg DTVConfig, nominalPeriod simtime.Duration) *DTV {
+	if cfg.CalibrateEvery <= 0 {
+		cfg.CalibrateEvery = DefaultDTVConfig().CalibrateEvery
+	}
+	if cfg.PeriodSmoothing <= 0 || cfg.PeriodSmoothing > 1 {
+		cfg.PeriodSmoothing = DefaultDTVConfig().PeriodSmoothing
+	}
+	if cfg.RateChangeTolerance <= 0 {
+		cfg.RateChangeTolerance = DefaultDTVConfig().RateChangeTolerance
+	}
+	if nominalPeriod <= 0 {
+		panic(fmt.Sprintf("core: invalid nominal period %v", nominalPeriod))
+	}
+	return &DTV{cfg: cfg, periodEst: nominalPeriod}
+}
+
+// ObserveEdge feeds one hardware VSync edge into the timing model. Every
+// edge phase-locks the model (an observed edge is ground truth for phase);
+// the *period* estimate is recalibrated every CalibrateEvery edges from the
+// span they cover, which filters per-edge jitter and tracks oscillator skew
+// ("DTV calibrates the issued D-Timestamp every few frames with hardware
+// VSync signals to avoid error accumulation", §5.1). The nominal period is
+// what the panel is configured to (available to query per §4.4).
+func (d *DTV) ObserveEdge(now simtime.Time, seq uint64, nominal simtime.Duration) {
+	if d.haveAnchor && now > d.lastEdge {
+		delta := now.Sub(d.lastEdge)
+		dev := float64(delta-d.periodEst) / float64(d.periodEst)
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > d.cfg.RateChangeTolerance {
+			// Refresh-rate change (LTPO): reset to the nominal period and
+			// restart calibration so D-Timestamps track the new rhythm.
+			d.periodEst = nominal
+			d.lastEdge = now
+			d.anchor = now
+			d.sinceCalib = 0
+			return
+		}
+	}
+	if !d.haveAnchor {
+		d.haveAnchor = true
+		d.anchor = now
+	} else {
+		d.sinceCalib++
+		if d.sinceCalib >= d.cfg.CalibrateEvery {
+			measured := simtime.Duration(int64(now.Sub(d.anchor)) / int64(d.sinceCalib))
+			s := d.cfg.PeriodSmoothing
+			d.periodEst = simtime.Duration((1-s)*float64(d.periodEst) + s*float64(measured))
+			d.sinceCalib = 0
+			d.anchor = now
+		}
+	}
+	d.lastEdge = now
+}
+
+// Period returns the current period estimate.
+func (d *DTV) Period() simtime.Duration { return d.periodEst }
+
+// NextEdgeAfter predicts the first panel edge strictly after t. The phase
+// reference is the calibration anchor; between calibrations the virtual
+// clock free-runs on the period estimate (§5.1). The freshest observed
+// edge guards against phantom predictions: an edge was just seen at
+// lastEdge, so the next real edge cannot land within half a period of it —
+// without this guard, anchor drift plus jitter can mispredict by a whole
+// period when queried exactly on an edge.
+func (d *DTV) NextEdgeAfter(t simtime.Time) simtime.Time {
+	if !d.haveAnchor {
+		return simtime.AlignUp(t+1, d.periodEst, 0)
+	}
+	if t < d.lastEdge {
+		return d.lastEdge
+	}
+	next := simtime.AlignUp(t+1, d.periodEst, d.anchor)
+	if min := d.lastEdge.Add(d.periodEst / 2); next < min {
+		next = simtime.AlignUp(min, d.periodEst, d.anchor)
+	}
+	return next
+}
+
+// DTimestamp computes the Frame Display Timestamp for a frame triggered at
+// now with `ahead` frames already rendered but not yet latched (queued plus
+// in-flight). The frame will be latched `ahead` edges after the next edge,
+// and becomes visible one scan-out period later (the present fence).
+func (d *DTV) DTimestamp(now simtime.Time, ahead int) simtime.Time {
+	if ahead < 0 {
+		panic(fmt.Sprintf("core: negative ahead count %d", ahead))
+	}
+	latch := d.NextEdgeAfter(now).Add(simtime.Duration(ahead) * d.periodEst)
+	d.issued++
+	return latch.Add(d.periodEst)
+}
+
+// RecordPresent reports the actual present time of a frame against its
+// issued D-Timestamp, feeding the calibration-error statistics ("DTV is
+// also elastic to frame drops and skips VSync periods in such cases",
+// §5.1 — a skip shows up here as one period of error on that frame).
+func (d *DTV) RecordPresent(dTimestamp, present simtime.Time) {
+	err := float64(present.Sub(dTimestamp))
+	if err < 0 {
+		err = -err
+	}
+	d.errAbs.Add(err)
+}
+
+// Issued returns how many D-Timestamps have been handed out.
+func (d *DTV) Issued() int { return d.issued }
+
+// MeanAbsErrorMs returns the mean absolute prediction error in ms.
+func (d *DTV) MeanAbsErrorMs() float64 {
+	return d.errAbs.Mean() / float64(simtime.Millisecond)
+}
+
+// MaxAbsErrorMs returns the maximum absolute prediction error in ms.
+func (d *DTV) MaxAbsErrorMs() float64 {
+	return d.errAbs.Max() / float64(simtime.Millisecond)
+}

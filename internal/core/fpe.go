@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"dvsync/internal/simtime"
+)
+
+// Stage is the FPE execution stage (Figure 10).
+type Stage int
+
+// FPE stages.
+const (
+	// Accumulation means pre-rendering is running ahead of the display,
+	// filling the buffer queue with short frames.
+	Accumulation Stage = iota
+	// Sync means the pre-render limit is reached and frame execution is
+	// paced 1:1 with buffer consumption, like conventional VSync.
+	Sync
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	if s == Accumulation {
+		return "accumulation"
+	}
+	return "sync"
+}
+
+// FPEConfig tunes the Frame Pre-Executor.
+type FPEConfig struct {
+	// MaxAhead is the pre-rendering limit: the maximum number of frames
+	// rendered (or rendering) beyond the one on screen. The OpenHarmony
+	// implementation allows at most 3 back buffers for pre-rendering
+	// (§5.1); Figure 11 sweeps the equivalent of 4/5/7-buffer queues.
+	MaxAhead int
+}
+
+// PipelineView is how the FPE observes the rendering pipeline. The sim
+// package adapts the concrete producer and buffer queue to it.
+type PipelineView interface {
+	// Ahead returns the number of frames rendered or rendering but not yet
+	// latched (queued + in-flight).
+	Ahead() int
+	// CanDequeue reports whether a free buffer is available.
+	CanDequeue() bool
+	// UIFree reports whether the app UI thread is idle at now.
+	UIFree(now simtime.Time) bool
+	// HasPendingRequest reports whether the animation/interaction stream
+	// has another frame to render.
+	HasPendingRequest() bool
+	// StartFrame begins executing the next frame at now; it is only called
+	// when every constraint holds.
+	StartFrame(now simtime.Time)
+}
+
+// FPE is the Frame Pre-Executor: it decides, at each trigger opportunity,
+// whether the next frame may be pre-executed, and tracks the
+// accumulation/sync stage.
+type FPE struct {
+	cfg  FPEConfig
+	view PipelineView
+
+	stage      Stage
+	starts     int
+	preStarts  int // starts issued while the display had ≥1 frame queued ahead
+	syncBlocks int // trigger opportunities blocked by the pre-render limit
+}
+
+// NewFPE creates a pre-executor over the given pipeline view.
+func NewFPE(cfg FPEConfig, view PipelineView) *FPE {
+	if cfg.MaxAhead < 1 {
+		panic(fmt.Sprintf("core: pre-render limit %d must be ≥ 1", cfg.MaxAhead))
+	}
+	if view == nil {
+		panic("core: nil pipeline view")
+	}
+	return &FPE{cfg: cfg, view: view}
+}
+
+// Stage returns the current execution stage.
+func (f *FPE) Stage() Stage { return f.stage }
+
+// Starts returns the number of frames the FPE has triggered.
+func (f *FPE) Starts() int { return f.starts }
+
+// PreStarts returns the number of starts issued while at least one frame
+// was already waiting ahead — i.e. genuinely decoupled pre-execution.
+func (f *FPE) PreStarts() int { return f.preStarts }
+
+// SyncBlocks returns how many trigger opportunities the pre-render limit
+// deferred.
+func (f *FPE) SyncBlocks() int { return f.syncBlocks }
+
+// Pump evaluates the trigger conditions at now and starts as many frames as
+// the constraints allow (normally zero or one; the loop covers the case of
+// several constraints clearing at the same instant). The sim wires Pump to
+// every trigger opportunity: a frame's UI stage completing (the request
+// from the last frame, §4.3), a buffer slot freeing at a latch, and the
+// stream's first request.
+func (f *FPE) Pump(now simtime.Time) {
+	for f.view.HasPendingRequest() {
+		if !f.view.UIFree(now) {
+			return
+		}
+		ahead := f.view.Ahead()
+		if ahead >= f.cfg.MaxAhead || !f.view.CanDequeue() {
+			// Pre-render limit reached: enter the sync stage; execution
+			// resumes when the screen consumes a buffer.
+			f.stage = Sync
+			f.syncBlocks++
+			return
+		}
+		f.stage = Accumulation
+		f.starts++
+		if ahead > 0 {
+			f.preStarts++
+		}
+		f.view.StartFrame(now)
+	}
+}

@@ -1,0 +1,178 @@
+// Package display models the smartphone screen panel: the HW-VSync
+// generator, the latch/present cycle, and variable refresh rates for LTPO
+// panels (§5.3).
+//
+// The panel is the consumer side of the rendering architecture. Before
+// every physical refresh it emits a hardware VSync edge; software layers
+// subscribe to these edges (directly or through offset software signals, see
+// package signal). The panel itself knows nothing about buffers — the
+// simulation wires an OnEdge listener that performs the latch.
+package display
+
+import (
+	"fmt"
+
+	"dvsync/internal/dist"
+	"dvsync/internal/event"
+	"dvsync/internal/simtime"
+)
+
+// EdgeListener receives hardware VSync edges. seq is the edge index since
+// panel start; period is the nominal refresh period in force at this edge.
+type EdgeListener func(now simtime.Time, seq uint64, period simtime.Duration)
+
+// Config describes a panel.
+type Config struct {
+	// Name labels the device, e.g. "Mate 60 Pro".
+	Name string
+	// RefreshHz is the initial refresh rate.
+	RefreshHz int
+	// Width, Height are panel dimensions in pixels.
+	Width, Height int
+	// JitterStdDev perturbs each edge by a zero-mean gaussian with this
+	// standard deviation, emulating oscillator noise. Zero disables jitter.
+	// Real panels exhibit tens of microseconds of jitter; this is what the
+	// DTV's periodic calibration (§5.1) exists to absorb.
+	JitterStdDev simtime.Duration
+	// JitterSeed seeds the jitter stream.
+	JitterSeed int64
+	// PeriodSkewPPM offsets the panel's true period from nominal in parts
+	// per million, emulating oscillator inaccuracy. The DTV's period
+	// calibration exists to learn this.
+	PeriodSkewPPM float64
+}
+
+// Panel is the screen model.
+type Panel struct {
+	cfg        Config
+	engine     *event.Engine
+	period     simtime.Duration // nominal period software queries
+	truePeriod simtime.Duration // actual oscillator period (skewed)
+	listeners  []EdgeListener
+	rng        *dist.RNG
+	seq        uint64
+	running    bool
+	nextID     event.ID
+	nextAt     simtime.Time // true (jitter-free) time of next edge
+	lastEdge   simtime.Time
+	edges      uint64
+}
+
+func skewed(nominal simtime.Duration, ppm float64) simtime.Duration {
+	return simtime.Duration(float64(nominal) * (1 + ppm/1e6))
+}
+
+// NewPanel creates a stopped panel bound to the engine.
+func NewPanel(e *event.Engine, cfg Config) *Panel {
+	if cfg.RefreshHz <= 0 {
+		panic(fmt.Sprintf("display: invalid refresh rate %d", cfg.RefreshHz))
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		cfg.Width, cfg.Height = 1080, 2340
+	}
+	nominal := simtime.PeriodForHz(cfg.RefreshHz)
+	return &Panel{
+		cfg:        cfg,
+		engine:     e,
+		period:     nominal,
+		truePeriod: skewed(nominal, cfg.PeriodSkewPPM),
+		rng:        dist.New(cfg.JitterSeed ^ 0x5ee4),
+	}
+}
+
+// OnEdge registers a listener for hardware VSync edges. Listeners fire in
+// registration order at PriorityHardware.
+func (p *Panel) OnEdge(l EdgeListener) { p.listeners = append(p.listeners, l) }
+
+// Start schedules the first edge at the given instant.
+func (p *Panel) Start(first simtime.Time) {
+	if p.running {
+		panic("display: panel already running")
+	}
+	p.running = true
+	p.nextAt = first
+	p.schedule(first)
+}
+
+func (p *Panel) schedule(nominal simtime.Time) {
+	at := nominal
+	if p.cfg.JitterStdDev > 0 && nominal > 0 {
+		j := simtime.Duration(float64(p.cfg.JitterStdDev) * p.rng.NormFloat64())
+		// Clamp to ±3σ and never before the previous edge.
+		j = simtime.Clamp(j, -3*p.cfg.JitterStdDev, 3*p.cfg.JitterStdDev)
+		at = nominal.Add(j)
+		if at <= p.lastEdge {
+			at = p.lastEdge + 1
+		}
+	}
+	if at < p.engine.Now() {
+		at = p.engine.Now()
+	}
+	p.nextID = p.engine.At(at, event.PriorityHardware, func(now simtime.Time) {
+		if !p.running {
+			return
+		}
+		p.lastEdge = now
+		p.edges++
+		seq := p.seq
+		p.seq++
+		p.nextAt = p.nextAt.Add(p.truePeriod)
+		p.schedule(p.nextAt)
+		for _, l := range p.listeners {
+			l(now, seq, p.period)
+		}
+	})
+}
+
+// Stop cancels the pending edge.
+func (p *Panel) Stop() {
+	if !p.running {
+		return
+	}
+	p.running = false
+	p.engine.Cancel(p.nextID)
+}
+
+// Period returns the current refresh period.
+func (p *Panel) Period() simtime.Duration { return p.period }
+
+// RefreshHz returns the current refresh rate.
+func (p *Panel) RefreshHz() int { return simtime.HzForPeriod(p.period) }
+
+// Edges returns how many edges have fired.
+func (p *Panel) Edges() uint64 { return p.edges }
+
+// LastEdge returns the time of the most recent edge.
+func (p *Panel) LastEdge() simtime.Time { return p.lastEdge }
+
+// NextEdgeAfter returns the nominal time of the first edge strictly after t.
+// It is the query the DTV uses to model the display ("the VSync period or
+// offsets are always available to query", §4.4).
+func (p *Panel) NextEdgeAfter(t simtime.Time) simtime.Time {
+	if !p.running {
+		return simtime.Never
+	}
+	if t < p.nextAt {
+		return p.nextAt
+	}
+	return simtime.AlignUp(t+1, p.period, p.nextAt)
+}
+
+// SetRefreshHz switches the panel refresh rate at the next edge (LTPO).
+// The pending edge keeps its old timing; edges after it use the new period.
+func (p *Panel) SetRefreshHz(hz int) {
+	if hz <= 0 {
+		panic(fmt.Sprintf("display: invalid refresh rate %d", hz))
+	}
+	p.period = simtime.PeriodForHz(hz)
+	p.truePeriod = skewed(p.period, p.cfg.PeriodSkewPPM)
+}
+
+// Name returns the configured device name.
+func (p *Panel) Name() string { return p.cfg.Name }
+
+// PixelsPerSecond returns width × height × refresh rate — the Figure 3
+// rendering-pressure metric.
+func (p *Panel) PixelsPerSecond() int64 {
+	return int64(p.cfg.Width) * int64(p.cfg.Height) * int64(p.RefreshHz())
+}

@@ -1,0 +1,197 @@
+// Package dist provides seeded random-number generation and the probability
+// distributions used by the workload generators.
+//
+// The paper's central empirical observation (§3, Figure 1) is that frame
+// rendering time follows a power-law-like distribution: the vast majority of
+// frames are short while a small heavy tail of key frames misses VSync
+// deadlines. The generators here compose a lognormal body with a Pareto tail
+// to reproduce that shape, with per-scenario calibration knobs.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with an explicit seed so every simulation is
+// reproducible and independent streams can be split deterministically.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns a deterministic RNG for the given seed.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream. The label decorrelates children
+// created from the same parent.
+func (g *RNG) Split(label string) *RNG {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for _, c := range label {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return New(h ^ g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// NormFloat64 returns a standard normal variate.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Sampler produces positive values (frame costs, gap times, …).
+type Sampler interface {
+	// Sample draws one value using the supplied RNG.
+	Sample(g *RNG) float64
+}
+
+// Constant always returns V.
+type Constant struct{ V float64 }
+
+// Sample implements Sampler.
+func (c Constant) Sample(*RNG) float64 { return c.V }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct{ Lo, Hi float64 }
+
+// Sample implements Sampler.
+func (u Uniform) Sample(g *RNG) float64 { return u.Lo + (u.Hi-u.Lo)*g.Float64() }
+
+// Normal draws from N(Mu, Sigma²) truncated at Min.
+type Normal struct {
+	Mu, Sigma float64
+	Min       float64
+}
+
+// Sample implements Sampler.
+func (n Normal) Sample(g *RNG) float64 {
+	v := n.Mu + n.Sigma*g.NormFloat64()
+	if v < n.Min {
+		v = n.Min
+	}
+	return v
+}
+
+// Lognormal draws from exp(N(Mu, Sigma²)). Mu and Sigma are parameters of
+// the underlying normal (i.e. of log X).
+type Lognormal struct{ Mu, Sigma float64 }
+
+// Sample implements Sampler.
+func (l Lognormal) Sample(g *RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*g.NormFloat64())
+}
+
+// Mean returns the analytic mean of the lognormal.
+func (l Lognormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+// LognormalFromMoments builds a Lognormal whose mean and standard deviation
+// match the given values.
+func LognormalFromMoments(mean, stddev float64) Lognormal {
+	if mean <= 0 {
+		panic(fmt.Sprintf("dist: non-positive lognormal mean %v", mean))
+	}
+	v := stddev * stddev
+	sigma2 := math.Log(1 + v/(mean*mean))
+	return Lognormal{
+		Mu:    math.Log(mean) - sigma2/2,
+		Sigma: math.Sqrt(sigma2),
+	}
+}
+
+// Pareto draws from a Pareto distribution with scale Xm and shape Alpha.
+// Smaller Alpha ⇒ heavier tail. Alpha ≤ 1 has infinite mean; workload
+// profiles use Alpha in (1.1, 4) to express how pathological an app's key
+// frames are.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample implements Sampler.
+func (p Pareto) Sample(g *RNG) float64 {
+	u := g.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mixture draws from one of several component samplers with the given
+// weights.
+type Mixture struct {
+	Weights    []float64
+	Components []Sampler
+	cum        []float64
+}
+
+// NewMixture validates and normalises the weights.
+func NewMixture(weights []float64, components []Sampler) *Mixture {
+	if len(weights) != len(components) || len(weights) == 0 {
+		panic("dist: mixture weights/components mismatch")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("dist: negative mixture weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("dist: zero total mixture weight")
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1
+	return &Mixture{Weights: weights, Components: components, cum: cum}
+}
+
+// Sample implements Sampler.
+func (m *Mixture) Sample(g *RNG) float64 {
+	u := g.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.Components[i].Sample(g)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(g)
+}
+
+// Clamped limits another sampler's output to [Lo, Hi].
+type Clamped struct {
+	S      Sampler
+	Lo, Hi float64
+}
+
+// Sample implements Sampler.
+func (c Clamped) Sample(g *RNG) float64 {
+	v := c.S.Sample(g)
+	if v < c.Lo {
+		return c.Lo
+	}
+	if v > c.Hi {
+		return c.Hi
+	}
+	return v
+}
+
+// Scaled multiplies another sampler's output by Factor.
+type Scaled struct {
+	S      Sampler
+	Factor float64
+}
+
+// Sample implements Sampler.
+func (s Scaled) Sample(g *RNG) float64 { return s.Factor * s.S.Sample(g) }

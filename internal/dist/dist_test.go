@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	g := New(1)
+	a := g.Split("ui")
+	g2 := New(1)
+	b := g2.Split("render")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams correlated: %d identical of 100", same)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	s := Constant{V: 3.5}
+	if got := s.Sample(New(1)); got != 3.5 {
+		t.Errorf("Constant = %v", got)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(7)
+	u := Uniform{Lo: 2, Hi: 5}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(g)
+		if v < 2 || v >= 5 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	g := New(9)
+	n := Normal{Mu: 0, Sigma: 10, Min: 0}
+	for i := 0; i < 1000; i++ {
+		if v := n.Sample(g); v < 0 {
+			t.Fatalf("normal below Min: %v", v)
+		}
+	}
+}
+
+func TestLognormalFromMoments(t *testing.T) {
+	mean, sd := 8.0, 3.0
+	l := LognormalFromMoments(mean, sd)
+	g := New(123)
+	n := 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := l.Sample(g)
+		if v <= 0 {
+			t.Fatal("lognormal produced non-positive value")
+		}
+		sum += v
+		sumsq += v * v
+	}
+	gotMean := sum / float64(n)
+	gotSD := math.Sqrt(sumsq/float64(n) - gotMean*gotMean)
+	if math.Abs(gotMean-mean) > 0.1 {
+		t.Errorf("empirical mean %v, want ≈%v", gotMean, mean)
+	}
+	if math.Abs(gotSD-sd) > 0.2 {
+		t.Errorf("empirical sd %v, want ≈%v", gotSD, sd)
+	}
+	if math.Abs(l.Mean()-mean) > 1e-9 {
+		t.Errorf("analytic mean %v, want %v", l.Mean(), mean)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	g := New(55)
+	p := Pareto{Xm: 10, Alpha: 2}
+	n := 100000
+	over20 := 0
+	for i := 0; i < n; i++ {
+		v := p.Sample(g)
+		if v < p.Xm {
+			t.Fatalf("pareto below scale: %v", v)
+		}
+		if v > 20 {
+			over20++
+		}
+	}
+	// P(X > 20) = (10/20)^2 = 0.25.
+	frac := float64(over20) / float64(n)
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("P(X>20) = %v, want ≈0.25", frac)
+	}
+}
+
+func TestParetoHeavierTailWithSmallerAlpha(t *testing.T) {
+	q := func(alpha float64) float64 {
+		g := New(99)
+		p := Pareto{Xm: 1, Alpha: alpha}
+		max := 0.0
+		for i := 0; i < 10000; i++ {
+			if v := p.Sample(g); v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	if q(1.2) <= q(3.5) {
+		t.Error("smaller alpha should produce heavier extremes")
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewMixture(
+		[]float64{0.9, 0.1},
+		[]Sampler{Constant{V: 1}, Constant{V: 100}},
+	)
+	g := New(4)
+	n := 100000
+	heavy := 0
+	for i := 0; i < n; i++ {
+		if m.Sample(g) == 100 {
+			heavy++
+		}
+	}
+	frac := float64(heavy) / float64(n)
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Errorf("heavy fraction %v, want ≈0.1", frac)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	for _, tc := range []struct {
+		w []float64
+		c []Sampler
+	}{
+		{nil, nil},
+		{[]float64{1}, []Sampler{Constant{}, Constant{}}},
+		{[]float64{-1, 2}, []Sampler{Constant{}, Constant{}}},
+		{[]float64{0, 0}, []Sampler{Constant{}, Constant{}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMixture(%v) should panic", tc.w)
+				}
+			}()
+			NewMixture(tc.w, tc.c)
+		}()
+	}
+}
+
+func TestClamped(t *testing.T) {
+	g := New(2)
+	c := Clamped{S: Pareto{Xm: 1, Alpha: 1.1}, Lo: 2, Hi: 5}
+	for i := 0; i < 1000; i++ {
+		v := c.Sample(g)
+		if v < 2 || v > 5 {
+			t.Fatalf("clamped out of range: %v", v)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{S: Constant{V: 3}, Factor: 2}
+	if got := s.Sample(New(1)); got != 6 {
+		t.Errorf("Scaled = %v", got)
+	}
+}
+
+// Property: all samplers produce finite values.
+func TestSamplersFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		g := New(seed)
+		samplers := []Sampler{
+			Uniform{Lo: 0, Hi: 10},
+			Normal{Mu: 5, Sigma: 2, Min: 0},
+			Lognormal{Mu: 1, Sigma: 0.5},
+			Pareto{Xm: 1, Alpha: 1.5},
+		}
+		for _, s := range samplers {
+			v := s.Sample(g)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package event implements the deterministic discrete-event engine that
+// drives every simulation in this repository.
+//
+// The engine maintains an agenda of timestamped events ordered by (time,
+// priority, sequence). Sequence numbers make scheduling fully deterministic:
+// two events at the same instant and priority fire in the order they were
+// scheduled, so repeated runs with the same seed produce identical traces.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dvsync/internal/simtime"
+)
+
+// Priority orders events that share a timestamp. Lower values fire first.
+// The bands mirror the hardware/software layering of a real rendering stack:
+// the panel latches before software reacts to the same VSync edge.
+type Priority int
+
+const (
+	// PriorityHardware is used by panel refresh / HW-VSync events.
+	PriorityHardware Priority = iota
+	// PrioritySignal is used by software VSync distribution.
+	PrioritySignal
+	// PriorityPipeline is used by pipeline stage completions.
+	PriorityPipeline
+	// PriorityInput is used by synthetic input delivery.
+	PriorityInput
+	// PriorityControl is used by controllers, calibration and bookkeeping.
+	PriorityControl
+)
+
+// Handler is the callback invoked when an event fires. now is the event's
+// timestamp, which is also the engine's current time for the duration of the
+// call.
+type Handler func(now simtime.Time)
+
+// ID identifies a scheduled event so it can be cancelled.
+type ID uint64
+
+type item struct {
+	at       simtime.Time
+	prio     Priority
+	seq      uint64
+	id       ID
+	fn       Handler
+	canceled bool
+	index    int
+}
+
+type agenda []*item
+
+func (a agenda) Len() int { return len(a) }
+
+func (a agenda) Less(i, j int) bool {
+	if a[i].at != a[j].at {
+		return a[i].at < a[j].at
+	}
+	if a[i].prio != a[j].prio {
+		return a[i].prio < a[j].prio
+	}
+	return a[i].seq < a[j].seq
+}
+
+func (a agenda) Swap(i, j int) {
+	a[i], a[j] = a[j], a[i]
+	a[i].index = i
+	a[j].index = j
+}
+
+func (a *agenda) Push(x any) {
+	it := x.(*item)
+	it.index = len(*a)
+	*a = append(*a, it)
+}
+
+func (a *agenda) Pop() any {
+	old := *a
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*a = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; simulations are deterministic sequential programs.
+type Engine struct {
+	now     simtime.Time
+	seq     uint64
+	nextID  ID
+	events  agenda
+	byID    map[ID]*item
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine positioned at t = 0 with an empty agenda.
+func NewEngine() *Engine {
+	return &Engine{byID: make(map[ID]*item)}
+}
+
+// Now returns the engine's current virtual time.
+func (e *Engine) Now() simtime.Time { return e.now }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.byID) }
+
+// Fired returns the total number of events dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at the given instant with the given priority.
+// Scheduling in the past is a programming error and panics.
+func (e *Engine) At(at simtime.Time, prio Priority, fn Handler) ID {
+	if at < e.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("event: nil handler")
+	}
+	e.nextID++
+	e.seq++
+	it := &item{at: at, prio: prio, seq: e.seq, id: e.nextID, fn: fn}
+	heap.Push(&e.events, it)
+	e.byID[it.id] = it
+	return it.id
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d simtime.Duration, prio Priority, fn Handler) ID {
+	if d < 0 {
+		panic(fmt.Sprintf("event: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), prio, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or unknown
+// ID is a no-op and returns false.
+func (e *Engine) Cancel(id ID) bool {
+	it, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	it.canceled = true
+	delete(e.byID, id)
+	return true
+}
+
+// Stop makes the current Run call return once the in-flight event handler
+// completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step dispatches the earliest event. It reports false when the agenda is
+// empty.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		it := heap.Pop(&e.events).(*item)
+		if it.canceled {
+			continue
+		}
+		delete(e.byID, it.id)
+		e.now = it.at
+		e.fired++
+		it.fn(it.at)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events in order until the agenda is empty, Stop is called,
+// or the next event would fire after the horizon. The engine's clock is left
+// at the last dispatched event (or at the horizon when it ends the run).
+func (e *Engine) Run(horizon simtime.Time) {
+	e.stopped = false
+	for !e.stopped {
+		next, ok := e.peekTime()
+		if !ok {
+			return
+		}
+		if next > horizon {
+			e.now = horizon
+			return
+		}
+		e.step()
+	}
+}
+
+// RunAll dispatches events until none remain or Stop is called.
+func (e *Engine) RunAll() { e.Run(simtime.Never) }
+
+func (e *Engine) peekTime() (simtime.Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}
+
+// NextEventTime returns the timestamp of the earliest pending event.
+func (e *Engine) NextEventTime() (simtime.Time, bool) { return e.peekTime() }
+
+// Ticker repeatedly schedules a handler at a fixed period. It is the
+// building block for VSync generation.
+type Ticker struct {
+	engine  *Engine
+	period  simtime.Duration
+	prio    Priority
+	fn      Handler
+	pending ID
+	active  bool
+	ticks   uint64
+}
+
+// NewTicker creates a stopped ticker; call Start to begin ticking.
+func NewTicker(e *Engine, period simtime.Duration, prio Priority, fn Handler) *Ticker {
+	if period <= 0 {
+		panic("event: non-positive ticker period")
+	}
+	return &Ticker{engine: e, period: period, prio: prio, fn: fn}
+}
+
+// Start schedules the first tick at the given instant. Starting an active
+// ticker panics: callers must stop it first.
+func (t *Ticker) Start(first simtime.Time) {
+	if t.active {
+		panic("event: ticker already active")
+	}
+	t.active = true
+	t.schedule(first)
+}
+
+func (t *Ticker) schedule(at simtime.Time) {
+	t.pending = t.engine.At(at, t.prio, func(now simtime.Time) {
+		if !t.active {
+			return
+		}
+		t.ticks++
+		// Schedule the successor before running the handler so the handler
+		// may adjust the period (LTPO) and see a consistent "next" slot.
+		t.schedule(now.Add(t.period))
+		t.fn(now)
+	})
+}
+
+// Stop cancels any pending tick.
+func (t *Ticker) Stop() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.engine.Cancel(t.pending)
+}
+
+// SetPeriod changes the tick period. The change takes effect for ticks
+// scheduled after the currently pending one, or immediately via Reschedule.
+func (t *Ticker) SetPeriod(p simtime.Duration) {
+	if p <= 0 {
+		panic("event: non-positive ticker period")
+	}
+	t.period = p
+}
+
+// Period returns the current tick period.
+func (t *Ticker) Period() simtime.Duration { return t.period }
+
+// Ticks returns the number of ticks fired since Start.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Active reports whether the ticker is running.
+func (t *Ticker) Active() bool { return t.active }
+
+// Reschedule cancels the pending tick and schedules the next one at the
+// given instant. Used when a display changes refresh rate mid-stream.
+func (t *Ticker) Reschedule(next simtime.Time) {
+	if !t.active {
+		panic("event: reschedule of stopped ticker")
+	}
+	t.engine.Cancel(t.pending)
+	t.schedule(next)
+}

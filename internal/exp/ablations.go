@@ -1,0 +1,350 @@
+package exp
+
+import (
+	"math"
+	"strconv"
+
+	"dvsync/internal/anim"
+	"dvsync/internal/buffer"
+	"dvsync/internal/core"
+	"dvsync/internal/input"
+	"dvsync/internal/ipl"
+	"dvsync/internal/report"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// Ablation studies for the design choices DESIGN.md calls out. These go
+// beyond the paper's figures: they quantify *why* each mechanism is
+// configured the way it is.
+
+// PreRenderLimitResult sweeps the §4.5 pre-rendering limit API at a fixed
+// buffer count.
+type PreRenderLimitResult struct {
+	Table *report.Table
+	// FDPS maps limit → frame drops per second.
+	FDPS map[int]float64
+	// LatencyMs maps limit → mean rendering latency.
+	LatencyMs map[int]float64
+}
+
+// AblatePreRenderLimit holds the pool at 5 buffers and sweeps the
+// pre-render limit 1..4: the knob a decoupling-aware app uses to balance
+// performance and memory/recency (§4.5 API #2).
+func AblatePreRenderLimit() *PreRenderLimitResult {
+	res := &PreRenderLimitResult{
+		Table: &report.Table{
+			Title:   "Ablation — pre-render limit at fixed 5-buffer pool (Pixel 5, moderate app)",
+			Note:    "limit 1 ≈ conventional pacing; larger limits buy jank absorption",
+			Columns: []string{"pre-render limit", "FDPS", "mean latency (ms)", "FPE sync blocks"},
+		},
+		FDPS:      map[int]float64{},
+		LatencyMs: map[int]float64{},
+	}
+	dev := scenarios.Pixel5
+	p := scenarios.BaseProfile("ablate-limit", dev, scenarios.Moderate, workload.Deterministic)
+	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
+	for limit := 1; limit <= 4; limit++ {
+		r := sim.Run(sim.Config{
+			Mode: sim.ModeDVSync, Panel: dev.Panel(), Buffers: 5,
+			PreRenderLimit: limit, Trace: tr,
+		})
+		res.FDPS[limit] = r.FDPS()
+		res.LatencyMs[limit] = r.LatencySummary().Mean
+		res.Table.AddRow(strconv.Itoa(limit), r.FDPS(), r.LatencySummary().Mean,
+			strconv.Itoa(r.FPESyncBlocks))
+	}
+	return res
+}
+
+// DTVCalibrationResult compares DTV error with calibration intervals on a
+// jittered, skewed panel (§5.1's error-accumulation claim).
+type DTVCalibrationResult struct {
+	Table *report.Table
+	// MeanAbsErrMs maps calibration interval (0 = off) → DTV error.
+	MeanAbsErrMs map[int]float64
+}
+
+// AblateDTVCalibration runs D-VSync on a panel with 80 µs edge jitter and
+// a 300 ppm oscillator skew, sweeping how often DTV recalibrates.
+func AblateDTVCalibration() *DTVCalibrationResult {
+	res := &DTVCalibrationResult{
+		Table: &report.Table{
+			Title:   "Ablation — DTV calibration interval (80 µs jitter, 300 ppm skew panel)",
+			Note:    "0 = calibration disabled: the virtual clock drifts off the real panel",
+			Columns: []string{"calibrate every N edges", "mean |error| (ms)", "max |error| (ms)"},
+		},
+		MeanAbsErrMs: map[int]float64{},
+	}
+	dev := scenarios.Pixel5
+	p := scenarios.BaseProfile("ablate-dtv", dev, scenarios.Scattered, workload.Deterministic)
+	p.LongRatio = 0.02
+	tr := p.Generate(1500, Seed)
+	panel := dev.Panel()
+	panel.JitterStdDev = simtime.FromMicros(80)
+	panel.JitterSeed = 11
+	panel.PeriodSkewPPM = 300
+	for _, every := range []int{2, 4, 16, 64, 0} {
+		cfg := core.DTVConfig{CalibrateEvery: every, PeriodSmoothing: 0.25}
+		if every == 0 {
+			cfg.CalibrateEvery = 1 << 30 // effectively never
+		}
+		r := sim.Run(sim.Config{
+			Mode: sim.ModeDVSync, Panel: panel, Buffers: 5, Trace: tr, DTV: cfg,
+		})
+		res.MeanAbsErrMs[every] = r.DTVMeanAbsErrMs
+		label := strconv.Itoa(every)
+		if every == 0 {
+			label = "off"
+		}
+		res.Table.AddRow(label, r.DTVMeanAbsErrMs, r.DTVMaxAbsErrMs)
+	}
+	return res
+}
+
+// IPLPredictorResult compares IPL predictors on the evaluated gestures.
+type IPLPredictorResult struct {
+	Table *report.Table
+	// ErrPx maps predictor name → mean |prediction − truth| in px at a
+	// 3-period horizon.
+	ErrPx map[string]float64
+}
+
+// AblateIPLPredictors measures prediction error of last-value (no IPL),
+// linear (the paper's ZDP) and quadratic fits across swipe, fling and
+// pinch trajectories at the D-Timestamp horizon D-VSync actually uses.
+func AblateIPLPredictors() *IPLPredictorResult {
+	res := &IPLPredictorResult{
+		Table: &report.Table{
+			Title:   "Ablation — IPL predictors at a 3-period (50 ms) horizon, 120 Hz digitizer",
+			Columns: []string{"gesture", "last-value (px)", "linear/ZDP (px)", "quadratic (px)", "kalman (px)"},
+		},
+		ErrPx: map[string]float64{},
+	}
+	horizon := 3 * simtime.PeriodForHz(60)
+	gestures := []struct {
+		name string
+		traj input.Trajectory
+	}{
+		{"swipe 1500 px/s", input.Swipe{Velocity: 1500, Duration: simtime.FromSeconds(1)}},
+		{"fling (decelerating)", input.Fling{Velocity: 2500, DownFor: simtime.FromMillis(200),
+			Friction: 3, Settle: simtime.FromMillis(800)}},
+		{"pinch with tremor", input.Pinch{StartDistance: 200, RatePxPerSec: 350,
+			TremorAmp: 5, TremorHz: 7, Duration: simtime.FromSeconds(1)}},
+	}
+	predictors := []struct {
+		name string
+		p    core.InputPredictor
+	}{
+		{"last", ipl.LastValue{}},
+		{"linear", ipl.Linear{}},
+		{"quadratic", ipl.Quadratic{}},
+		{"kalman", ipl.Kalman{}},
+	}
+	for _, g := range gestures {
+		samples := coreSamples(input.Digitizer{RateHz: 120}.Samples(g.traj))
+		errs := map[string]float64{}
+		for _, pr := range predictors {
+			var sum float64
+			var n int
+			for ms := 150.0; ; ms += 25 {
+				now := simtime.Time(simtime.FromMillis(ms))
+				target := now.Add(horizon)
+				if target > g.traj.End() {
+					break
+				}
+				got := pr.p.Predict(coreHistory(samples, now), target)
+				sum += math.Abs(got - g.traj.Value(target))
+				n++
+			}
+			errs[pr.name] = sum / float64(n)
+			res.ErrPx[g.name+"/"+pr.name] = errs[pr.name]
+		}
+		res.Table.AddRow(g.name, errs["last"], errs["linear"], errs["quadratic"], errs["kalman"])
+	}
+	return res
+}
+
+// PipelineDepthResult sweeps the classic VSync pipeline-depth cap.
+type PipelineDepthResult struct {
+	Table *report.Table
+	// FDPS and LatencyMs map depth → baseline behaviour.
+	FDPS, LatencyMs map[int]float64
+}
+
+// AblateVSyncPipelineDepth shows why the baseline models depth 2: depth 1
+// double-buffers (janky), depth ≥3 turns the baseline into an accidental
+// accumulator with ever-higher latency (the trade the paper's Figure 2
+// architecture actually makes).
+func AblateVSyncPipelineDepth() *PipelineDepthResult {
+	res := &PipelineDepthResult{
+		Table: &report.Table{
+			Title:   "Ablation — classic VSync pipeline depth (Pixel 5, moderate app, 5-buffer pool)",
+			Note:    "depth 2 reproduces the measured devices; deeper = stale accumulation",
+			Columns: []string{"pipeline depth", "FDPS", "mean latency (ms)"},
+		},
+		FDPS:      map[int]float64{},
+		LatencyMs: map[int]float64{},
+	}
+	dev := scenarios.Pixel5
+	p := scenarios.BaseProfile("ablate-depth", dev, scenarios.Moderate, workload.Deterministic)
+	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
+	for depth := 1; depth <= 4; depth++ {
+		r := sim.Run(sim.Config{
+			Mode: sim.ModeVSync, Panel: dev.Panel(), Buffers: 5,
+			VSyncPipelineDepth: depth, Trace: tr,
+		})
+		res.FDPS[depth] = r.FDPS()
+		res.LatencyMs[depth] = r.LatencySummary().Mean
+		res.Table.AddRow(strconv.Itoa(depth), r.FDPS(), r.LatencySummary().Mean)
+	}
+	return res
+}
+
+// PacingResult quantifies the §4.4 DTV correctness guarantee.
+type PacingResult struct {
+	Table *report.Table
+	// WithDTV / WithExecTime are max pacing errors (normalised progress)
+	// when sampling the animation at the D-Timestamp vs. at the execution
+	// time.
+	WithDTV, WithExecTime float64
+}
+
+// AblateDTVPacing pre-renders an app-opening animation and compares the
+// on-screen motion uniformity when frames sample the curve at their
+// D-Timestamp (DTV, correct) versus at their execution time (naive): the
+// naive variant visibly runs fast during accumulation and stalls on long
+// frames — the artifact DTV exists to prevent.
+func AblateDTVPacing() *PacingResult {
+	res := &PacingResult{Table: &report.Table{
+		Title:   "Ablation — animation pacing with and without the DTV timestamp (§4.4)",
+		Columns: []string{"sampling basis", "max pacing error", "RMS pacing error"},
+	}}
+	dev := scenarios.Pixel5
+	p := scenarios.BaseProfile("ablate-pacing", dev, scenarios.Moderate, workload.Deterministic)
+	tr := CalibrateFDPS(p, 120, dev, dev.Buffers, 2.0, Seed)
+	a := &anim.Animation{
+		Name: "app-open", Curve: anim.EaseInOut{},
+		Start: 0, Duration: 2 * simtime.Second, From: 0, To: 1000,
+	}
+	run := func(useDTV bool) anim.PacingReport {
+		r := sim.Run(sim.Config{
+			Mode: sim.ModeDVSync, Panel: dev.Panel(), Buffers: 5, Trace: tr,
+			ContentSample: func(f *buffer.Frame, now simtime.Time) {
+				basis := f.DTimestamp
+				if !useDTV {
+					basis = now
+				}
+				f.ContentValue = a.SampleAt(basis)
+			},
+		})
+		var at []simtime.Time
+		var vals []float64
+		for _, f := range r.Presented {
+			at = append(at, f.PresentAt)
+			vals = append(vals, f.ContentValue)
+		}
+		return a.Pacing(at, vals)
+	}
+	dtv := run(true)
+	naive := run(false)
+	res.WithDTV, res.WithExecTime = dtv.MaxAbsError, naive.MaxAbsError
+	res.Table.AddRow("D-Timestamp (DTV)", dtv.MaxAbsError, dtv.RMSError)
+	res.Table.AddRow("execution time (naive)", naive.MaxAbsError, naive.RMSError)
+	return res
+}
+
+// ConsumerPolicyResult compares the FIFO queue discipline against
+// SurfaceFlinger-style stale dropping under both architectures.
+type ConsumerPolicyResult struct {
+	Table *report.Table
+	// Rows maps "mode/policy" → (FDPS, latency ms, frames discarded).
+	Rows map[string][3]float64
+}
+
+// AblateConsumerPolicy shows why D-VSync pins FIFO consumption (§4.4): a
+// stale-dropping consumer trims the VSync path's post-jank latency, but
+// under D-VSync it throws away the accumulated cushion — wasted rendering
+// with no smoothness to show for it.
+func AblateConsumerPolicy() *ConsumerPolicyResult {
+	res := &ConsumerPolicyResult{
+		Table: &report.Table{
+			Title:   "Ablation — consumer policy: FIFO vs drop-stale (Pixel 5, moderate app)",
+			Columns: []string{"architecture", "consumer", "FDPS", "latency (ms)", "frames discarded"},
+		},
+		Rows: map[string][3]float64{},
+	}
+	dev := scenarios.Pixel5
+	p := scenarios.BaseProfile("ablate-consumer", dev, scenarios.Moderate, workload.Deterministic)
+	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
+	for _, mode := range []sim.Mode{sim.ModeVSync, sim.ModeDVSync} {
+		for _, drop := range []bool{false, true} {
+			buffers := 3
+			if mode == sim.ModeDVSync {
+				buffers = 4
+			}
+			r := sim.Run(sim.Config{
+				Mode: mode, Panel: dev.Panel(), Buffers: buffers,
+				Trace: tr, DropStaleBuffers: drop,
+			})
+			policy := "FIFO"
+			if drop {
+				policy = "drop-stale"
+			}
+			key := mode.String() + "/" + policy
+			res.Rows[key] = [3]float64{r.FDPS(), r.LatencySummary().Mean, float64(r.StaleDropped)}
+			res.Table.AddRow(mode.String(), policy, r.FDPS(), r.LatencySummary().Mean,
+				strconv.Itoa(r.StaleDropped))
+		}
+	}
+	return res
+}
+
+// AppOffsetResult sweeps the software VSync-app offset.
+type AppOffsetResult struct {
+	Table *report.Table
+	// FDPS and InputAgeMs map offset (as a fraction of the period) to the
+	// drop rate and the input-to-photon staleness.
+	FDPS, InputAgeMs map[int]float64
+}
+
+// AblateAppOffset sweeps the classic Android tuning knob: the VSync-app
+// software offset. Triggering the UI later in the period samples fresher
+// input (lower input-to-photon age) but shrinks the frame's deadline, so
+// drops rise — the trade-off D-VSync sidesteps by decoupling execution
+// from the display clock entirely.
+func AblateAppOffset() *AppOffsetResult {
+	res := &AppOffsetResult{
+		Table: &report.Table{
+			Title:   "Ablation — VSync-app offset (classic VSync, Pixel 5, moderate app)",
+			Note:    "later triggers = fresher input but tighter deadlines; D-VSync escapes the trade",
+			Columns: []string{"offset (% of period)", "FDPS", "input age at photon (ms)"},
+		},
+		FDPS:       map[int]float64{},
+		InputAgeMs: map[int]float64{},
+	}
+	dev := scenarios.Pixel5
+	period := dev.Period()
+	p := scenarios.BaseProfile("ablate-offset", dev, scenarios.Moderate, workload.Deterministic)
+	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
+	for _, pct := range []int{0, 20, 40, 60} {
+		off := simtime.Duration(int64(period) * int64(pct) / 100)
+		r := sim.Run(sim.Config{
+			Mode: sim.ModeVSync, Panel: dev.Panel(), Buffers: dev.Buffers,
+			Trace: tr, AppOffset: off,
+		})
+		// Input age = present − trigger: triggering later in the period
+		// trims the age by the offset.
+		var age float64
+		for _, f := range r.Presented {
+			age += f.PresentAt.Sub(f.UIStart).Milliseconds()
+		}
+		age /= float64(len(r.Presented))
+		res.FDPS[pct] = r.FDPS()
+		res.InputAgeMs[pct] = age
+		res.Table.AddRow(strconv.Itoa(pct)+"%", r.FDPS(), age)
+	}
+	return res
+}

@@ -1,0 +1,202 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§3 and §6) from simulation.
+//
+// Methodology. The paper measured its VSync baselines on real devices; a
+// simulator cannot derive those absolute numbers from first principles.
+// Each scenario therefore carries the paper's measured baseline as a
+// *calibration target*: the harness scales the scenario's workload until
+// the simulated conventional-VSync system reproduces that baseline, then
+// runs D-VSync (and buffer sweeps, latency measurements, …) on the exact
+// same calibrated workload. Every D-VSync-side number is thus an output of
+// the mechanism under test, never a transcribed constant.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/workload"
+)
+
+// Seed is the master seed for all synthesised workloads; experiments are
+// fully deterministic.
+const Seed int64 = 20250330
+
+// VSyncRun simulates the conventional architecture.
+func VSyncRun(tr *workload.Trace, dev scenarios.Device, buffers int) *sim.Result {
+	return sim.Run(sim.Config{
+		Mode:    sim.ModeVSync,
+		Panel:   dev.Panel(),
+		Buffers: buffers,
+		Trace:   tr,
+	})
+}
+
+// DVSyncRun simulates D-VSync with the given queue size. For Interactive
+// workloads the decoupling-aware channel is enabled with the supplied
+// predictor (nil leaves interactive frames on the VSync path).
+func DVSyncRun(tr *workload.Trace, dev scenarios.Device, buffers int, cfg ...func(*sim.Config)) *sim.Result {
+	c := sim.Config{
+		Mode:    sim.ModeDVSync,
+		Panel:   dev.Panel(),
+		Buffers: buffers,
+		Trace:   tr,
+	}
+	for _, f := range cfg {
+		f(&c)
+	}
+	return sim.Run(c)
+}
+
+// Replicas is the number of measurement runs averaged per scenario,
+// following the paper's methodology: "Averages are derived from five runs
+// to mitigate fluctuations" (Appendix A.2). Replicas share the calibrated
+// workload parameters but draw independent frame sequences.
+const Replicas = 5
+
+// calibration is the tuned workload parameterisation for one scenario.
+type calibration struct {
+	ratio float64 // key-frame rate (Profile.LongRatio)
+	scale float64 // cost multiplier (1 unless the rate ceiling was hit)
+}
+
+// calibCache memoises calibrations: several experiments (Figures 5, 6, 15,
+// §6.7) reuse the same scenario sets, and calibration dominates their cost.
+var calibCache sync.Map // string → calibration
+
+func calibKey(p workload.Profile, frames int, dev scenarios.Device, buffers int,
+	target float64, seed int64) string {
+	return fmt.Sprintf("%+v|%d|%s|%d|%g|%d", p, frames, dev.Name, buffers, target, seed)
+}
+
+// calibrateParams tunes the profile until the simulated VSync baseline FDPS
+// matches the paper's measured target.
+//
+// The primary knob is the key-frame rate (Profile.LongRatio): frame drops
+// on real devices come from how often heavy key frames occur, not from the
+// whole workload scaling up (§3's power-law characterisation keeps the
+// short-frame body well under the period). If even a high key-frame rate
+// cannot reach the target — very hot cases — a secondary cost-scale search
+// takes over with the rate pinned at its ceiling.
+func calibrateParams(p workload.Profile, frames int, dev scenarios.Device, buffers int,
+	target float64, seed int64) calibration {
+	if target <= 0 {
+		return calibration{ratio: 0.01, scale: 1}
+	}
+	key := calibKey(p, frames, dev, buffers, target, seed)
+	if c, ok := calibCache.Load(key); ok {
+		return c.(calibration)
+	}
+	c := calibrateParamsUncached(p, frames, dev, buffers, target, seed)
+	calibCache.Store(key, c)
+	return c
+}
+
+func calibrateParamsUncached(p workload.Profile, frames int, dev scenarios.Device, buffers int,
+	target float64, seed int64) calibration {
+	const maxRatio = 0.30
+	// The search matches the *replica mean* — the quantity the experiments
+	// report — so the five-run averages land on the measured baselines.
+	measureRatio := func(ratio float64) float64 {
+		q := p
+		q.LongRatio = ratio
+		var sum float64
+		for i := int64(0); i < Replicas; i++ {
+			sum += VSyncRun(q.Generate(frames, seed+i), dev, buffers).FDPS()
+		}
+		return sum / Replicas
+	}
+	if measureRatio(maxRatio) >= target {
+		ratio := bisect(measureRatio, target, 0.002, maxRatio)
+		return calibration{ratio: ratio, scale: 1}
+	}
+	// Rate ceiling insufficient: scale costs on top.
+	q := p
+	q.LongRatio = maxRatio
+	bases := make([]*workload.Trace, Replicas)
+	for i := range bases {
+		bases[i] = q.Generate(frames, seed+int64(i))
+	}
+	measureScale := func(s float64) float64 {
+		var sum float64
+		for _, b := range bases {
+			sum += VSyncRun(b.Scale(s), dev, buffers).FDPS()
+		}
+		return sum / Replicas
+	}
+	scale := bisect(measureScale, target, 1.0, 6.0)
+	return calibration{ratio: maxRatio, scale: scale}
+}
+
+func (c calibration) trace(p workload.Profile, frames int, seed int64) *workload.Trace {
+	p.LongRatio = c.ratio
+	tr := p.Generate(frames, seed)
+	if c.scale != 1 {
+		tr = tr.Scale(c.scale)
+	}
+	return tr
+}
+
+// CalibrateFDPS calibrates the profile to the target baseline and returns
+// the seed trace.
+func CalibrateFDPS(p workload.Profile, frames int, dev scenarios.Device, buffers int,
+	target float64, seed int64) *workload.Trace {
+	return calibrateParams(p, frames, dev, buffers, target, seed).trace(p, frames, seed)
+}
+
+// CalibrateReplicas calibrates the profile and returns Replicas independent
+// traces drawn from the tuned parameters (seed, seed+1, …).
+func CalibrateReplicas(p workload.Profile, frames int, dev scenarios.Device, buffers int,
+	target float64, seed int64) []*workload.Trace {
+	c := calibrateParams(p, frames, dev, buffers, target, seed)
+	out := make([]*workload.Trace, Replicas)
+	for i := range out {
+		out[i] = c.trace(p, frames, seed+int64(i))
+	}
+	return out
+}
+
+// avgFDPS measures mean FDPS across replica traces.
+func avgFDPS(traces []*workload.Trace, run func(*workload.Trace) *sim.Result) float64 {
+	var sum float64
+	for _, tr := range traces {
+		sum += run(tr).FDPS()
+	}
+	return sum / float64(len(traces))
+}
+
+// bisect finds x in [lo, hi] where measure(x) ≈ target (measure monotone
+// non-decreasing up to simulation noise).
+func bisect(measure func(float64) float64, target, lo, hi float64) float64 {
+	for i := 0; i < 26; i++ {
+		mid := (lo + hi) / 2
+		if measure(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Average returns the arithmetic mean.
+func Average(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Reduction returns the percentage reduction from a to b.
+func Reduction(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 100 * (a - b) / a
+}

@@ -1,0 +1,439 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dvsync/internal/scenarios"
+	"dvsync/internal/workload"
+)
+
+// These tests assert the *shape* of every reproduced result against the
+// paper: who wins, by roughly what factor, and where the outliers fall.
+// Absolute tolerances are deliberately loose — the substrate is a
+// simulator, not the authors' testbed (see EXPERIMENTS.md).
+
+func TestCalibrationHitsTarget(t *testing.T) {
+	for _, target := range []float64{0.5, 2, 8, 22} {
+		p := scenarios.BaseProfile("cal", scenarios.Mate60Pro, scenarios.Moderate,
+			workload.Deterministic)
+		reps := CalibrateReplicas(p, 600, scenarios.Mate60Pro, 4, target, Seed)
+		var got float64
+		for _, tr := range reps {
+			got += VSyncRun(tr, scenarios.Mate60Pro, 4).FDPS()
+		}
+		got /= float64(len(reps))
+		if math.Abs(got-target) > 0.25*target+0.3 {
+			t.Errorf("target %v: calibrated replica-mean baseline %v", target, got)
+		}
+	}
+}
+
+func TestCalibrationZeroTarget(t *testing.T) {
+	p := scenarios.BaseProfile("cal0", scenarios.Pixel5, scenarios.Scattered,
+		workload.Deterministic)
+	tr := CalibrateFDPS(p, 400, scenarios.Pixel5, 3, 0, Seed)
+	if got := VSyncRun(tr, scenarios.Pixel5, 3).FDPS(); got > 0.7 {
+		t.Errorf("zero-target calibration produced FDPS %v", got)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := Fig11()
+	// Paper: 2.04 → 0.58 / 0.25 / 0.06 (71.6 % / 87.7 % / ~97 %).
+	if math.Abs(r.AvgBaseline-2.04) > 0.15 {
+		t.Errorf("baseline avg %v, want ≈2.04", r.AvgBaseline)
+	}
+	red := r.Reductions()
+	if red[4] < 55 || red[4] > 85 {
+		t.Errorf("4-buffer reduction %v%%, paper 71.6%%", red[4])
+	}
+	if red[5] < 75 || red[5] > 95 {
+		t.Errorf("5-buffer reduction %v%%, paper 87.7%%", red[5])
+	}
+	if red[7] < 88 {
+		t.Errorf("7-buffer reduction %v%%, paper ≈97%%", red[7])
+	}
+	if !(r.AvgDVSync[4] > r.AvgDVSync[5] && r.AvgDVSync[5] > r.AvgDVSync[7]) {
+		t.Error("more buffers must eliminate more drops")
+	}
+	// §6.1's analysis: Walmart fully fixed, QQMusic resists even 7 buffers.
+	var walmart, qqmusic FDPSRow
+	for _, row := range r.Rows {
+		switch row.Name {
+		case "Walmart":
+			walmart = row
+		case "QQMusic":
+			qqmusic = row
+		}
+	}
+	if walmart.DVSync[5] > 0.25*walmart.Baseline {
+		t.Errorf("Walmart should be nearly eliminated at 5 buffers: %v of %v",
+			walmart.DVSync[5], walmart.Baseline)
+	}
+	if qqmusic.DVSync[7] < 0.3*qqmusic.Baseline {
+		t.Errorf("QQMusic should resist even 7 buffers: %v of %v",
+			qqmusic.DVSync[7], qqmusic.Baseline)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12()
+	if math.Abs(r.AvgBaseline-scenarios.PaperFig12[0]) > 1.0 {
+		t.Errorf("baseline avg %v, paper %v", r.AvgBaseline, scenarios.PaperFig12[0])
+	}
+	if red := r.Reductions()[4]; red < 65 || red > 95 {
+		t.Errorf("reduction %v%%, paper 83.5%%", red)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	a := Fig13Mate40()
+	if red := a.Reductions()[4]; red < 50 || red > 88 {
+		t.Errorf("Mate 40 reduction %v%%, paper 69.4%%", red)
+	}
+	b := Fig13Mate60()
+	if red := b.Reductions()[4]; red < 48 || red > 85 {
+		t.Errorf("Mate 60 reduction %v%%, paper 66.4%%", red)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := Fig14()
+	if math.Abs(r.AvgBaseline-0.79) > 0.12 {
+		t.Errorf("games baseline %v, paper 0.79", r.AvgBaseline)
+	}
+	red := r.Reductions()
+	if red[4] < 45 || red[5] < 70 {
+		t.Errorf("reductions 4:%v%% 5:%v%%, paper 68.4%%/87.3%%", red[4], red[5])
+	}
+	if red[5] <= red[4] {
+		t.Error("5 buffers must beat 4")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := Fig15()
+	paper := map[string][2]float64{
+		"Google Pixel 5": {45.8, 31.2},
+		"Mate 40 Pro":    {32.2, 22.3},
+		"Mate 60 Pro":    {24.2, 16.8},
+	}
+	for dev, want := range paper {
+		got := r.Rows[dev]
+		// Baselines should land within ~20 % of the measured devices.
+		if math.Abs(got[0]-want[0]) > 0.2*want[0] {
+			t.Errorf("%s VSync latency %v, paper %v", dev, got[0], want[0])
+		}
+		red := Reduction(got[0], got[1])
+		if red < 22 || red > 42 {
+			t.Errorf("%s latency reduction %v%%, paper ≈31%%", dev, red)
+		}
+	}
+	// Higher refresh rate ⇒ lower absolute latency (period-scaled).
+	if !(r.Rows["Google Pixel 5"][0] > r.Rows["Mate 40 Pro"][0] &&
+		r.Rows["Mate 40 Pro"][0] > r.Rows["Mate 60 Pro"][0]) {
+		t.Error("latency should fall with refresh rate")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r := Fig6()
+	// Figure 6: "most frames wait inside the buffer queue" — stuffing
+	// dominates direct composition.
+	if r.StuffedShare < 0.5 {
+		t.Errorf("stuffed share %v, paper shows stuffing dominant", r.StuffedShare)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := Fig7()
+	if r.MaxDisplacementPx < 250 || r.MaxDisplacementPx > 600 {
+		t.Errorf("max displacement %v px, paper ≈400 px", r.MaxDisplacementPx)
+	}
+	if len(r.Table.Rows) != 17 {
+		t.Errorf("rows = %d, figure shows 17 frames", len(r.Table.Rows))
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	r := Fig1()
+	if r.WithinOnePeriod < 0.72 || r.WithinOnePeriod > 0.85 {
+		t.Errorf("within one period %v, paper 78.3%%", r.WithinOnePeriod)
+	}
+	if r.BeyondTriple < 0.01 || r.BeyondTriple > 0.08 {
+		t.Errorf("beyond triple buffering %v, paper ≈5%%", r.BeyondTriple)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := Fig9()
+	if math.Abs(r.DecoupledShareOblivious-0.85) > 0.02 {
+		t.Errorf("oblivious share %v, want 0.85", r.DecoupledShareOblivious)
+	}
+	if math.Abs(r.DecoupledShareAware-0.95) > 0.02 {
+		t.Errorf("aware share %v, want 0.95", r.DecoupledShareAware)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := Fig10()
+	if r.VSyncJanks < 2 {
+		t.Errorf("VSync janks %d, Figure 10a shows a run of janks", r.VSyncJanks)
+	}
+	if r.DVSyncJanks != 0 {
+		t.Errorf("D-VSync janks %d, Figure 10b is perfectly smooth", r.DVSyncJanks)
+	}
+	if !strings.Contains(r.Timeline, "J") {
+		t.Error("timeline should show the janks")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r := Fig16()
+	if r.DVSyncFDPS > 0.25*r.BaselineFDPS {
+		t.Errorf("map app FDPS %v of %v; paper eliminates 100%%", r.DVSyncFDPS, r.BaselineFDPS)
+	}
+	if r.LatencyReductionPct < 22 || r.LatencyReductionPct > 42 {
+		t.Errorf("latency reduction %v%%, paper 30.2%%", r.LatencyReductionPct)
+	}
+	if r.ZDPMeanNs <= 0 || r.ZDPMeanNs > 151_600 {
+		t.Errorf("ZDP cost %v ns; must be positive and below the paper's Java 151.6 µs", r.ZDPMeanNs)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2()
+	if r.AvgReductionPct < 55 || r.AvgReductionPct > 95 {
+		t.Errorf("stutter reduction %v%%, paper 72.3%%", r.AvgReductionPct)
+	}
+	// The shopping task resists (paper: 7 %); the news tasks nearly vanish.
+	shop := r.Rows["shopping-products"]
+	if shop[1] < shop[0]/3 {
+		t.Errorf("shopping task should resist: %d → %d", shop[0], shop[1])
+	}
+	news := r.Rows["cold-start-news-swipe"]
+	if news[1] > news[0]/3 {
+		t.Errorf("news task should nearly vanish: %d → %d", news[0], news[1])
+	}
+}
+
+func TestChromiumShape(t *testing.T) {
+	r := Chromium()
+	if math.Abs(r.AvgBaseline-1.47) > 0.25 {
+		t.Errorf("baseline %v, paper 1.47", r.AvgBaseline)
+	}
+	if red := r.Reductions()[4]; red < 80 {
+		t.Errorf("reduction %v%%, paper 94.3%%", red)
+	}
+}
+
+func TestPowerShape(t *testing.T) {
+	r := Power()
+	if r.EnergyIncreasePct <= 0 || r.EnergyIncreasePct > 1.5 {
+		t.Errorf("energy increase %v%%, paper 0.13–0.37%%", r.EnergyIncreasePct)
+	}
+	if r.EnergyIncreaseZDPPct < r.EnergyIncreasePct {
+		t.Error("ZDP must cost extra energy")
+	}
+	if math.Abs(r.InstrIncreasePct-0.52) > 0.3 {
+		t.Errorf("instruction increase %v%%, paper 0.52%%", r.InstrIncreasePct)
+	}
+	if math.Abs(r.InstrVSyncM-10.793) > 2.5 {
+		t.Errorf("per-frame instructions %vM, paper 10.793M", r.InstrVSyncM)
+	}
+}
+
+func TestCostsShape(t *testing.T) {
+	r := Costs()
+	if r.OverheadPerFrameUs != 102.6 {
+		t.Errorf("overhead %v µs, paper 102.6 µs", r.OverheadPerFrameUs)
+	}
+	if r.OverheadShareOfPeriod > 0.02 {
+		t.Errorf("overhead share %v, paper ≈1.2%% of a 120 Hz period", r.OverheadShareOfPeriod)
+	}
+	if r.AndroidExtraMB < 8 || r.AndroidExtraMB > 12 {
+		t.Errorf("Android extra memory %v MB, paper ≈10 MB", r.AndroidExtraMB)
+	}
+	if r.OHExtraMB != 0 {
+		t.Errorf("OpenHarmony extra memory %v MB, paper reports none", r.OHExtraMB)
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := Fig5()
+	// Figure 5's summary: 3.4 % / 3.5 % / 6.3 % / 7.0 %.
+	want := map[string]float64{
+		"Google Pixel 5 (AOSP 60Hz, GLES)": 3.4,
+		"Mate 40 Pro (OH 90Hz, GLES)":      3.5,
+		"Mate 60 Pro (OH 120Hz, GLES)":     6.3,
+		"Mate 60 Pro (OH 120Hz, Vulkan)":   7.0,
+	}
+	for label, w := range want {
+		got := r.AvgPercent[label]
+		if math.Abs(got-w) > 1.0 {
+			t.Errorf("%s: FD%% %v, paper %v", label, got, w)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "table2", "fig1", "fig5", "fig6", "fig7",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"costs", "chromium", "power", "fig3", "census", "future", "ablations"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+	if _, ok := Find("fig11"); !ok {
+		t.Error("Find failed")
+	}
+	if _, ok := Find("nonsense"); ok {
+		t.Error("Find should miss")
+	}
+}
+
+func TestDeterministicReproduction(t *testing.T) {
+	a, b := Fig12(), Fig12()
+	if a.AvgBaseline != b.AvgBaseline || a.AvgDVSync[4] != b.AvgDVSync[4] {
+		t.Error("experiments must be fully deterministic")
+	}
+}
+
+func TestAblatePreRenderLimitShape(t *testing.T) {
+	r := AblatePreRenderLimit()
+	// More pre-rendering absorbs more janks, monotonically.
+	for l := 1; l < 4; l++ {
+		if r.FDPS[l] < r.FDPS[l+1] {
+			t.Errorf("limit %d FDPS %v < limit %d FDPS %v", l, r.FDPS[l], l+1, r.FDPS[l+1])
+		}
+	}
+	if r.FDPS[1] < 2*r.FDPS[4] {
+		t.Error("the pre-render window should matter substantially")
+	}
+}
+
+func TestAblateDTVCalibrationShape(t *testing.T) {
+	r := AblateDTVCalibration()
+	// §5.1: without calibration the virtual clock drifts off the skewed
+	// panel and error accumulates; with it, error stays near the jitter.
+	if r.MeanAbsErrMs[0] < 5*r.MeanAbsErrMs[4] {
+		t.Errorf("calibration off (%v ms) should be far worse than every-4 (%v ms)",
+			r.MeanAbsErrMs[0], r.MeanAbsErrMs[4])
+	}
+	if r.MeanAbsErrMs[4] > 0.5 {
+		t.Errorf("calibrated error %v ms should stay near the 0.08 ms jitter", r.MeanAbsErrMs[4])
+	}
+}
+
+func TestAblateIPLPredictorsShape(t *testing.T) {
+	r := AblateIPLPredictors()
+	// Linear fitting must beat holding the last sample on every gesture
+	// (the entire point of IPL, §4.6); the quadratic should win on the
+	// decelerating fling.
+	for _, g := range []string{"swipe 1500 px/s", "fling (decelerating)", "pinch with tremor"} {
+		if r.ErrPx[g+"/linear"] >= r.ErrPx[g+"/last"] {
+			t.Errorf("%s: linear (%v) should beat last-value (%v)",
+				g, r.ErrPx[g+"/linear"], r.ErrPx[g+"/last"])
+		}
+	}
+	if r.ErrPx["fling (decelerating)/quadratic"] >= r.ErrPx["fling (decelerating)/linear"] {
+		t.Error("quadratic should capture fling deceleration better than linear")
+	}
+}
+
+func TestAblateVSyncPipelineDepthShape(t *testing.T) {
+	r := AblateVSyncPipelineDepth()
+	// Depth 1 (double buffering) janks hardest; deeper pipelines trade
+	// latency for drops — the VSync dilemma D-VSync escapes.
+	if r.FDPS[1] <= r.FDPS[2] {
+		t.Error("double buffering should drop more frames than depth 2")
+	}
+	if r.LatencyMs[4] <= r.LatencyMs[2] {
+		t.Error("deeper passive pipelines must pay latency")
+	}
+}
+
+func TestAblateDTVPacingShape(t *testing.T) {
+	r := AblateDTVPacing()
+	if r.WithDTV > r.WithExecTime/4 {
+		t.Errorf("DTV pacing error %v should be far below naive %v (§4.4)",
+			r.WithDTV, r.WithExecTime)
+	}
+}
+
+func TestFutureShape(t *testing.T) {
+	r := Future()
+	// The same absolute app load degrades super-linearly as the panel
+	// speeds up (§3.1's gap), and D-VSync keeps absorbing most of it.
+	if r.BaselineFDPS[165] < 2*r.BaselineFDPS[120] {
+		t.Errorf("165 Hz baseline %v should far exceed 120 Hz %v",
+			r.BaselineFDPS[165], r.BaselineFDPS[120])
+	}
+	for _, hz := range []int{90, 120, 144, 165} {
+		if r.ReductionPct[hz] < 50 {
+			t.Errorf("%d Hz reduction %v%%, cushion should keep most drops away",
+				hz, r.ReductionPct[hz])
+		}
+	}
+}
+
+func TestAblateConsumerPolicyShape(t *testing.T) {
+	r := AblateConsumerPolicy()
+	vFIFO, vDrop := r.Rows["VSync/FIFO"], r.Rows["VSync/drop-stale"]
+	dFIFO, dDrop := r.Rows["D-VSync/FIFO"], r.Rows["D-VSync/drop-stale"]
+	// Stale dropping trims the VSync path's latency by discarding frames…
+	if vDrop[1] >= vFIFO[1] {
+		t.Error("drop-stale should reduce VSync latency")
+	}
+	if vDrop[2] == 0 {
+		t.Error("drop-stale must discard frames on the VSync path")
+	}
+	// …but it destroys D-VSync's accumulated cushion entirely.
+	if dDrop[0] <= dFIFO[0] {
+		t.Error("drop-stale should wreck D-VSync's jank absorption")
+	}
+	// D-VSync with FIFO dominates VSync with drop-stale on BOTH axes —
+	// the design point the paper picks.
+	if !(dFIFO[0] < vDrop[0] && dFIFO[1] <= vDrop[1]+1) {
+		t.Errorf("D-VSync/FIFO (%v FDPS, %v ms) should dominate VSync/drop-stale (%v, %v)",
+			dFIFO[0], dFIFO[1], vDrop[0], vDrop[1])
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	r := Census()
+	if r.VSyncCases < 15 || r.VSyncCases > 45 {
+		t.Errorf("VSync census %d of 75, paper reports 20-29", r.VSyncCases)
+	}
+	if r.DVSyncCases >= r.VSyncCases/2 {
+		t.Errorf("D-VSync should cure most cases: %d vs %d", r.DVSyncCases, r.VSyncCases)
+	}
+	if r.JankReductionPct < 55 {
+		t.Errorf("census jank reduction %v%%, paper's headline is 72.7%%", r.JankReductionPct)
+	}
+}
+
+func TestAblateAppOffsetShape(t *testing.T) {
+	r := AblateAppOffset()
+	// Later triggers sample fresher input…
+	if r.InputAgeMs[60] >= r.InputAgeMs[0] {
+		t.Errorf("input age should fall with offset: %v vs %v",
+			r.InputAgeMs[60], r.InputAgeMs[0])
+	}
+	// …but shrink the deadline, so drops rise.
+	if r.FDPS[60] <= r.FDPS[0] {
+		t.Errorf("FDPS should rise with offset: %v vs %v", r.FDPS[60], r.FDPS[0])
+	}
+}

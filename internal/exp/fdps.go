@@ -1,0 +1,208 @@
+package exp
+
+import (
+	"strconv"
+
+	"dvsync/internal/ipl"
+	"dvsync/internal/report"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/workload"
+)
+
+// FDPSRow is one scenario's outcome across configurations.
+type FDPSRow struct {
+	// Name labels the scenario.
+	Name string
+	// Baseline is the simulated VSync FDPS (calibrated to the paper).
+	Baseline float64
+	// DVSync maps buffer count → simulated D-VSync FDPS.
+	DVSync map[int]float64
+}
+
+// FDPSResult aggregates a whole figure.
+type FDPSResult struct {
+	// Table is the printable figure.
+	Table *report.Table
+	// Rows hold per-scenario outcomes.
+	Rows []FDPSRow
+	// AvgBaseline and AvgDVSync are column averages.
+	AvgBaseline float64
+	AvgDVSync   map[int]float64
+}
+
+// Reductions returns the percentage FDPS reduction per buffer count.
+func (r *FDPSResult) Reductions() map[int]float64 {
+	out := make(map[int]float64, len(r.AvgDVSync))
+	for b, v := range r.AvgDVSync {
+		out[b] = Reduction(r.AvgBaseline, v)
+	}
+	return out
+}
+
+// Fig11 regenerates Figure 11: FDPS for the 25 apps on Google Pixel 5 under
+// VSync (3 buffers) and D-VSync with 4, 5 and 7 buffers.
+func Fig11() *FDPSResult {
+	res := &FDPSResult{
+		Table: &report.Table{
+			Title:   "Figure 11 — FDPS on Google Pixel 5 (60 Hz), 25 apps",
+			Note:    "VSync baseline calibrated to the paper's measured bars; D-VSync values are simulated outcomes",
+			Columns: []string{"app", "VSync 3 bufs", "D-VSync 4 bufs", "D-VSync 5 bufs", "D-VSync 7 bufs"},
+		},
+		AvgDVSync: map[int]float64{},
+	}
+	dev := scenarios.Pixel5
+	for _, app := range scenarios.Apps() {
+		reps := CalibrateReplicas(app.Profile(), scenarios.AppFrames, dev, dev.Buffers,
+			app.PaperVSyncFDPS, Seed)
+		row := FDPSRow{Name: app.Name, DVSync: map[int]float64{}}
+		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+			return VSyncRun(tr, dev, dev.Buffers)
+		})
+		for _, b := range scenarios.AppBufferSweep {
+			b := b
+			row.DVSync[b] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+				return DVSyncRun(tr, dev, b)
+			})
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(app.Name, row.Baseline, row.DVSync[4], row.DVSync[5], row.DVSync[7])
+	}
+	res.finishAverages(scenarios.AppBufferSweep)
+	res.Table.AddRow("average", res.AvgBaseline, res.AvgDVSync[4], res.AvgDVSync[5], res.AvgDVSync[7])
+	return res
+}
+
+func (r *FDPSResult) finishAverages(buffers []int) {
+	var base []float64
+	per := map[int][]float64{}
+	for _, row := range r.Rows {
+		base = append(base, row.Baseline)
+		for _, b := range buffers {
+			per[b] = append(per[b], row.DVSync[b])
+		}
+	}
+	r.AvgBaseline = Average(base)
+	if r.AvgDVSync == nil {
+		r.AvgDVSync = map[int]float64{}
+	}
+	for _, b := range buffers {
+		r.AvgDVSync[b] = Average(per[b])
+	}
+}
+
+// caseFigure runs a Figure 12/13-style panel: VSync vs D-VSync at the
+// device's default buffer count over a set of OS use cases.
+func caseFigure(title string, dev scenarios.Device, cases []scenarios.CaseRun) *FDPSResult {
+	res := &FDPSResult{
+		Table: &report.Table{
+			Title: title,
+			Note:  "baseline calibrated to the paper's bars; D-VSync simulated",
+			Columns: []string{"use case", "VSync " + strconv.Itoa(dev.Buffers) + " bufs",
+				"D-VSync " + strconv.Itoa(dev.Buffers) + " bufs"},
+		},
+		AvgDVSync: map[int]float64{},
+	}
+	for _, c := range cases {
+		reps := CalibrateReplicas(c.Profile(dev), scenarios.UseCaseFrames, dev, dev.Buffers,
+			c.PaperVSyncFDPS, Seed)
+		row := FDPSRow{Name: c.Case.Abbrev, DVSync: map[int]float64{}}
+		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+			return VSyncRun(tr, dev, dev.Buffers)
+		})
+		row.DVSync[dev.Buffers] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+			return DVSyncRun(tr, dev, dev.Buffers)
+		})
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(c.Case.Abbrev, row.Baseline, row.DVSync[dev.Buffers])
+	}
+	res.finishAverages([]int{dev.Buffers})
+	res.Table.AddRow("average", res.AvgBaseline, res.AvgDVSync[dev.Buffers])
+	return res
+}
+
+// Fig12 regenerates Figure 12: the 29 OS use cases with frame drops on
+// Mate 60 Pro under the Vulkan backend.
+func Fig12() *FDPSResult {
+	return caseFigure("Figure 12 — FDPS on Mate 60 Pro (120 Hz), Vulkan backend, 29 OS use cases",
+		scenarios.Mate60Pro, scenarios.Mate60VulkanCases())
+}
+
+// Fig13Mate40 regenerates the left panel of Figure 13 (Mate 40 Pro, GLES).
+func Fig13Mate40() *FDPSResult {
+	return caseFigure("Figure 13 (left) — FDPS on Mate 40 Pro (90 Hz), GLES, 9 OS use cases",
+		scenarios.Mate40Pro, scenarios.Mate40GLESCases())
+}
+
+// Fig13Mate60 regenerates the right panel of Figure 13 (Mate 60 Pro, GLES).
+func Fig13Mate60() *FDPSResult {
+	return caseFigure("Figure 13 (right) — FDPS on Mate 60 Pro (120 Hz), GLES, 20 OS use cases",
+		scenarios.Mate60Pro, scenarios.Mate60GLESCases())
+}
+
+// Fig14 regenerates Figure 14: the 15 mobile-game simulations, VSync with 3
+// buffers versus decoupling-aware D-VSync with 4 and 5. Games bypass the OS
+// UI framework, so their frames ride the aware channel with a predictor
+// registered (§6.1, §4.5).
+func Fig14() *FDPSResult {
+	res := &FDPSResult{
+		Table: &report.Table{
+			Title:   "Figure 14 — FDPS for 15 mobile games on Mate 60 Pro (game-capped rates)",
+			Note:    "decoupling-aware simulation over recorded-style traces, as in §6.1",
+			Columns: []string{"game", "rate", "VSync 3 bufs", "D-VSync 4 bufs", "D-VSync 5 bufs"},
+		},
+		AvgDVSync: map[int]float64{},
+	}
+	for _, g := range scenarios.Games() {
+		dev := scenarios.Mate60Pro
+		dev.RefreshHz = g.RateHz
+		reps := CalibrateReplicas(g.Profile(), scenarios.GameFrames, dev, 3, g.PaperVSyncFDPS, Seed)
+		row := FDPSRow{Name: g.Name, DVSync: map[int]float64{}}
+		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+			return VSyncRun(tr, dev, 3)
+		})
+		aware := func(c *sim.Config) { c.Predictor = ipl.Linear{} }
+		for _, b := range []int{4, 5} {
+			b := b
+			row.DVSync[b] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+				return DVSyncRun(tr, dev, b, aware)
+			})
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(g.Name, strconv.Itoa(g.RateHz)+" Hz", row.Baseline, row.DVSync[4], row.DVSync[5])
+	}
+	res.finishAverages([]int{4, 5})
+	res.Table.AddRow("average", "", res.AvgBaseline, res.AvgDVSync[4], res.AvgDVSync[5])
+	return res
+}
+
+// Chromium regenerates the §6.6 case study: flinging on three pages with
+// the decoupled compositor.
+func Chromium() *FDPSResult {
+	res := &FDPSResult{
+		Table: &report.Table{
+			Title:   "§6.6 — Chromium compositor flings on Mate 60 Pro",
+			Note:    "compositor pre-renders through the decoupling-aware APIs",
+			Columns: []string{"page", "VSync", "D-VSync"},
+		},
+		AvgDVSync: map[int]float64{},
+	}
+	dev := scenarios.Mate60Pro
+	for _, p := range scenarios.BrowserPages() {
+		reps := CalibrateReplicas(p.Profile(), scenarios.BrowserFrames, dev, dev.Buffers,
+			p.PaperVSyncFDPS, Seed)
+		row := FDPSRow{Name: p.Name, DVSync: map[int]float64{}}
+		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+			return VSyncRun(tr, dev, dev.Buffers)
+		})
+		row.DVSync[dev.Buffers] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
+			return DVSyncRun(tr, dev, dev.Buffers,
+				func(c *sim.Config) { c.Predictor = ipl.Linear{} })
+		})
+		res.Rows = append(res.Rows, row)
+		res.Table.AddRow(p.Name, row.Baseline, row.DVSync[dev.Buffers])
+	}
+	res.finishAverages([]int{dev.Buffers})
+	res.Table.AddRow("average", res.AvgBaseline, res.AvgDVSync[dev.Buffers])
+	return res
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dvsync/internal/report"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// Fig10Result is the execution-pattern comparison.
+type Fig10Result struct {
+	Table *report.Table
+	// Timeline is an ASCII rendering of both runtime traces.
+	Timeline string
+	// VSyncJanks / DVSyncJanks for the identical workload.
+	VSyncJanks, DVSyncJanks int
+}
+
+// Fig10 regenerates Figure 10: the execution patterns of VSync and D-VSync
+// on the exact same series of workloads — short frames with one heavy key
+// frame. The baseline produces janks in a row while D-VSync consumes
+// pre-rendered buffers and stays perfectly smooth.
+func Fig10() *Fig10Result {
+	dev := scenarios.Pixel5
+	period := dev.Period()
+	// Figure 10's workload: steady short frames, one red key frame worth
+	// ~3.5 periods of work.
+	tr := &workload.Trace{Name: "fig10"}
+	for i := 0; i < 28; i++ {
+		ms := 0.38 * period.Milliseconds()
+		if i == 12 {
+			ms = 3.5 * period.Milliseconds()
+		}
+		total := simtime.FromMillis(ms)
+		ui := simtime.Duration(float64(total) * 0.35)
+		tr.Costs = append(tr.Costs, workload.Cost{UI: ui, RS: total - ui,
+			Class: workload.Deterministic})
+	}
+
+	v := VSyncRun(tr, dev, 3)
+	d := DVSyncRun(tr, dev, 5)
+
+	res := &Fig10Result{
+		Table: &report.Table{
+			Title:   "Figure 10 — execution patterns on the same workload (one 3.5-period key frame)",
+			Columns: []string{"architecture", "buffers", "janks", "frames presented", "max queue depth"},
+		},
+		VSyncJanks:  len(v.Janks),
+		DVSyncJanks: len(d.Janks),
+	}
+	res.Table.AddRow("VSync (a)", "3", fmt.Sprintf("%d", len(v.Janks)),
+		fmt.Sprintf("%d", len(v.Presented)), "-")
+	res.Table.AddRow("D-VSync (b)", "5 (1 front + 4 back)", fmt.Sprintf("%d", len(d.Janks)),
+		fmt.Sprintf("%d", len(d.Presented)), "-")
+	res.Timeline = renderTimeline(v, "VSync (a)") + "\n" + renderTimeline(d, "D-VSync (b)")
+	return res
+}
+
+// renderTimeline draws one lane per concept: frame starts (execution), the
+// latch/jank stream at the panel, one column per VSync period.
+func renderTimeline(r *sim.Result, label string) string {
+	period := r.Period
+	cols := int(r.LastLatch/simtime.Time(period)) + 2
+	if cols > 120 {
+		cols = 120
+	}
+	exec := make([]byte, cols)
+	disp := make([]byte, cols)
+	for i := range exec {
+		exec[i], disp[i] = '.', '.'
+	}
+	col := func(t simtime.Time) int {
+		c := int(t / simtime.Time(period))
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	for _, f := range r.Presented {
+		c := col(f.UIStart)
+		if f.UICost+f.RSCost > period {
+			exec[c] = 'K' // key frame execution start
+		} else if exec[c] == '.' {
+			exec[c] = 'e'
+		}
+		disp[col(f.LatchedAt)] = '#'
+	}
+	for _, j := range r.Janks {
+		disp[col(j.At)] = 'J'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n  execute %s\n  display %s\n", label, exec, disp)
+	b.WriteString("  (e/K frame start, # latch, J jank, one column per VSync period)\n")
+	return b.String()
+}

@@ -1,0 +1,336 @@
+package exp
+
+import (
+	stdstrconv "strconv"
+	"time"
+
+	"dvsync/internal/buffer"
+	"dvsync/internal/core"
+	"dvsync/internal/input"
+	"dvsync/internal/ipl"
+	"dvsync/internal/report"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// LatencyResult carries Figure 15's per-device outcome.
+type LatencyResult struct {
+	Table *report.Table
+	// Rows maps device name → (VSync ms, D-VSync ms).
+	Rows map[string][2]float64
+}
+
+// deviceWorkloads returns the calibrated traces of a device's scenario set
+// (the runtime traces §6.3 aggregates over).
+func deviceWorkloads(dev scenarios.Device) []*workload.Trace {
+	var out []*workload.Trace
+	switch dev.Name {
+	case scenarios.Pixel5.Name:
+		for _, a := range scenarios.Apps() {
+			out = append(out, CalibrateFDPS(a.Profile(), scenarios.AppFrames, dev,
+				dev.Buffers, a.PaperVSyncFDPS, Seed))
+		}
+	case scenarios.Mate40Pro.Name:
+		for _, c := range scenarios.Mate40GLESCases() {
+			out = append(out, CalibrateFDPS(c.Profile(dev), scenarios.UseCaseFrames, dev,
+				dev.Buffers, c.PaperVSyncFDPS, Seed))
+		}
+	case scenarios.Mate60Pro.Name:
+		for _, c := range scenarios.Mate60GLESCases() {
+			out = append(out, CalibrateFDPS(c.Profile(dev), scenarios.UseCaseFrames, dev,
+				dev.Buffers, c.PaperVSyncFDPS, Seed))
+		}
+	}
+	return out
+}
+
+// Fig15 regenerates Figure 15: average rendering latency per device under
+// VSync and D-VSync, over each device's recorded workload set.
+func Fig15() *LatencyResult {
+	res := &LatencyResult{
+		Table: &report.Table{
+			Title: "Figure 15 — rendering latency (ms)",
+			Note: "latency = present − effective content time; decoupled frames stay at the " +
+				"2-period pipeline depth plus DTV error (§6.3)",
+			Columns: []string{"device", "VSync", "D-VSync", "reduction %"},
+		},
+		Rows: map[string][2]float64{},
+	}
+	for _, dev := range scenarios.Devices() {
+		dvBuffers := dev.Buffers
+		if dev.Name == scenarios.Pixel5.Name {
+			dvBuffers = 4 // Android D-VSync default (§6.4)
+		}
+		var v, d []float64
+		for _, tr := range deviceWorkloads(dev) {
+			v = append(v, VSyncRun(tr, dev, dev.Buffers).LatencyMs...)
+			d = append(d, DVSyncRun(tr, dev, dvBuffers).LatencyMs...)
+		}
+		vm, dm := Average(v), Average(d)
+		res.Rows[dev.Name] = [2]float64{vm, dm}
+		res.Table.AddRow(dev.Name, vm, dm, Reduction(vm, dm))
+	}
+	return res
+}
+
+// Fig5Result is the frame-drop summary of Figure 5.
+type Fig5Result struct {
+	Table *report.Table
+	// AvgPercent maps the configuration label → average FD%.
+	AvgPercent map[string]float64
+}
+
+// Fig5 regenerates Figure 5: average and maximum frame-drop percentage of
+// display time per device/backend under VSync.
+func Fig5() *Fig5Result {
+	res := &Fig5Result{
+		Table: &report.Table{
+			Title:   "Figure 5 — frame drops over total display time (VSync)",
+			Columns: []string{"configuration", "avg FD%", "max FD%"},
+		},
+		AvgPercent: map[string]float64{},
+	}
+	addSet := func(label string, dev scenarios.Device, traces []*workload.Trace) {
+		var avg []float64
+		max := 0.0
+		for _, tr := range traces {
+			p := VSyncRun(tr, dev, dev.Buffers).Jank().DropPercent()
+			avg = append(avg, p)
+			if p > max {
+				max = p
+			}
+		}
+		a := Average(avg)
+		res.AvgPercent[label] = a
+		res.Table.AddRow(label, a, max)
+	}
+	addSet("Google Pixel 5 (AOSP 60Hz, GLES)", scenarios.Pixel5, deviceWorkloads(scenarios.Pixel5))
+	addSet("Mate 40 Pro (OH 90Hz, GLES)", scenarios.Mate40Pro, deviceWorkloads(scenarios.Mate40Pro))
+	addSet("Mate 60 Pro (OH 120Hz, GLES)", scenarios.Mate60Pro, deviceWorkloads(scenarios.Mate60Pro))
+	var vkTraces []*workload.Trace
+	for _, c := range scenarios.Mate60VulkanCases() {
+		vkTraces = append(vkTraces, CalibrateFDPS(c.Profile(scenarios.Mate60Pro),
+			scenarios.UseCaseFrames, scenarios.Mate60Pro, scenarios.Mate60Pro.Buffers,
+			c.PaperVSyncFDPS, Seed))
+	}
+	addSet("Mate 60 Pro (OH 120Hz, Vulkan)", scenarios.Mate60Pro, vkTraces)
+	return res
+}
+
+// Fig6Result is the frame-distribution breakdown.
+type Fig6Result struct {
+	Table *report.Table
+	// StuffedShare is the overall share of frames that waited in the queue.
+	StuffedShare float64
+}
+
+// Fig6 regenerates Figure 6: the distribution of frames into frame drops,
+// buffer stuffing and direct composition for the 25 apps under VSync.
+func Fig6() *Fig6Result {
+	res := &Fig6Result{
+		Table: &report.Table{
+			Title:   "Figure 6 — distribution of frames on Google Pixel 5 (VSync, % of total)",
+			Columns: []string{"app", "frame drop", "buffer stuffing", "direct composition"},
+		},
+	}
+	dev := scenarios.Pixel5
+	totStuff, tot := 0, 0
+	for _, app := range scenarios.Apps() {
+		tr := CalibrateFDPS(app.Profile(), scenarios.AppFrames, dev, dev.Buffers,
+			app.PaperVSyncFDPS, Seed)
+		r := VSyncRun(tr, dev, dev.Buffers)
+		total := len(r.Presented) + len(r.Janks)
+		res.Table.AddRow(app.Name,
+			100*float64(len(r.Janks))/float64(total),
+			100*float64(r.Stuffed)/float64(total),
+			100*float64(r.Direct)/float64(total))
+		totStuff += r.Stuffed
+		tot += total
+	}
+	res.StuffedShare = float64(totStuff) / float64(tot)
+	return res
+}
+
+// Fig7Result is the touch-follow latency visualisation data.
+type Fig7Result struct {
+	Table *report.Table
+	// MaxDisplacementPx is the worst ball-to-finger distance.
+	MaxDisplacementPx float64
+}
+
+// Fig7 regenerates Figure 7: an app draws a ball at the touch position
+// every frame; rendering latency makes the ball trail the fingertip. The
+// paper observes ≈400 px (2.4 cm) at 45 ms latency during a fast swipe.
+func Fig7() *Fig7Result {
+	res := &Fig7Result{
+		Table: &report.Table{
+			Title:   "Figure 7 — touch-follow displacement during a fast swipe (Pixel 5, VSync)",
+			Columns: []string{"frame", "finger y (px)", "ball y (px)", "displacement (px)"},
+		},
+	}
+	dev := scenarios.Pixel5
+	// A fast upward swipe, like flicking a list hard.
+	traj := input.Swipe{Start: 0, Velocity: 6200, Duration: simtime.FromMillis(400)}
+	app := scenarios.Apps()[6] // a representative stuffed app (Facebook)
+	tr := CalibrateFDPS(app.Profile(), 24, dev, dev.Buffers, app.PaperVSyncFDPS, Seed)
+	r := sim.Run(sim.Config{
+		Mode: sim.ModeVSync, Panel: dev.Panel(), Buffers: dev.Buffers, Trace: tr,
+		ContentSample: func(f *buffer.Frame, now simtime.Time) {
+			f.ContentValue = traj.Value(f.ContentTime)
+		},
+	})
+	for i, f := range r.Presented {
+		if i >= 17 {
+			break
+		}
+		finger := traj.Value(f.PresentAt)
+		disp := finger - f.ContentValue
+		if disp > res.MaxDisplacementPx {
+			res.MaxDisplacementPx = disp
+		}
+		res.Table.AddRow(stdstrconv.Itoa(i+1), finger, f.ContentValue, disp)
+	}
+	return res
+}
+
+// Fig1Result is the frame-time CDF.
+type Fig1Result struct {
+	Table *report.Table
+	// WithinOnePeriod is the share of frames finishing within one 60 Hz
+	// period (the paper reports 78.3 %).
+	WithinOnePeriod float64
+	// Over budget (3 periods, beyond triple buffering): ≈5 % in the paper.
+	BeyondTriple float64
+}
+
+// Fig1 regenerates Figure 1: the CDF of frame rendering time for a typical
+// mixed real-world workload on a 60 Hz screen.
+func Fig1() *Fig1Result {
+	res := &Fig1Result{
+		Table: &report.Table{
+			Title:   "Figure 1 — CDF of frame rendering time (60 Hz screen)",
+			Columns: []string{"rendering time (ms)", "cumulative probability"},
+		},
+	}
+	mixed := scenarios.MixedRealWorldProfile()
+	tr := mixed.Generate(20000, Seed)
+	period := scenarios.Pixel5.Period()
+	var ths []simtime.Duration
+	for ms := 0.0; ms <= 60; ms += 2.5 {
+		ths = append(ths, simtime.FromMillis(ms))
+	}
+	cdf := tr.CDF(ths)
+	for i, th := range ths {
+		res.Table.AddRow(report.FormatFloat(th.Milliseconds()), cdf[i])
+	}
+	res.WithinOnePeriod = 1 - tr.FractionOver(period)
+	res.BeyondTriple = tr.FractionOver(3 * period)
+	return res
+}
+
+// Fig16Result is the map-app case study outcome.
+type Fig16Result struct {
+	Table *report.Table
+	// BaselineFDPS / DVSyncFDPS during zooming.
+	BaselineFDPS, DVSyncFDPS float64
+	// LatencyReductionPct is the rendering-latency improvement.
+	LatencyReductionPct float64
+	// ZDPMeanNs is the measured wall-clock cost of one ZDP prediction in
+	// this implementation (the paper's Java ZDP costs 151.6 µs/frame).
+	ZDPMeanNs float64
+	// MeanZoomErrorPx is the mean |predicted − actual| fingertip distance
+	// at display time with ZDP.
+	MeanZoomErrorPx float64
+}
+
+// Fig16 regenerates Figure 16 (§6.5): the decoupling-aware map app. The
+// app registers a linear Zooming Distance Predictor through the IPL and
+// configures 5 buffers; D-VSync activates only while zooming.
+func Fig16() *Fig16Result {
+	res := &Fig16Result{Table: &report.Table{
+		Title:   "Figure 16 — map app zooming case study (Pixel 5)",
+		Columns: []string{"metric", "VSync 3 bufs", "D-VSync 5 bufs + ZDP"},
+	}}
+	dev := scenarios.Pixel5
+	app := scenarios.TheMapApp()
+	tr := CalibrateFDPS(app.Profile(), app.ZoomFrames, dev, dev.Buffers,
+		app.PaperVSyncFDPS, Seed)
+
+	pinch := input.Pinch{StartDistance: 220, RatePxPerSec: 380, TremorAmp: 5,
+		TremorHz: 7, Duration: simtime.FromSeconds(70)}
+	samples := coreSamples(input.Digitizer{RateHz: 120}.Samples(pinch))
+
+	v := sim.Run(sim.Config{
+		Mode: sim.ModeVSync, Panel: dev.Panel(), Buffers: dev.Buffers, Trace: tr,
+		ContentSample: func(f *buffer.Frame, now simtime.Time) {
+			f.ContentValue = pinch.Value(f.ContentTime)
+		},
+	})
+
+	zdp := ipl.Linear{}
+	var zdpTotal time.Duration
+	var zdpCalls int
+	d := sim.Run(sim.Config{
+		Mode: sim.ModeDVSync, Panel: dev.Panel(), Buffers: app.Buffers, Trace: tr,
+		Predictor: zdp,
+		ContentSample: func(f *buffer.Frame, now simtime.Time) {
+			if !f.Decoupled {
+				f.ContentValue = pinch.Value(now)
+				return
+			}
+			h := coreHistory(samples, now)
+			t0 := time.Now()
+			f.ContentValue = zdp.Predict(h, f.DTimestamp)
+			zdpTotal += time.Since(t0)
+			zdpCalls++
+		},
+	})
+
+	res.BaselineFDPS = v.FDPS()
+	res.DVSyncFDPS = d.FDPS()
+	vl, dl := v.LatencySummary().Mean, d.LatencySummary().Mean
+	res.LatencyReductionPct = Reduction(vl, dl)
+	if zdpCalls > 0 {
+		res.ZDPMeanNs = float64(zdpTotal.Nanoseconds()) / float64(zdpCalls)
+	}
+	var errSum float64
+	var n int
+	for _, f := range d.Presented {
+		if !f.Decoupled {
+			continue
+		}
+		e := f.ContentValue - pinch.Value(f.PresentAt)
+		if e < 0 {
+			e = -e
+		}
+		errSum += e
+		n++
+	}
+	if n > 0 {
+		res.MeanZoomErrorPx = errSum / float64(n)
+	}
+
+	res.Table.AddRow("FDPS", res.BaselineFDPS, res.DVSyncFDPS)
+	res.Table.AddRow("rendering latency (ms)", vl, dl)
+	res.Table.AddRow("ZDP overhead (ns/frame, measured)", "-", res.ZDPMeanNs)
+	res.Table.AddRow("mean zoom prediction error (px)", "-", res.MeanZoomErrorPx)
+	return res
+}
+
+func coreSamples(in []input.Sample) []core.InputSample {
+	out := make([]core.InputSample, len(in))
+	for i, s := range in {
+		out[i] = core.InputSample{At: s.At, Value: s.Value}
+	}
+	return out
+}
+
+func coreHistory(samples []core.InputSample, t simtime.Time) []core.InputSample {
+	hi := len(samples)
+	for hi > 0 && samples[hi-1].At.After(t) {
+		hi--
+	}
+	return samples[:hi]
+}

@@ -1,0 +1,193 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dvsync/internal/report"
+)
+
+// Experiment is a runnable table/figure regeneration.
+type Experiment struct {
+	// ID is the short name used by `dvbench -exp`.
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment and writes its table(s) to w.
+	Run func(w io.Writer)
+	// Tables re-runs the experiment and returns its tables for machine
+	// consumption (CSV export).
+	Tables func() []*report.Table
+}
+
+// Registry returns every experiment, keyed for dvbench, in presentation
+// order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1 — platform configuration", func(w io.Writer) {
+			Table1().Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Table1()}
+		}},
+		{"fig1", "Figure 1 — frame rendering time CDF", func(w io.Writer) {
+			r := Fig1()
+			r.Table.Render(w)
+			fmt.Fprintf(w, "within one 60 Hz period: %.1f%% (paper: 78.3%%)\n", 100*r.WithinOnePeriod)
+			fmt.Fprintf(w, "beyond triple buffering:  %.1f%% (paper: ≈5%%)\n", 100*r.BeyondTriple)
+		}, func() []*report.Table {
+			return []*report.Table{Fig1().Table}
+		}},
+		{"fig3", "Figure 3 — pixels-per-second trend", func(w io.Writer) {
+			Fig3().Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Fig3()}
+		}},
+		{"fig5", "Figure 5 — frame-drop summary", func(w io.Writer) {
+			Fig5().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Fig5().Table}
+		}},
+		{"fig6", "Figure 6 — frame distribution", func(w io.Writer) {
+			r := Fig6()
+			r.Table.Render(w)
+			fmt.Fprintf(w, "overall buffer-stuffing share: %.0f%%\n", 100*r.StuffedShare)
+		}, func() []*report.Table {
+			return []*report.Table{Fig6().Table}
+		}},
+		{"fig7", "Figure 7 — touch-follow latency", func(w io.Writer) {
+			r := Fig7()
+			r.Table.Render(w)
+			fmt.Fprintf(w, "max displacement: %.0f px (paper: ≈400 px / 2.4 cm)\n", r.MaxDisplacementPx)
+		}, func() []*report.Table {
+			return []*report.Table{Fig7().Table}
+		}},
+		{"fig9", "Figure 9 — scope of D-VSync", func(w io.Writer) {
+			Fig9().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Fig9().Table}
+		}},
+		{"fig10", "Figure 10 — execution patterns", func(w io.Writer) {
+			r := Fig10()
+			r.Table.Render(w)
+			fmt.Fprintln(w, r.Timeline)
+		}, func() []*report.Table {
+			return []*report.Table{Fig10().Table}
+		}},
+		{"fig11", "Figure 11 — FDPS, 25 apps (Pixel 5)", func(w io.Writer) {
+			r := Fig11()
+			r.Table.Render(w)
+			printReductions(w, r)
+		}, func() []*report.Table {
+			return []*report.Table{Fig11().Table}
+		}},
+		{"fig12", "Figure 12 — FDPS, OS cases (Mate 60 Pro, Vulkan)", func(w io.Writer) {
+			r := Fig12()
+			r.Table.Render(w)
+			printReductions(w, r)
+		}, func() []*report.Table {
+			return []*report.Table{Fig12().Table}
+		}},
+		{"fig13", "Figure 13 — FDPS, OS cases (GLES)", func(w io.Writer) {
+			a, b := Fig13Mate40(), Fig13Mate60()
+			a.Table.Render(w)
+			printReductions(w, a)
+			b.Table.Render(w)
+			printReductions(w, b)
+		}, func() []*report.Table {
+			return []*report.Table{Fig13Mate40().Table, Fig13Mate60().Table}
+		}},
+		{"fig14", "Figure 14 — FDPS, 15 games", func(w io.Writer) {
+			r := Fig14()
+			r.Table.Render(w)
+			printReductions(w, r)
+		}, func() []*report.Table {
+			return []*report.Table{Fig14().Table}
+		}},
+		{"fig15", "Figure 15 — rendering latency", func(w io.Writer) {
+			Fig15().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Fig15().Table}
+		}},
+		{"fig16", "Figure 16 — map app case study", func(w io.Writer) {
+			Fig16().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Fig16().Table}
+		}},
+		{"table2", "Table 2 — UX stutters", func(w io.Writer) {
+			r := Table2()
+			r.Table.Render(w)
+			fmt.Fprintf(w, "average stutter reduction: %.1f%% (paper: 72.3%%)\n", r.AvgReductionPct)
+		}, func() []*report.Table {
+			return []*report.Table{Table2().Table}
+		}},
+		{"costs", "§6.4 — execution/memory costs", func(w io.Writer) {
+			Costs().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Costs().Table}
+		}},
+		{"chromium", "§6.6 — Chromium case study", func(w io.Writer) {
+			r := Chromium()
+			r.Table.Render(w)
+			printReductions(w, r)
+		}, func() []*report.Table {
+			return []*report.Table{Chromium().Table}
+		}},
+		{"power", "§6.7 — power consumption", func(w io.Writer) {
+			Power().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Power().Table}
+		}},
+		{"census", "Appendix A — 75-case testing-framework census", func(w io.Writer) {
+			r := Census()
+			r.Table.Render(w)
+			fmt.Fprintf(w, "total-jank reduction across all 75 cases: %.1f%%\n", r.JankReductionPct)
+		}, func() []*report.Table {
+			return []*report.Table{Census().Table}
+		}},
+		{"future", "Projection — future high-refresh panels", func(w io.Writer) {
+			Future().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{Future().Table}
+		}},
+		{"ablations", "Ablation studies — design-choice sweeps", func(w io.Writer) {
+			AblatePreRenderLimit().Table.Render(w)
+			fmt.Fprintln(w)
+			AblateDTVCalibration().Table.Render(w)
+			fmt.Fprintln(w)
+			AblateIPLPredictors().Table.Render(w)
+			fmt.Fprintln(w)
+			AblateVSyncPipelineDepth().Table.Render(w)
+			fmt.Fprintln(w)
+			AblateDTVPacing().Table.Render(w)
+			fmt.Fprintln(w)
+			AblateConsumerPolicy().Table.Render(w)
+			fmt.Fprintln(w)
+			AblateAppOffset().Table.Render(w)
+		}, func() []*report.Table {
+			return []*report.Table{AblatePreRenderLimit().Table, AblateDTVCalibration().Table, AblateIPLPredictors().Table, AblateVSyncPipelineDepth().Table, AblateDTVPacing().Table, AblateConsumerPolicy().Table, AblateAppOffset().Table}
+		}},
+	}
+}
+
+func printReductions(w io.Writer, r *FDPSResult) {
+	red := r.Reductions()
+	var bufs []int
+	for b := range red {
+		bufs = append(bufs, b)
+	}
+	sort.Ints(bufs)
+	for _, b := range bufs {
+		fmt.Fprintf(w, "FDPS reduction with %d buffers: %.1f%%\n", b, red[b])
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,279 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+
+	"dvsync/internal/ipl"
+	"dvsync/internal/metrics"
+	"dvsync/internal/report"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// Table1 renders the platform-configuration table.
+func Table1() *report.Table {
+	t := &report.Table{
+		Title:   "Table 1 — platform configuration",
+		Columns: []string{"device", "release", "OS", "backend", "screen", "refresh rate"},
+	}
+	for _, d := range scenarios.Devices() {
+		var backends []string
+		for _, b := range d.Backends {
+			backends = append(backends, string(b))
+		}
+		t.AddRow(d.Name, d.Release, d.OS, strings.Join(backends, "/"),
+			strconv.Itoa(d.Width)+" x "+strconv.Itoa(d.Height),
+			strconv.Itoa(d.RefreshHz)+"Hz / "+report.FormatFloat(d.Period().Milliseconds())+"ms")
+	}
+	return t
+}
+
+// Table2Result carries the UX-stutter outcome.
+type Table2Result struct {
+	Table *report.Table
+	// Rows maps task name → (VSync stutters, D-VSync stutters).
+	Rows map[string][2]int
+	// AvgReductionPct averages per-task stutter reductions.
+	AvgReductionPct float64
+}
+
+// calibrateStutters tunes a task's key-frame rate until the simulated VSync
+// run produces the paper's perceived-stutter count.
+func calibrateStutters(task scenarios.UXTask, dev scenarios.Device) *workload.Trace {
+	cfg := metrics.DefaultStutterConfig()
+	measure := func(tr *workload.Trace) float64 {
+		r := VSyncRun(tr, dev, dev.Buffers)
+		return float64(metrics.CountStutters(r.JankEvents(), cfg))
+	}
+	gen := func(ratio float64) *workload.Trace {
+		p := scenarios.BaseProfile(task.Name, dev, task.Tail, workload.Deterministic)
+		p.LongRatio = ratio
+		var scenes []*workload.Trace
+		for i := 0; i < task.Scenes; i++ {
+			scenes = append(scenes, p.Generate(task.SceneFrames, Seed+int64(i)*7919))
+		}
+		return workload.Concat(task.Name, scenes...)
+	}
+	ratio := bisect(func(r float64) float64 { return measure(gen(r)) },
+		float64(task.PaperVSyncStutters), 0.001, 0.30)
+	return gen(ratio)
+}
+
+// Table2 regenerates Table 2: perceived stutters across the eight
+// professional-UX composite tasks on Mate 60 Pro, detected with the
+// industrial stutter criteria over the simulated jank streams.
+func Table2() *Table2Result {
+	res := &Table2Result{
+		Table: &report.Table{
+			Title: "Table 2 — perceived stutters in UX evaluation tasks (Mate 60 Pro)",
+			Note: "stutter = camera-confirmable jank pattern: a key-frame jank or a run of " +
+				"consecutive janks; VSync calibrated to the paper's counts",
+			Columns: []string{"task", "VSync", "D-VSync", "reduction %"},
+		},
+		Rows: map[string][2]int{},
+	}
+	dev := scenarios.Mate60Pro
+	cfg := metrics.DefaultStutterConfig()
+	var reds []float64
+	for _, task := range scenarios.UXTasks() {
+		tr := calibrateStutters(task, dev)
+		v := VSyncRun(tr, dev, dev.Buffers)
+		d := DVSyncRun(tr, dev, dev.Buffers)
+		vs := metrics.CountStutters(v.JankEvents(), cfg)
+		ds := metrics.CountStutters(d.JankEvents(), cfg)
+		res.Rows[task.Name] = [2]int{vs, ds}
+		red := Reduction(float64(vs), float64(ds))
+		reds = append(reds, red)
+		res.Table.AddRow(task.Name, strconv.Itoa(vs), strconv.Itoa(ds), red)
+	}
+	res.AvgReductionPct = Average(reds)
+	res.Table.AddRow("average", "", "", res.AvgReductionPct)
+	return res
+}
+
+// CostsResult carries the §6.4 overhead accounting.
+type CostsResult struct {
+	Table *report.Table
+	// OverheadPerFrameUs is the modelled FPE+DTV cost per frame.
+	OverheadPerFrameUs float64
+	// OverheadShareOfPeriod is that cost as a share of a 120 Hz period.
+	OverheadShareOfPeriod float64
+	// AndroidExtraMB is the added buffer memory on Android (4 vs 3).
+	AndroidExtraMB float64
+	// OHExtraMB is the added buffer memory on OpenHarmony (4 vs 4).
+	OHExtraMB float64
+}
+
+// Costs regenerates the §6.4 execution-time and memory accounting.
+func Costs() *CostsResult {
+	res := &CostsResult{Table: &report.Table{
+		Title:   "§6.4 — costs of D-VSync",
+		Columns: []string{"cost", "value"},
+	}}
+	res.OverheadPerFrameUs = float64(sim.DefaultDVSyncOverhead) / float64(simtime.Microsecond)
+	p120 := simtime.PeriodForHz(120)
+	res.OverheadShareOfPeriod = float64(sim.DefaultDVSyncOverhead) / float64(p120)
+
+	perBuf := func(dev scenarios.Device) float64 {
+		return float64(dev.Width) * float64(dev.Height) * 4 / (1 << 20)
+	}
+	res.AndroidExtraMB = perBuf(scenarios.Pixel5) * 1 // 4 buffers vs triple buffering
+	res.OHExtraMB = 0                                 // render service already uses 4 (§6.4)
+
+	res.Table.AddRow("FPE+DTV execution per frame (µs)", res.OverheadPerFrameUs)
+	res.Table.AddRow("share of a 120 Hz period (%)", 100*res.OverheadShareOfPeriod)
+	res.Table.AddRow("Pixel 5 buffer size (MB)", perBuf(scenarios.Pixel5))
+	res.Table.AddRow("Mate 60 Pro buffer size (MB)", perBuf(scenarios.Mate60Pro))
+	res.Table.AddRow("Android extra memory, D-VSync 4 bufs (MB/app)", res.AndroidExtraMB)
+	res.Table.AddRow("OpenHarmony extra memory (MB)", res.OHExtraMB)
+	return res
+}
+
+// PowerResult carries the §6.7 outcome.
+type PowerResult struct {
+	Table *report.Table
+	// EnergyIncreasePct is the end-to-end power increase for the map-app
+	// animation without ZDP.
+	EnergyIncreasePct float64
+	// EnergyIncreaseZDPPct adds the input curve fitting on 10 % of frames.
+	EnergyIncreaseZDPPct float64
+	// InstrVSyncM / InstrDVSyncM are render-service mega-instructions per
+	// frame over the OS use cases with D-VSync off/on.
+	InstrVSyncM, InstrDVSyncM float64
+	// InstrIncreasePct is the relative instruction overhead.
+	InstrIncreasePct float64
+}
+
+// Power regenerates §6.7: end-to-end energy on the map-app animation and
+// the CPU-instruction accounting over the OS use cases on Mate 60 Pro.
+func Power() *PowerResult {
+	res := &PowerResult{Table: &report.Table{
+		Title: "§6.7 — power consumption",
+		Note: "energy model charges active power for executed pipeline work over the display " +
+			"window; D-VSync additionally renders the frames VSync would have dropped",
+		Columns: []string{"metric", "VSync", "D-VSync", "increase %"},
+	}}
+	model := metrics.DefaultPowerModel()
+	dev := scenarios.Pixel5
+	app := scenarios.TheMapApp()
+	tr := CalibrateFDPS(app.Profile(), app.ZoomFrames, dev, dev.Buffers,
+		app.PaperVSyncFDPS, Seed)
+	v := VSyncRun(tr, dev, dev.Buffers)
+	d := DVSyncRun(tr, dev, app.Buffers)
+	// The paper's power test runs a fixed 30-minute wall window in both
+	// configurations; energy therefore differs only in executed work (the
+	// frames VSync would have dropped, plus FPE/DTV bookkeeping).
+	window := v.WindowMs()
+	if d.WindowMs() > window {
+		window = d.WindowMs()
+	}
+	ev := model.EnergyJoules(v.WorkMs(), window)
+	ed := model.EnergyJoules(d.WorkMs(), window)
+	res.EnergyIncreasePct = metrics.PercentIncrease(ev, ed)
+	// ZDP variant: 10 % of frames additionally run the paper's measured
+	// 151.6 µs curve fit.
+	zdpMs := 0.10 * float64(len(d.Presented)) * 151.6 / 1000
+	edz := model.EnergyJoules(d.WorkMs()+zdpMs, window)
+	res.EnergyIncreaseZDPPct = metrics.PercentIncrease(ev, edz)
+	res.Table.AddRow("map animation energy (J)", ev, ed, res.EnergyIncreasePct)
+	res.Table.AddRow("  + ZDP on 10% of frames (J)", ev, edz, res.EnergyIncreaseZDPPct)
+
+	// Instruction proxy over the Mate 60 Pro GLES use cases.
+	var rsV, rsD, ovD float64
+	var framesV, framesD int
+	m60 := scenarios.Mate60Pro
+	for _, c := range scenarios.Mate60GLESCases() {
+		ctr := CalibrateFDPS(c.Profile(m60), scenarios.UseCaseFrames, m60, m60.Buffers,
+			c.PaperVSyncFDPS, Seed)
+		rv := VSyncRun(ctr, m60, m60.Buffers)
+		rd := DVSyncRun(ctr, m60, m60.Buffers)
+		rsV += rv.ExecutedWork.Milliseconds()
+		framesV += len(rv.Presented)
+		rsD += rd.ExecutedWork.Milliseconds()
+		ovD += rd.OverheadWork.Milliseconds()
+		framesD += len(rd.Presented)
+	}
+	// The §6.7 instruction comparison isolates the architectural overhead:
+	// the same rendering work per frame plus the FPE/DTV/API logic running
+	// on the little cores. (The extra frames D-VSync renders instead of
+	// dropping are charged in the energy rows above.)
+	_ = rsD
+	perFrame := rsV / float64(framesV)
+	res.InstrVSyncM = model.RenderInstructions(perFrame) / 1e6
+	res.InstrDVSyncM = (model.RenderInstructions(perFrame) +
+		model.LittleInstructions(ovD/float64(framesD))) / 1e6
+	res.InstrIncreasePct = metrics.PercentIncrease(res.InstrVSyncM, res.InstrDVSyncM)
+	res.Table.AddRow("instructions per frame (M, OS use cases)",
+		res.InstrVSyncM, res.InstrDVSyncM, res.InstrIncreasePct)
+	return res
+}
+
+// Fig3 renders the pixels-per-second trend (Figure 3).
+func Fig3() *report.Table {
+	t := &report.Table{
+		Title:   "Figure 3 — pixels to render per second across flagship devices",
+		Note:    "growth max/min = " + report.FormatFloat(scenarios.TrendGrowth()) + "x",
+		Columns: []string{"series", "model", "year", "pixels/second"},
+	}
+	for _, p := range scenarios.Trend() {
+		t.AddRow(p.Series, p.Model, strconv.Itoa(p.Year), float64(p.PixelsPerSecond()))
+	}
+	return t
+}
+
+// Fig9Result validates the D-VSync applicability scope.
+type Fig9Result struct {
+	Table *report.Table
+	// DecoupledShareAware is the fraction of frames decoupled when the app
+	// registers an IPL predictor; Oblivious without one.
+	DecoupledShareAware, DecoupledShareOblivious float64
+}
+
+// Fig9 regenerates Figure 9: the frame-scope breakdown (85 % deterministic
+// animations, 10 % predictable interactions, 5 % realtime), validated by
+// routing a mixed-class stream through the runtime controller.
+func Fig9() *Fig9Result {
+	res := &Fig9Result{Table: &report.Table{
+		Title:   "Figure 9 — the scope of the D-VSync approach",
+		Columns: []string{"category", "share of frames", "channel"},
+	}}
+	for _, s := range scenarios.Scope() {
+		channel := "decoupling-oblivious (default on)"
+		switch {
+		case strings.Contains(s.Category, "interactions"):
+			channel = "decoupling-aware (IPL required)"
+		case strings.Contains(s.Category, "realtime"):
+			channel = "VSync path (D-VSync off)"
+		}
+		res.Table.AddRow(s.Category, 100*s.Share, channel)
+	}
+
+	// Build a mixed stream matching the Figure 9 shares and route it.
+	dev := scenarios.Mate60Pro
+	p := scenarios.BaseProfile("scope-mix", dev, scenarios.Scattered, workload.Deterministic)
+	p.LongRatio = 0.04
+	tr := p.Generate(2000, Seed)
+	for i := range tr.Costs {
+		switch {
+		case i%20 >= 17 && i%20 < 19: // 10 % interactive
+			tr.Costs[i].Class = workload.Interactive
+		case i%20 == 19: // 5 % realtime
+			tr.Costs[i].Class = workload.Realtime
+		}
+	}
+	oblivious := DVSyncRun(tr, dev, dev.Buffers)
+	aware := DVSyncRun(tr, dev, dev.Buffers, func(c *sim.Config) {
+		c.Predictor = ipl.Linear{}
+	})
+	total := float64(tr.Len())
+	res.DecoupledShareOblivious = float64(oblivious.DecoupledFrames) / total
+	res.DecoupledShareAware = float64(aware.DecoupledFrames) / total
+	res.Table.AddRow("measured decoupled share (oblivious app)",
+		100*res.DecoupledShareOblivious, "simulated")
+	res.Table.AddRow("measured decoupled share (aware app)",
+		100*res.DecoupledShareAware, "simulated")
+	return res
+}

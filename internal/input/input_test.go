@@ -1,0 +1,118 @@
+package input
+
+import (
+	"math"
+	"testing"
+
+	"dvsync/internal/simtime"
+)
+
+func TestSwipeKinematics(t *testing.T) {
+	s := Swipe{Start: 100, Velocity: 1000, Duration: simtime.FromMillis(500)}
+	if got := s.Value(0); got != 100 {
+		t.Errorf("Value(0) = %v", got)
+	}
+	if got := s.Value(simtime.Time(simtime.FromMillis(250))); math.Abs(got-350) > 1e-9 {
+		t.Errorf("Value(250ms) = %v, want 350", got)
+	}
+	// After the finger lifts, the position holds.
+	if got := s.Value(simtime.Time(simtime.FromMillis(900))); math.Abs(got-600) > 1e-9 {
+		t.Errorf("Value(after) = %v, want 600", got)
+	}
+	if !s.Down(simtime.Time(simtime.FromMillis(100))) || s.Down(simtime.Time(simtime.FromMillis(600))) {
+		t.Error("Down wrong")
+	}
+}
+
+func TestFlingDeceleration(t *testing.T) {
+	f := Fling{Start: 0, Velocity: 2000, DownFor: simtime.FromMillis(200),
+		Friction: 3, Settle: simtime.FromMillis(800)}
+	vAt := func(ms float64) float64 {
+		dt := simtime.FromMillis(1)
+		a := f.Value(simtime.Time(simtime.FromMillis(ms)))
+		b := f.Value(simtime.Time(simtime.FromMillis(ms)).Add(dt))
+		return (b - a) / dt.Seconds()
+	}
+	// Velocity during drag ≈ 2000; velocity decays after release.
+	if v := vAt(100); math.Abs(v-2000) > 1 {
+		t.Errorf("drag velocity %v", v)
+	}
+	v1, v2 := vAt(300), vAt(600)
+	if v1 <= v2 || v1 >= 2000 {
+		t.Errorf("fling not decelerating: v(300ms)=%v v(600ms)=%v", v1, v2)
+	}
+	// Position is monotone.
+	prev := -1.0
+	for ms := 0.0; ms <= 1000; ms += 10 {
+		v := f.Value(simtime.Time(simtime.FromMillis(ms)))
+		if v < prev {
+			t.Fatalf("position regressed at %vms", ms)
+		}
+		prev = v
+	}
+}
+
+func TestPinchTremor(t *testing.T) {
+	p := Pinch{StartDistance: 200, RatePxPerSec: 400, TremorAmp: 5, TremorHz: 8,
+		Duration: simtime.FromMillis(1000)}
+	if got := p.Value(0); got != 200 {
+		t.Errorf("Value(0) = %v", got)
+	}
+	end := p.Value(simtime.Time(simtime.FromMillis(1000)))
+	if math.Abs(end-600) > p.TremorAmp+1e-9 {
+		t.Errorf("Value(1s) = %v, want ≈600", end)
+	}
+	// Tremor means the trace deviates from the pure line somewhere.
+	deviated := false
+	for ms := 0.0; ms < 1000; ms += 7 {
+		tt := simtime.Time(simtime.FromMillis(ms))
+		line := 200 + 400*simtime.Duration(tt).Seconds()
+		if math.Abs(p.Value(tt)-line) > 1 {
+			deviated = true
+			break
+		}
+	}
+	if !deviated {
+		t.Error("tremor has no effect")
+	}
+}
+
+func TestDigitizerSampling(t *testing.T) {
+	s := Swipe{Start: 0, Velocity: 100, Duration: simtime.FromMillis(100)}
+	d := Digitizer{RateHz: 120}
+	samples := d.Samples(s)
+	want := int(simtime.FromMillis(100)/simtime.PeriodForHz(120)) + 1
+	if len(samples) != want {
+		t.Fatalf("samples = %d, want %d", len(samples), want)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At.Sub(samples[i-1].At) != simtime.PeriodForHz(120) {
+			t.Fatal("sample spacing wrong")
+		}
+		if samples[i].Value < samples[i-1].Value {
+			t.Fatal("swipe samples should be monotone")
+		}
+	}
+}
+
+func TestHistory(t *testing.T) {
+	samples := []Sample{{At: 0}, {At: 10}, {At: 20}, {At: 30}}
+	if got := History(samples, 15); len(got) != 2 {
+		t.Errorf("History(15) = %d samples", len(got))
+	}
+	if got := History(samples, 30); len(got) != 4 {
+		t.Errorf("History(30) = %d samples", len(got))
+	}
+	if got := History(samples, -1); len(got) != 0 {
+		t.Errorf("History(-1) = %d samples", len(got))
+	}
+}
+
+func TestDigitizerInvalidRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Digitizer{}.Samples(Swipe{Duration: 1000})
+}

@@ -1,0 +1,160 @@
+// Package ipl implements the Input Prediction Layer extension (§4.6):
+// curve-fitting predictors that correct the current status of input events
+// to the anticipated status at a frame's expected display time, so
+// interactive frames can be pre-rendered.
+//
+// Predictors implement core.InputPredictor. The package ships the linear
+// least-squares fit the paper's map app registers as its Zooming Distance
+// Predictor (ZDP, §6.5), plus a quadratic variant and a last-value baseline
+// for ablations.
+package ipl
+
+import (
+	"dvsync/internal/core"
+	"dvsync/internal/simtime"
+)
+
+// LastValue predicts no motion: the most recent sample persists. This is
+// exactly what a decoupled frame would render *without* IPL, so it doubles
+// as the ablation baseline.
+type LastValue struct{}
+
+// Predict implements core.InputPredictor.
+func (LastValue) Predict(history []core.InputSample, _ simtime.Time) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	return history[len(history)-1].Value
+}
+
+// Linear fits a least-squares line through the most recent Window samples
+// and extrapolates it to the target time — the paper's ZDP ("a linear line
+// fitting of current (and historical) data of the distance", §6.5).
+type Linear struct {
+	// Window is how many trailing samples to fit; 0 defaults to 8.
+	Window int
+}
+
+// Predict implements core.InputPredictor.
+func (l Linear) Predict(history []core.InputSample, at simtime.Time) float64 {
+	n := l.Window
+	if n <= 0 {
+		n = 8
+	}
+	if len(history) == 0 {
+		return 0
+	}
+	if len(history) < 2 {
+		return history[len(history)-1].Value
+	}
+	if len(history) > n {
+		history = history[len(history)-n:]
+	}
+	// Least squares on (t, v) with t in seconds relative to the last
+	// sample for conditioning.
+	t0 := history[len(history)-1].At
+	var sx, sy, sxx, sxy float64
+	for _, s := range history {
+		x := s.At.Sub(t0).Seconds()
+		sx += x
+		sy += s.Value
+		sxx += x * x
+		sxy += x * s.Value
+	}
+	fn := float64(len(history))
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return history[len(history)-1].Value
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	return intercept + slope*at.Sub(t0).Seconds()
+}
+
+// Quadratic fits a parabola through the trailing Window samples, capturing
+// acceleration (useful for spring-like finger motion).
+type Quadratic struct {
+	// Window is how many trailing samples to fit; 0 defaults to 12.
+	Window int
+}
+
+// Predict implements core.InputPredictor.
+func (q Quadratic) Predict(history []core.InputSample, at simtime.Time) float64 {
+	n := q.Window
+	if n <= 0 {
+		n = 12
+	}
+	if len(history) < 3 {
+		return Linear{Window: n}.Predict(history, at)
+	}
+	if len(history) > n {
+		history = history[len(history)-n:]
+	}
+	t0 := history[len(history)-1].At
+	// Normal equations for y = a + b·x + c·x².
+	var s0, s1, s2, s3, s4, sy, sxy, sx2y float64
+	for _, s := range history {
+		x := s.At.Sub(t0).Seconds()
+		x2 := x * x
+		s0++
+		s1 += x
+		s2 += x2
+		s3 += x2 * x
+		s4 += x2 * x2
+		sy += s.Value
+		sxy += x * s.Value
+		sx2y += x2 * s.Value
+	}
+	a, b, c, ok := solve3(
+		[3][4]float64{
+			{s0, s1, s2, sy},
+			{s1, s2, s3, sxy},
+			{s2, s3, s4, sx2y},
+		})
+	if !ok {
+		return Linear{Window: n}.Predict(history, at)
+	}
+	x := at.Sub(t0).Seconds()
+	return a + b*x + c*x*x
+}
+
+// solve3 solves a 3×3 linear system by Gaussian elimination with partial
+// pivoting; ok is false when singular.
+func solve3(m [3][4]float64) (a, b, c float64, ok bool) {
+	for col := 0; col < 3; col++ {
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if abs(m[r][col]) > abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if abs(m[pivot][col]) < 1e-12 {
+			return 0, 0, 0, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k < 4; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	return m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2], true
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Compile-time interface checks.
+var (
+	_ core.InputPredictor = LastValue{}
+	_ core.InputPredictor = Linear{}
+	_ core.InputPredictor = Quadratic{}
+)

@@ -1,0 +1,147 @@
+package ipl
+
+import (
+	"math"
+	"testing"
+
+	"dvsync/internal/core"
+	"dvsync/internal/input"
+	"dvsync/internal/simtime"
+)
+
+func toCore(samples []input.Sample) []core.InputSample {
+	out := make([]core.InputSample, len(samples))
+	for i, s := range samples {
+		out[i] = core.InputSample{At: s.At, Value: s.Value}
+	}
+	return out
+}
+
+func TestLastValue(t *testing.T) {
+	h := []core.InputSample{{At: 0, Value: 5}, {At: 10, Value: 9}}
+	if got := (LastValue{}).Predict(h, 100); got != 9 {
+		t.Errorf("Predict = %v", got)
+	}
+	if got := (LastValue{}).Predict(nil, 100); got != 0 {
+		t.Errorf("empty Predict = %v", got)
+	}
+}
+
+func TestLinearExactOnLine(t *testing.T) {
+	// Samples on v = 100 + 500·t(s); prediction must be exact.
+	var h []core.InputSample
+	for i := 0; i < 10; i++ {
+		at := simtime.Time(int64(i) * int64(simtime.FromMillis(8)))
+		h = append(h, core.InputSample{At: at, Value: 100 + 500*at.Seconds()})
+	}
+	target := simtime.Time(simtime.FromMillis(150))
+	want := 100 + 500*target.Seconds()
+	got := Linear{}.Predict(h, target)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestLinearDegenerateHistories(t *testing.T) {
+	if got := (Linear{}).Predict(nil, 0); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	one := []core.InputSample{{At: 5, Value: 42}}
+	if got := (Linear{}).Predict(one, 100); got != 42 {
+		t.Errorf("single sample = %v", got)
+	}
+	same := []core.InputSample{{At: 5, Value: 42}, {At: 5, Value: 44}}
+	if got := (Linear{}).Predict(same, 100); got != 44 {
+		t.Errorf("coincident timestamps = %v", got)
+	}
+}
+
+func TestLinearBeatsLastValueOnSwipe(t *testing.T) {
+	// The whole point of IPL: during a steady swipe, linear extrapolation
+	// to the display time beats holding the last sample (§4.6).
+	traj := input.Swipe{Start: 0, Velocity: 1500, Duration: simtime.FromMillis(500)}
+	samples := toCore(input.Digitizer{RateHz: 120}.Samples(traj))
+	now := simtime.Time(simtime.FromMillis(300))
+	target := now.Add(simtime.FromMillis(50)) // display ~3 periods ahead
+	hist := history(samples, now)
+	actual := traj.Value(target)
+	errLin := math.Abs(Linear{}.Predict(hist, target) - actual)
+	errLast := math.Abs(LastValue{}.Predict(hist, target) - actual)
+	if errLin > 1 {
+		t.Errorf("linear error %v px on a linear swipe", errLin)
+	}
+	if errLast < 50 {
+		t.Errorf("last-value error %v px suspiciously small", errLast)
+	}
+}
+
+func history(samples []core.InputSample, t simtime.Time) []core.InputSample {
+	hi := len(samples)
+	for hi > 0 && samples[hi-1].At.After(t) {
+		hi--
+	}
+	return samples[:hi]
+}
+
+func TestLinearWindowLimitsHistory(t *testing.T) {
+	// Old garbage followed by a clean recent line: a small window must
+	// ignore the garbage.
+	var h []core.InputSample
+	for i := 0; i < 20; i++ {
+		h = append(h, core.InputSample{At: simtime.Time(i * 1000), Value: 1e6})
+	}
+	for i := 0; i < 8; i++ {
+		at := simtime.Time(100000 + i*1000)
+		h = append(h, core.InputSample{At: at, Value: float64(i)})
+	}
+	got := Linear{Window: 8}.Predict(h, simtime.Time(100000+8*1000))
+	if math.Abs(got-8) > 1e-6 {
+		t.Errorf("windowed predict = %v, want 8", got)
+	}
+}
+
+func TestQuadraticExactOnParabola(t *testing.T) {
+	// v = 10 + 3·t + 0.5·t² (t in seconds).
+	var h []core.InputSample
+	for i := 0; i < 12; i++ {
+		at := simtime.Time(int64(i) * int64(simtime.FromMillis(10)))
+		x := at.Seconds()
+		h = append(h, core.InputSample{At: at, Value: 10 + 3*x + 0.5*x*x})
+	}
+	target := simtime.Time(simtime.FromMillis(200))
+	x := target.Seconds()
+	want := 10 + 3*x + 0.5*x*x
+	got := Quadratic{}.Predict(h, target)
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("Predict = %v, want %v", got, want)
+	}
+}
+
+func TestQuadraticFallsBackOnShortHistory(t *testing.T) {
+	h := []core.InputSample{{At: 0, Value: 1}, {At: 1000, Value: 2}}
+	got := Quadratic{}.Predict(h, 2000)
+	if math.IsNaN(got) {
+		t.Error("NaN from short history")
+	}
+}
+
+func TestZDPOnPinchGesture(t *testing.T) {
+	// The §6.5 scenario: linear fitting tracks a zooming distance with
+	// tremor to within a few pixels across the D-Timestamp horizon.
+	traj := input.Pinch{StartDistance: 200, RatePxPerSec: 350,
+		TremorAmp: 4, TremorHz: 6, Duration: simtime.FromMillis(1200)}
+	samples := toCore(input.Digitizer{RateHz: 120}.Samples(traj))
+	var worst float64
+	for ms := 200.0; ms <= 1000; ms += 40 {
+		now := simtime.Time(simtime.FromMillis(ms))
+		target := now.Add(simtime.FromMillis(33)) // ≈2 periods at 60 Hz
+		pred := Linear{}.Predict(history(samples, now), target)
+		err := math.Abs(pred - traj.Value(target))
+		if err > worst {
+			worst = err
+		}
+	}
+	if worst > 3*traj.TremorAmp {
+		t.Errorf("worst ZDP error %.1f px, want within tremor scale", worst)
+	}
+}

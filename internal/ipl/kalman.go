@@ -1,0 +1,92 @@
+package ipl
+
+import (
+	"dvsync/internal/core"
+	"dvsync/internal/simtime"
+)
+
+// Kalman is a constant-velocity Kalman filter predictor: it tracks
+// position and velocity through noisy digitizer reports and extrapolates
+// the state to the target time. The paper's related-work discussion (§8)
+// notes that speculative predictors à la Outatime can be integrated into
+// D-VSync through the IPL — this is the classical filtering variant of
+// that idea, more robust to sensor noise than a raw least-squares fit on
+// short windows.
+//
+// Kalman is stateless across calls (it re-filters the supplied history),
+// matching the core.InputPredictor contract; the filter itself is O(n) in
+// the history length, so callers should window their histories.
+type Kalman struct {
+	// ProcessNoise is the acceleration spectral density (units/s²);
+	// 0 defaults to 5e4 — lively enough to track human gestures.
+	ProcessNoise float64
+	// MeasurementNoise is the digitizer's position noise std-dev in input
+	// units; 0 defaults to 2.
+	MeasurementNoise float64
+	// Window caps how many trailing samples are filtered; 0 defaults
+	// to 16.
+	Window int
+}
+
+// Predict implements core.InputPredictor.
+func (k Kalman) Predict(history []core.InputSample, at simtime.Time) float64 {
+	if len(history) == 0 {
+		return 0
+	}
+	if len(history) == 1 {
+		return history[0].Value
+	}
+	q := k.ProcessNoise
+	if q <= 0 {
+		q = 5e4
+	}
+	rNoise := k.MeasurementNoise
+	if rNoise <= 0 {
+		rNoise = 2
+	}
+	r := rNoise * rNoise
+	window := k.Window
+	if window <= 0 {
+		window = 16
+	}
+	if len(history) > window {
+		history = history[len(history)-window:]
+	}
+
+	// State [position, velocity]; covariance P (symmetric 2×2).
+	x0, x1 := history[0].Value, 0.0
+	p00, p01, p11 := r, 0.0, 1e6 // unknown initial velocity
+	prev := history[0].At
+
+	for _, s := range history[1:] {
+		dt := s.At.Sub(prev).Seconds()
+		prev = s.At
+		if dt <= 0 {
+			continue
+		}
+		// Predict: x ← F·x with F = [[1, dt], [0, 1]].
+		x0 += x1 * dt
+		// P ← F·P·Fᵀ + Q (white-noise acceleration model).
+		dt2 := dt * dt
+		p00 += 2*dt*p01 + dt2*p11 + q*dt2*dt2/4
+		p01 += dt*p11 + q*dt2*dt/2
+		p11 += q * dt2
+
+		// Update with measurement z = position.
+		innov := s.Value - x0
+		sVar := p00 + r
+		k0 := p00 / sVar
+		k1 := p01 / sVar
+		x0 += k0 * innov
+		x1 += k1 * innov
+		// Joseph-free covariance update (standard form).
+		p11 -= k1 * p01
+		p01 -= k1 * p00
+		p00 -= k0 * p00
+	}
+
+	horizon := at.Sub(prev).Seconds()
+	return x0 + x1*horizon
+}
+
+var _ core.InputPredictor = Kalman{}

@@ -1,0 +1,86 @@
+package ipl
+
+import (
+	"math"
+	"testing"
+
+	"dvsync/internal/core"
+	"dvsync/internal/input"
+	"dvsync/internal/simtime"
+)
+
+func TestKalmanDegenerate(t *testing.T) {
+	if got := (Kalman{}).Predict(nil, 100); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	one := []core.InputSample{{At: 5, Value: 42}}
+	if got := (Kalman{}).Predict(one, 100); got != 42 {
+		t.Errorf("single = %v", got)
+	}
+}
+
+func TestKalmanTracksLine(t *testing.T) {
+	var h []core.InputSample
+	for i := 0; i < 24; i++ {
+		at := simtime.Time(int64(i) * int64(simtime.FromMillis(8)))
+		h = append(h, core.InputSample{At: at, Value: 100 + 900*at.Seconds()})
+	}
+	target := simtime.Time(simtime.FromMillis(250))
+	want := 100 + 900*target.Seconds()
+	got := Kalman{}.Predict(h, target)
+	if math.Abs(got-want) > 3 {
+		t.Errorf("Kalman on clean line = %v, want %v", got, want)
+	}
+}
+
+// TestKalmanBeatsLinearUnderNoise: with noisy reports, the filter's
+// explicit noise model out-predicts a short-window least-squares fit.
+func TestKalmanBeatsLinearUnderNoise(t *testing.T) {
+	traj := input.Swipe{Start: 0, Velocity: 1200, Duration: simtime.FromSeconds(1)}
+	noise := []float64{2.1, -1.7, 0.4, -2.3, 1.9, -0.6, 2.7, -1.2} // deterministic "sensor" noise
+	var h []core.InputSample
+	for i := 0; i < 60; i++ {
+		at := simtime.Time(int64(i) * int64(simtime.PeriodForHz(120)))
+		h = append(h, core.InputSample{At: at, Value: traj.Value(at) + 3*noise[i%len(noise)]})
+	}
+	now := h[len(h)-1].At
+	target := now.Add(simtime.FromMillis(50))
+	actual := traj.Value(target)
+	errK := math.Abs(Kalman{}.Predict(h, target) - actual)
+	errL := math.Abs(Linear{Window: 4}.Predict(h, target) - actual)
+	if errK > 15 {
+		t.Errorf("Kalman error %v px too large", errK)
+	}
+	if errK >= errL {
+		t.Errorf("Kalman (%v) should beat a short-window linear fit (%v) under noise", errK, errL)
+	}
+}
+
+func TestKalmanCoincidentTimestamps(t *testing.T) {
+	h := []core.InputSample{
+		{At: 0, Value: 0}, {At: 0, Value: 1}, {At: 1000, Value: 2},
+	}
+	got := Kalman{}.Predict(h, 2000)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("unstable on coincident timestamps: %v", got)
+	}
+}
+
+func TestKalmanWindow(t *testing.T) {
+	// Garbage history followed by a clean segment: a small window ignores
+	// the garbage.
+	var h []core.InputSample
+	for i := 0; i < 30; i++ {
+		h = append(h, core.InputSample{At: simtime.Time(i * 1000000), Value: 1e5})
+	}
+	base := simtime.Time(30 * 1000000)
+	for i := 0; i < 16; i++ {
+		at := base.Add(simtime.Duration(i) * simtime.FromMillis(8))
+		h = append(h, core.InputSample{At: at, Value: float64(i)})
+	}
+	last := h[len(h)-1].At
+	got := Kalman{Window: 16}.Predict(h, last.Add(simtime.FromMillis(8)))
+	if math.Abs(got-16) > 2 {
+		t.Errorf("windowed Kalman = %v, want ≈16", got)
+	}
+}

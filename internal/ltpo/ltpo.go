@@ -1,0 +1,159 @@
+// Package ltpo implements variable-refresh-rate control for LTPO panels
+// and its co-design with D-VSync (§5.3).
+//
+// Traditional LTPO lowers the refresh rate when on-screen motion is slow
+// enough that human eyes cannot tell the difference — a swipe starts at
+// 120 Hz, then drops to 90 and 60 as the fling decelerates. D-VSync and
+// LTPO interact through the accumulated frames: a buffer rendered for rate
+// X must be displayed for a 1/X interval, so the panel may only switch to
+// rate Y once every X-rate buffer has been consumed. The Coordinator
+// enforces exactly that hand-off: rendering switches rate first, the queue
+// drains, then the panel follows.
+package ltpo
+
+import (
+	"fmt"
+	"sort"
+
+	"dvsync/internal/simtime"
+)
+
+// Policy decides the desired refresh rate from the current content
+// velocity (in content units per second, e.g. scroll px/s).
+type Policy interface {
+	DesiredHz(velocity float64) int
+}
+
+// ThresholdPolicy is the classic step policy: the highest rate whose
+// velocity threshold the motion exceeds.
+type ThresholdPolicy struct {
+	// Steps maps a minimum velocity to a rate; the zero-velocity rate is
+	// the floor (e.g. 60 Hz at rest for UI, 30 for video).
+	Steps []RateStep
+}
+
+// RateStep is one (velocity ≥ MinVelocity ⇒ Hz) rule.
+type RateStep struct {
+	MinVelocity float64
+	Hz          int
+}
+
+// NewThresholdPolicy validates and sorts the steps by ascending velocity.
+func NewThresholdPolicy(steps []RateStep) *ThresholdPolicy {
+	if len(steps) == 0 {
+		panic("ltpo: empty policy")
+	}
+	s := append([]RateStep(nil), steps...)
+	sort.Slice(s, func(i, j int) bool { return s[i].MinVelocity < s[j].MinVelocity })
+	if s[0].MinVelocity != 0 {
+		panic("ltpo: policy must define a zero-velocity floor rate")
+	}
+	for _, st := range s {
+		if st.Hz <= 0 {
+			panic(fmt.Sprintf("ltpo: invalid rate %d", st.Hz))
+		}
+	}
+	return &ThresholdPolicy{Steps: s}
+}
+
+// DefaultUIPolicy mirrors the §5.3 example: 120 Hz while interacting,
+// stepping to 90 and 60 as scrolling slows.
+func DefaultUIPolicy() *ThresholdPolicy {
+	return NewThresholdPolicy([]RateStep{
+		{0, 60},
+		{400, 90},
+		{1200, 120},
+	})
+}
+
+// DesiredHz implements Policy.
+func (p *ThresholdPolicy) DesiredHz(velocity float64) int {
+	if velocity < 0 {
+		velocity = -velocity
+	}
+	hz := p.Steps[0].Hz
+	for _, s := range p.Steps {
+		if velocity >= s.MinVelocity {
+			hz = s.Hz
+		}
+	}
+	return hz
+}
+
+// QueueView is how the coordinator inspects pending frames: the rates of
+// all rendered-but-undisplayed buffers, oldest first.
+type QueueView interface {
+	PendingRates() []int
+}
+
+// PanelControl is the subset of the panel the coordinator drives.
+type PanelControl interface {
+	RefreshHz() int
+	SetRefreshHz(hz int)
+}
+
+// Coordinator applies a Policy while honouring the D-VSync drain rule: the
+// panel switches only when no accumulated buffer was produced for the old
+// rate (§5.3: "frames produced at frame rate X must be consumed by the
+// screen's HAL before the screen can switch to the new refresh rate Y").
+type Coordinator struct {
+	policy Policy
+	panel  PanelControl
+	queue  QueueView
+
+	// renderHz is the rate new frames should be produced for; it may lead
+	// the panel rate during a drain.
+	renderHz  int
+	pendingHz int // panel switch awaiting drain; 0 = none
+
+	switches int
+	deferred int
+}
+
+// NewCoordinator wires a coordinator.
+func NewCoordinator(policy Policy, panel PanelControl, queue QueueView) *Coordinator {
+	if policy == nil || panel == nil || queue == nil {
+		panic("ltpo: nil coordinator dependency")
+	}
+	return &Coordinator{policy: policy, panel: panel, queue: queue, renderHz: panel.RefreshHz()}
+}
+
+// RenderHz returns the rate frames should currently be rendered for. The
+// producer tags buffers with it.
+func (c *Coordinator) RenderHz() int { return c.renderHz }
+
+// Switches returns how many panel rate changes were applied.
+func (c *Coordinator) Switches() int { return c.switches }
+
+// DeferredSwitches returns how many times a panel switch had to wait for
+// accumulated frames to drain.
+func (c *Coordinator) DeferredSwitches() int { return c.deferred }
+
+// Observe is called every refresh edge (after the latch) with the current
+// content velocity. It retargets the render rate immediately and the panel
+// rate as soon as the queue holds no old-rate buffers.
+func (c *Coordinator) Observe(now simtime.Time, velocity float64) {
+	want := c.policy.DesiredHz(velocity)
+	if want != c.renderHz {
+		// Rendering switches rate first: new frames are tagged with the
+		// new rate while old-rate frames finish displaying.
+		c.renderHz = want
+	}
+	cur := c.panel.RefreshHz()
+	if want == cur {
+		c.pendingHz = 0
+		return
+	}
+	c.pendingHz = want
+	for _, hz := range c.queue.PendingRates() {
+		if hz != want {
+			// An accumulated buffer still carries a different rate bound:
+			// it controls its own display duration, so the switch waits.
+			c.deferred++
+			return
+		}
+	}
+	c.panel.SetRefreshHz(want)
+	c.switches++
+	c.pendingHz = 0
+}

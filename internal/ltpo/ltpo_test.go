@@ -1,0 +1,146 @@
+package ltpo
+
+import (
+	"testing"
+)
+
+type fakePanel struct{ hz int }
+
+func (p *fakePanel) RefreshHz() int      { return p.hz }
+func (p *fakePanel) SetRefreshHz(hz int) { p.hz = hz }
+
+type fakeQueue struct{ rates []int }
+
+func (q *fakeQueue) PendingRates() []int { return q.rates }
+
+func TestThresholdPolicy(t *testing.T) {
+	p := DefaultUIPolicy()
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 60}, {100, 60}, {399, 60}, {400, 90}, {1000, 90},
+		{1200, 120}, {5000, 120}, {-5000, 120},
+	}
+	for _, c := range cases {
+		if got := p.DesiredHz(c.v); got != c.want {
+			t.Errorf("DesiredHz(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	for _, steps := range [][]RateStep{
+		nil,
+		{{MinVelocity: 100, Hz: 60}}, // no zero floor
+		{{MinVelocity: 0, Hz: 0}},    // invalid rate
+		{{MinVelocity: 0, Hz: -1}},   // invalid rate
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewThresholdPolicy(%v) should panic", steps)
+				}
+			}()
+			NewThresholdPolicy(steps)
+		}()
+	}
+}
+
+func TestCoordinatorImmediateSwitchWhenDrained(t *testing.T) {
+	panel := &fakePanel{hz: 120}
+	queue := &fakeQueue{}
+	c := NewCoordinator(DefaultUIPolicy(), panel, queue)
+	// Scrolling slows to a crawl: with nothing pending, the panel drops to
+	// 60 Hz right away.
+	c.Observe(0, 50)
+	if panel.hz != 60 {
+		t.Errorf("panel at %d Hz, want 60", panel.hz)
+	}
+	if c.RenderHz() != 60 {
+		t.Errorf("render rate %d, want 60", c.RenderHz())
+	}
+	if c.Switches() != 1 {
+		t.Errorf("switches = %d", c.Switches())
+	}
+}
+
+func TestCoordinatorDrainRule(t *testing.T) {
+	panel := &fakePanel{hz: 120}
+	queue := &fakeQueue{rates: []int{120, 120}}
+	c := NewCoordinator(DefaultUIPolicy(), panel, queue)
+
+	// Two accumulated 120 Hz buffers: rendering retargets immediately, the
+	// panel must wait (§5.3: X-rate frames consumed before switching to Y).
+	c.Observe(0, 50)
+	if c.RenderHz() != 60 {
+		t.Errorf("render rate %d, want 60 immediately", c.RenderHz())
+	}
+	if panel.hz != 120 {
+		t.Errorf("panel switched to %d with 120 Hz frames pending", panel.hz)
+	}
+	if c.DeferredSwitches() != 1 {
+		t.Errorf("deferred = %d", c.DeferredSwitches())
+	}
+
+	// One old buffer consumed, one new-rate buffer rendered: still blocked.
+	queue.rates = []int{120, 60}
+	c.Observe(1000, 50)
+	if panel.hz != 120 {
+		t.Error("panel switched with an old-rate frame still queued")
+	}
+
+	// Old-rate frames fully drained: the switch applies.
+	queue.rates = []int{60, 60}
+	c.Observe(2000, 50)
+	if panel.hz != 60 {
+		t.Errorf("panel at %d Hz after drain, want 60", panel.hz)
+	}
+	if c.Switches() != 1 {
+		t.Errorf("switches = %d", c.Switches())
+	}
+}
+
+func TestCoordinatorSpeedUpAndBack(t *testing.T) {
+	panel := &fakePanel{hz: 60}
+	queue := &fakeQueue{}
+	c := NewCoordinator(DefaultUIPolicy(), panel, queue)
+	c.Observe(0, 2000)
+	if panel.hz != 120 {
+		t.Errorf("fast motion should raise rate: %d", panel.hz)
+	}
+	c.Observe(1000, 700)
+	if panel.hz != 90 {
+		t.Errorf("medium motion should step to 90: %d", panel.hz)
+	}
+	c.Observe(2000, 0)
+	if panel.hz != 60 {
+		t.Errorf("rest should fall to 60: %d", panel.hz)
+	}
+	if c.Switches() != 3 {
+		t.Errorf("switches = %d", c.Switches())
+	}
+}
+
+func TestCoordinatorTargetWithdrawn(t *testing.T) {
+	panel := &fakePanel{hz: 120}
+	queue := &fakeQueue{rates: []int{120}}
+	c := NewCoordinator(DefaultUIPolicy(), panel, queue)
+	c.Observe(0, 50) // wants 60, deferred
+	c.Observe(1000, 3000)
+	if panel.hz != 120 || c.RenderHz() != 120 {
+		t.Error("returning to fast motion should cancel the pending switch")
+	}
+	if c.Switches() != 0 {
+		t.Errorf("switches = %d, want 0", c.Switches())
+	}
+}
+
+func TestNilDependenciesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCoordinator(nil, nil, nil)
+}

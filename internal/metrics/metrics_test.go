@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Errorf("Std = %v", w.Std())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Std() != 0 || w.N() != 0 {
+		t.Error("empty Welford should be zero")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true // skip pathological inputs
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 10 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("P50 = %v", got)
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30, 40})
+	if s.N != 4 || s.Mean != 25 || s.Min != 10 || s.Max != 40 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.P50 != 25 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := CDF(xs, []float64{0, 1, 2.5, 4, 10})
+	want := []float64{0, 0.25, 0.5, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 50} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Errorf("counts %v", h.Counts)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestJankReport(t *testing.T) {
+	r := JankReport{Janks: 12, Edges: 120, WindowSeconds: 2}
+	if r.FDPS() != 6 {
+		t.Errorf("FDPS = %v", r.FDPS())
+	}
+	if r.DropPercent() != 10 {
+		t.Errorf("DropPercent = %v", r.DropPercent())
+	}
+	if got := r.EffectiveFPS(60); got != 54 {
+		t.Errorf("EffectiveFPS = %v", got)
+	}
+	zero := JankReport{}
+	if zero.FDPS() != 0 || zero.DropPercent() != 0 {
+		t.Error("zero report should be zero")
+	}
+}
+
+func TestCountStutters(t *testing.T) {
+	cfg := DefaultStutterConfig()
+	cases := []struct {
+		name  string
+		janks []JankEvent
+		want  int
+	}{
+		{"none", nil, 0},
+		{"single non-key", []JankEvent{{EdgeSeq: 5}}, 0},
+		{"single key", []JankEvent{{EdgeSeq: 5, KeyFrame: true}}, 1},
+		{"run of two", []JankEvent{{EdgeSeq: 5}, {EdgeSeq: 6}}, 1},
+		{"two separate runs", []JankEvent{{EdgeSeq: 5}, {EdgeSeq: 6}, {EdgeSeq: 20}, {EdgeSeq: 21}, {EdgeSeq: 22}}, 2},
+		{"isolated non-key janks", []JankEvent{{EdgeSeq: 5}, {EdgeSeq: 10}, {EdgeSeq: 15}}, 0},
+		{"isolated key janks", []JankEvent{{EdgeSeq: 5, KeyFrame: true}, {EdgeSeq: 10, KeyFrame: true}}, 2},
+	}
+	for _, c := range cases {
+		if got := CountStutters(c.janks, cfg); got != c.want {
+			t.Errorf("%s: stutters = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCountStuttersMinRunOnly(t *testing.T) {
+	cfg := StutterConfig{MinRun: 3, KeyFrameJank: false}
+	janks := []JankEvent{{EdgeSeq: 1, KeyFrame: true}, {EdgeSeq: 2}, {EdgeSeq: 4}, {EdgeSeq: 5}, {EdgeSeq: 6}}
+	if got := CountStutters(janks, cfg); got != 1 {
+		t.Errorf("stutters = %d, want 1 (only the 3-run)", got)
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	m := DefaultPowerModel()
+	e1 := m.EnergyJoules(1000, 60000)
+	e2 := m.EnergyJoules(1100, 60000)
+	if e2 <= e1 {
+		t.Error("more work must cost more energy")
+	}
+	inc := PercentIncrease(e1, e2)
+	if inc <= 0 || inc > 1 {
+		t.Errorf("increase = %v%%, want small positive", inc)
+	}
+	if m.RenderInstructions(1) != m.RenderInstructionsPerMs {
+		t.Error("render instruction proxy wrong")
+	}
+	if m.LittleInstructions(2) != 2*m.LittleInstructionsPerMs {
+		t.Error("little instruction proxy wrong")
+	}
+}
+
+func TestPercentHelpers(t *testing.T) {
+	if PercentIncrease(100, 110) != 10 {
+		t.Error("PercentIncrease")
+	}
+	if PercentReduction(100, 25) != 75 {
+		t.Error("PercentReduction")
+	}
+	if PercentIncrease(0, 5) != 0 || PercentReduction(0, 5) != 0 {
+		t.Error("zero base should yield 0")
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		pa, pb := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := Percentile(xs, pa), Percentile(xs, pb)
+		return qa <= qb && qa >= xs[0] && qb <= xs[len(xs)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package pipeline implements the frame production machinery shared by the
+// VSync baseline and D-VSync: the app UI-thread stage and the render
+// service/render-thread stage, executing frame workloads into the buffer
+// queue (Figure 2's producer side).
+//
+// The two stages are distinct serial resources, so the UI stage of frame
+// N+1 may overlap the render stage of frame N — the pipelining that lets
+// OpenHarmony render consecutive frames in parallel (§2).
+package pipeline
+
+import (
+	"fmt"
+
+	"dvsync/internal/buffer"
+	"dvsync/internal/event"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// StartRequest describes one frame execution.
+type StartRequest struct {
+	// Index is the frame's position in the workload trace.
+	Index int
+	// ContentTime is the timestamp the frame renders its content for.
+	ContentTime simtime.Time
+	// DTimestamp is the DTV prediction (zero on the VSync path).
+	DTimestamp simtime.Time
+	// Decoupled marks FPE-triggered frames.
+	Decoupled bool
+	// RateHz is the refresh rate the frame targets (LTPO rate binding).
+	RateHz int
+}
+
+// Producer executes frames through the two-stage pipeline into the queue.
+type Producer struct {
+	engine *event.Engine
+	queue  *buffer.Queue
+	trace  *workload.Trace
+
+	uiBusyUntil simtime.Time
+	rsBusyUntil simtime.Time
+	inflight    []*buffer.Frame // dequeued, not yet queued (FIFO)
+
+	// OnUIDone fires when a frame's UI stage completes (the moment the
+	// next frame's request becomes actionable for the FPE).
+	OnUIDone func(now simtime.Time, f *buffer.Frame)
+	// OnQueued fires when a frame's buffer enters the queue.
+	OnQueued func(now simtime.Time, f *buffer.Frame)
+
+	// PerFrameOverhead is charged to the work accounting for every started
+	// frame (the FPE+DTV bookkeeping cost of §6.4 when running D-VSync).
+	PerFrameOverhead simtime.Duration
+
+	started  int
+	executed simtime.Duration // total stage time spent
+	overhead simtime.Duration // total bookkeeping time spent
+	frames   []*buffer.Frame  // all frames started, by start order
+}
+
+// NewProducer builds a producer over the given queue and workload trace.
+func NewProducer(e *event.Engine, q *buffer.Queue, t *workload.Trace) *Producer {
+	if t.Len() == 0 {
+		panic("pipeline: empty workload trace")
+	}
+	return &Producer{engine: e, queue: q, trace: t}
+}
+
+// UIFree reports whether the UI thread is idle at now.
+func (p *Producer) UIFree(now simtime.Time) bool { return p.uiBusyUntil <= now }
+
+// Ahead returns the number of frames rendered or rendering but not yet
+// latched: the quantity the FPE limits and the DTV multiplies by the
+// period.
+func (p *Producer) Ahead() int { return p.queue.QueuedCount() + len(p.inflight) }
+
+// Started returns how many frames have been started.
+func (p *Producer) Started() int { return p.started }
+
+// Frames returns every started frame in start order.
+func (p *Producer) Frames() []*buffer.Frame { return p.frames }
+
+// ExecutedWork returns total stage time executed.
+func (p *Producer) ExecutedWork() simtime.Duration { return p.executed }
+
+// OverheadWork returns total per-frame bookkeeping time charged.
+func (p *Producer) OverheadWork() simtime.Duration { return p.overhead }
+
+// TraceLen returns the workload length.
+func (p *Producer) TraceLen() int { return p.trace.Len() }
+
+// CostOf returns the workload cost of frame i.
+func (p *Producer) CostOf(i int) workload.Cost { return p.trace.Costs[i] }
+
+// Inflight returns the frames currently being rendered, oldest first. The
+// returned slice is the producer's internal buffer; callers must not
+// modify it.
+func (p *Producer) Inflight() []*buffer.Frame { return p.inflight }
+
+// OldestInflight returns the earliest frame still being rendered, or nil.
+func (p *Producer) OldestInflight() *buffer.Frame {
+	if len(p.inflight) == 0 {
+		return nil
+	}
+	return p.inflight[0]
+}
+
+// Start begins executing frame req.Index at now. The caller must have
+// verified UIFree and queue availability; Start panics otherwise, because a
+// violated precondition means the driver logic is wrong.
+func (p *Producer) Start(now simtime.Time, req StartRequest) *buffer.Frame {
+	if req.Index < 0 || req.Index >= p.trace.Len() {
+		panic(fmt.Sprintf("pipeline: frame index %d out of range", req.Index))
+	}
+	if !p.UIFree(now) {
+		panic(fmt.Sprintf("pipeline: start at %v while UI busy until %v", now, p.uiBusyUntil))
+	}
+	cost := p.trace.Costs[req.Index]
+	f := &buffer.Frame{
+		Seq:         req.Index,
+		ContentTime: req.ContentTime,
+		DTimestamp:  req.DTimestamp,
+		Decoupled:   req.Decoupled,
+		UIStart:     now,
+		RateHz:      req.RateHz,
+		UICost:      cost.UI,
+		RSCost:      cost.RS,
+	}
+	b := p.queue.Dequeue(f)
+	if b == nil {
+		panic(fmt.Sprintf("pipeline: start at %v with no free buffer", now))
+	}
+
+	f.UIDone = now.Add(cost.UI)
+	p.uiBusyUntil = f.UIDone
+	f.RSStart = simtime.Max(f.UIDone, p.rsBusyUntil)
+	f.RSDone = f.RSStart.Add(cost.RS)
+	p.rsBusyUntil = f.RSDone
+
+	p.inflight = append(p.inflight, f)
+	p.frames = append(p.frames, f)
+	p.started++
+	p.executed += cost.UI + cost.RS
+	p.overhead += p.PerFrameOverhead
+
+	p.engine.At(f.UIDone, event.PriorityPipeline, func(t simtime.Time) {
+		if p.OnUIDone != nil {
+			p.OnUIDone(t, f)
+		}
+	})
+	p.engine.At(f.RSDone, event.PriorityPipeline, func(t simtime.Time) {
+		f.QueuedAt = t
+		// Remove from inflight (always the head: RS is FIFO because
+		// RSStart is monotone in start order).
+		if len(p.inflight) == 0 || p.inflight[0] != f {
+			panic("pipeline: inflight order violated")
+		}
+		copy(p.inflight, p.inflight[1:])
+		p.inflight = p.inflight[:len(p.inflight)-1]
+		p.queue.Enqueue(b)
+		if p.OnQueued != nil {
+			p.OnQueued(t, f)
+		}
+	})
+	return f
+}

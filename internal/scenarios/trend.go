@@ -1,0 +1,85 @@
+package scenarios
+
+// TrendPoint is one device in Figure 3's pixels-per-second trend: screen
+// height × width × refresh rate across flagship phones since 2010.
+type TrendPoint struct {
+	// Series is the product line ("iPhone", "Galaxy S", …).
+	Series string
+	// Model is the specific device.
+	Model string
+	// Year is the release year.
+	Year int
+	// Width, Height, RefreshHz size the rendering demand.
+	Width, Height, RefreshHz int
+}
+
+// PixelsPerSecond returns the Figure 3 y-value.
+func (p TrendPoint) PixelsPerSecond() int64 {
+	return int64(p.Width) * int64(p.Height) * int64(p.RefreshHz)
+}
+
+// Trend lists representative flagship devices per series. The paper's point
+// is the ≈25× growth from the 2010 baseline (iPhone 4 / Galaxy S) to
+// current flagships and foldables.
+func Trend() []TrendPoint {
+	return []TrendPoint{
+		{"iPhone", "iPhone 4", 2010, 640, 960, 60},
+		{"iPhone", "iPhone 6", 2014, 750, 1334, 60},
+		{"iPhone", "iPhone X", 2017, 1125, 2436, 60},
+		{"iPhone Pro Max", "iPhone 13 Pro Max", 2021, 1284, 2778, 120},
+		{"iPhone Pro Max", "iPhone 15 Pro Max", 2023, 1290, 2796, 120},
+		{"Galaxy S", "Galaxy S", 2010, 480, 800, 60},
+		{"Galaxy S", "Galaxy S8", 2017, 1440, 2960, 60},
+		{"Galaxy S Ultra", "Galaxy S21 Ultra", 2021, 1440, 3200, 120},
+		{"Galaxy S Ultra", "Galaxy S24 Ultra", 2024, 1440, 3120, 120},
+		{"Galaxy Z Fold", "Galaxy Z Fold 5", 2023, 1812, 2176, 120},
+		{"Mate Pro", "Mate 20 Pro", 2018, 1440, 3120, 60},
+		{"Mate Pro", "Mate 40 Pro", 2020, 1344, 2772, 90},
+		{"Mate Pro", "Mate 60 Pro", 2023, 1260, 2720, 120},
+		{"Mate X", "Mate X3", 2023, 2224, 2496, 120},
+		{"Pixel", "Pixel", 2016, 1080, 1920, 60},
+		{"Pixel", "Pixel 5", 2020, 1080, 2340, 60},
+		{"Pixel Pro", "Pixel 8 Pro", 2023, 1344, 2992, 120},
+		{"Pixel Fold", "Pixel Fold", 2023, 1840, 2208, 120},
+		{"ROG Phone", "ROG Phone 7", 2023, 1080, 2448, 165},
+		{"Oppo Find X Pro", "Find X6 Pro", 2023, 1440, 3168, 120},
+		{"Oppo Find N", "Find N3", 2023, 1792, 2240, 120},
+		{"Xiaomi Pro", "Xiaomi 13 Pro", 2023, 1440, 3200, 120},
+	}
+}
+
+// TrendGrowth returns the max/min pixels-per-second ratio across the trend
+// (the paper cites ≈25×).
+func TrendGrowth() float64 {
+	pts := Trend()
+	min, max := pts[0].PixelsPerSecond(), pts[0].PixelsPerSecond()
+	for _, p := range pts {
+		v := p.PixelsPerSecond()
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return float64(max) / float64(min)
+}
+
+// ScopeShare is Figure 9's frame-scope breakdown: the share of all frames
+// in each D-VSync applicability category for a typical user.
+type ScopeShare struct {
+	// Category matches workload.Class semantics.
+	Category string
+	// Share is the fraction of total frames.
+	Share float64
+}
+
+// Scope returns Figure 9's breakdown: 85 % deterministic animations, 10 %
+// simple (predictable) interactions, 5 % realtime.
+func Scope() []ScopeShare {
+	return []ScopeShare{
+		{"deterministic animations", 0.85},
+		{"predictable interactions", 0.10},
+		{"realtime (sensor/online)", 0.05},
+	}
+}

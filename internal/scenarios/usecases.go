@@ -1,0 +1,253 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"dvsync/internal/workload"
+)
+
+// UseCase is one of the 75 common OS use cases of Appendix A: the
+// industrial benchmark that drives the §3.2 characterisation and the
+// Figure 12/13 end-to-end evaluations.
+type UseCase struct {
+	// ID is the row number in Table 3 (1-based).
+	ID int
+	// Category groups related cases ("Phone Unlocking", "Folder", …).
+	Category string
+	// Description is the full operation description.
+	Description string
+	// Abbrev is the x-axis label used in Figures 12 and 13.
+	Abbrev string
+}
+
+// UseCases lists all 75 rows of Table 3 in order.
+func UseCases() []UseCase {
+	return []UseCase{
+		{1, "Phone Unlocking", "Swipe upwards in the lock screen to enter the password page", "lock to pswd"},
+		{2, "Phone Unlocking", "The fly-in animation of the sceneboard after entering the last digit of the password", "pswd to desk"},
+		{3, "Phone Unlocking", "Swipe upwards in the lock screen to unlock the phone (without password)", "unlock lock"},
+		{4, "Phone Unlocking", "The fly-in animation of the sceneboard (without password)", "lock to desk"},
+		{5, "Sceneboard", "Slide the sceneboard pages left and right (with default pre-installed apps)", "slide desk"},
+		{6, "Sceneboard", "Slide the sceneboard pages left and right when exiting an app", "exit app slide"},
+		{7, "Sceneboard", "Slide the sceneboard pages left and right with full folders", "slide full fd"},
+		{8, "App Operation", "App opening animation when clicking an app", "open app"},
+		{9, "App Operation", "App closing animation when swiping upwards", "close app"},
+		{10, "App Operation", "App closing animation when sliding rightwards", "sld cls app"},
+		{11, "App Operation", "Quickly open and close apps one after another", "qk opn apps"},
+		{12, "Folder", "Folder opening animation when clicking a folder", "open fd"},
+		{13, "Folder", "Folder closing animation when tapping the empty space outside", "tap cls fd"},
+		{14, "Folder", "Folder closing animation when sliding rightwards", "sld cls fd"},
+		{15, "Folder", "Folder closing animation when swiping upwards", "swp cls fd"},
+		{16, "Cards", "Long click the photos app and the cards show up", "shw ph cd"},
+		{17, "Cards", "Tap the empty space outside to close the cards of the photos app", "cls ph cd"},
+		{18, "Cards", "Long click the memos app and the cards show up", "shw mem cd"},
+		{19, "Cards", "Tap the empty space outside to close the cards of the memos app", "cls mem cd"},
+		{20, "Notification Center", "Swipe downwards to open the notification center", "open notif ctr"},
+		{21, "Notification Center", "Swipe upwards to close the notification center", "cls notif ctr"},
+		{22, "Notification Center", "Tap the empty space to close the notification center", "tap cls notif"},
+		{23, "Notification Center", "Click the trash can button to clear all notifications", "clr all notif"},
+		{24, "Notification Center", "Slide rightwards to delete one notification and the bottom ones move up", "del one notif"},
+		{25, "Control Center", "Swipe downwards to open the control center", "open ctrl ctr"},
+		{26, "Control Center", "Swipe upwards to close the control center", "cls ctrl ctr"},
+		{27, "Control Center", "Tap the empty space to close the control center", "tap cls ctrl"},
+		{28, "Control Center", "Click the unfold button to show all control buttons", "shw ctrl btns"},
+		{29, "Control Center", "Screen rotation button animation when clicking on the button", "rot btn anim"},
+		{30, "Control Center", "Click the settings button in the control center to enter the settings", "clck settings"},
+		{31, "Control Center", "Adjust the screen brightness in the control center", "brtness adj"},
+		{32, "Volume Bar", "The volume bar appears when clicking the physical volume adjustment button", "shw vol bar"},
+		{33, "Volume Bar", "Disappearing animation of the volume bar after some time of no operation", "vol bar gone"},
+		{34, "Volume Bar", "Short click the physical volume adjustment button to adjust volume", "clck adj vol"},
+		{35, "Volume Bar", "Long click the physical volume adjustment button to adjust volume", "lclck adj vol"},
+		{36, "Volume Bar", "Slide the volume bar on the screen to adjust volume", "sld adj vol"},
+		{37, "Volume Bar", "Tap the empty space to hide the volume bar", "hide vol bar"},
+		{38, "Tasks", "Swipe upwards on the sceneboard to enter tasks", "opn tasks dsk"},
+		{39, "Tasks", "Swipe upwards on the app to enter tasks", "opn tasks app"},
+		{40, "Tasks", "Slide the tasks left and right", "sld tasks"},
+		{41, "Tasks", "Swipe upwards to delete one task and the last task moves rightwards", "del one task"},
+		{42, "Tasks", "Click the trash can button to clear all tasks and go back to the sceneboard", "clr all tasks"},
+		{43, "Tasks", "Tap the empty space to leave the tasks", "leave tasks"},
+		{44, "Tasks", "Click one task to enter the app", "task open app"},
+		{45, "HiBoard", "Slide rightwards from the first page of the sceneboard to enter HiBoard", "enter hibd"},
+		{46, "HiBoard", "Click the weather card on HiBoard to enter weather app", "clck hibd cd"},
+		{47, "HiBoard", "Swipe upwards in the weather app to return to HiBoard", "swp ret hibd"},
+		{48, "HiBoard", "Slide rightwards in the weather app to return to HiBoard", "sld ret hibd"},
+		{49, "Global Search", "Swipe downwards to open global search", "open search"},
+		{50, "Global Search", "Slide rightwards to close global search", "cls search"},
+		{51, "Keyboard", "Click the browser search bar to show the virtual keyboard", "shw kb"},
+		{52, "Keyboard", "Click the keyboard hide button to hide the virtual keyboard", "hide kb"},
+		{53, "Screen Rotation", "Rotate the screen from vertical to horizontal when displaying a full-screen photo", "vert ph hori"},
+		{54, "Screen Rotation", "Rotate the screen from horizontal to vertical when displaying a full-screen photo", "hori ph vert"},
+		{55, "Screen Rotation", "Rotate the screen from vertical to horizontal when displaying an app", "vert to hori"},
+		{56, "Screen Rotation", "Rotate the screen from horizontal to vertical when displaying an app", "hori to vert"},
+		{57, "Photos", "Scroll the albums in the photos app", "scrl albums"},
+		{58, "Photos", "Click into one album and enter its photo list", "open album"},
+		{59, "Photos", "Scroll the photo list in the photos app", "scrl photos"},
+		{60, "Photos", "Click into one photo and view the photo in full screen", "clck photo"},
+		{61, "Photos", "Browse the full-screen photo", "brws photo"},
+		{62, "Photos", "Swipe downwards the full-screen photo to return to the photo list", "ret photos"},
+		{63, "Photos", "Slide rightwards the full-screen photo to return to the photo list", "sld ret photos"},
+		{64, "Photos", "Click the back button in the photo list to return to the album list", "ret albums"},
+		{65, "Camera", "Click the photo preview in the camera app to enter the photos app", "cam to pht"},
+		{66, "Camera", "Slide rightwards from the photos app to return to the camera app", "pht to cam"},
+		{67, "Camera", "Slide inside the camera app to select between camera modes", "cam mode sel"},
+		{68, "Browser", "Click the pages button to see all the opening pages in the browser app", "brwsr pages"},
+		{69, "Settings", "Scroll the settings in the main page of the settings app", "scrl sets"},
+		{70, "Settings", "Click the bluetooth setting in the settings app to enter the subpage", "clck bt"},
+		{71, "Settings", "Click the WLAN setting in the settings app to enter the subpage", "clck wlan"},
+		{72, "Settings", "Click the login tab in the settings app to enter the subpage", "clck login"},
+		{73, "Other Apps", "Scroll the main page of WeChat", "scrl wechat"},
+		{74, "Other Apps", "Scroll the videos of TikTok", "scrl tiktok"},
+		{75, "Other Apps", "Scroll the video lists of Videos", "scrl videos"},
+	}
+}
+
+// UseCaseByAbbrev looks a use case up by its figure label.
+func UseCaseByAbbrev(abbrev string) UseCase {
+	for _, u := range UseCases() {
+		if u.Abbrev == abbrev {
+			return u
+		}
+	}
+	panic(fmt.Sprintf("scenarios: unknown use case %q", abbrev))
+}
+
+// CaseRun is one bar of Figure 12 or 13: a use case with its measured
+// VSync-baseline FDPS on a device/backend, used as the calibration target.
+type CaseRun struct {
+	// Case is the Appendix A entry.
+	Case UseCase
+	// PaperVSyncFDPS is the measured baseline (VSync, 4 buffers on
+	// OpenHarmony).
+	PaperVSyncFDPS float64
+	// Tail classifies the workload shape.
+	Tail TailClass
+}
+
+// UseCaseFrames is the per-case recording length (each automated case
+// covers a few seconds of animation).
+const UseCaseFrames = 600
+
+// Profile returns the case's uncalibrated workload shape on the device.
+func (c CaseRun) Profile(dev Device) workload.Profile {
+	return BaseProfile(c.Case.Abbrev, dev, c.Tail, workload.Deterministic)
+}
+
+// Mate60VulkanCases lists Figure 12: the 29 of 75 cases with frame drops on
+// Mate 60 Pro under the Vulkan backend (average baseline 8.42 FDPS).
+// Baselines are read off the figure in x-axis (descending) order.
+func Mate60VulkanCases() []CaseRun {
+	type row struct {
+		abbrev string
+		fdps   float64
+		tail   TailClass
+	}
+	rows := []row{
+		{"cls notif ctr", 22.0, Moderate},
+		{"rot btn anim", 19.0, Scattered},
+		{"cam mode sel", 16.5, Moderate},
+		{"tap cls notif", 15.5, Scattered},
+		{"clr all notif", 14.0, Moderate},
+		{"del one notif", 12.5, Scattered},
+		{"cls ctrl ctr", 11.5, Scattered},
+		{"pht to cam", 11.0, Moderate},
+		{"tap cls ctrl", 10.5, Scattered},
+		{"unlock lock", 10.0, Scattered},
+		{"scrl tiktok", 9.5, Moderate},
+		{"cam to pht", 9.0, Moderate},
+		{"clr all tasks", 8.5, Scattered},
+		{"clck hibd cd", 8.0, Scattered},
+		{"scrl albums", 7.5, Scattered},
+		{"sld ret hibd", 7.0, Scattered},
+		{"scrl wechat", 6.5, Scattered},
+		{"vert to hori", 6.0, Moderate},
+		{"open album", 5.5, Scattered},
+		{"open ctrl ctr", 5.0, Scattered},
+		{"enter hibd", 4.5, Scattered},
+		{"lock to pswd", 4.0, Scattered},
+		{"open search", 3.5, Scattered},
+		{"open notif ctr", 3.0, Scattered},
+		{"qk opn apps", 2.5, Scattered},
+		{"swp ret hibd", 2.0, Scattered},
+		{"exit app slide", 1.6, Scattered},
+		{"brtness adj", 1.3, Scattered},
+		{"shw ph cd", 1.0, Scattered},
+	}
+	out := make([]CaseRun, len(rows))
+	for i, r := range rows {
+		out[i] = CaseRun{Case: UseCaseByAbbrev(r.abbrev), PaperVSyncFDPS: r.fdps, Tail: r.tail}
+	}
+	return out
+}
+
+// Mate40GLESCases lists the left panel of Figure 13: the 9 cases with frame
+// drops on Mate 40 Pro (GLES), average baseline 3.17 FDPS.
+func Mate40GLESCases() []CaseRun {
+	type row struct {
+		abbrev string
+		fdps   float64
+		tail   TailClass
+	}
+	rows := []row{
+		{"pht to cam", 7.5, Moderate},
+		{"scrl videos", 5.2, Moderate},
+		{"cls notif ctr", 4.0, Moderate},
+		{"cam mode sel", 3.1, Moderate},
+		{"vert to hori", 2.6, Scattered},
+		{"hori to vert", 2.1, Scattered},
+		{"clr all notif", 1.7, Scattered},
+		{"scrl photos", 1.3, Scattered},
+		{"scrl wechat", 1.0, Scattered},
+	}
+	out := make([]CaseRun, len(rows))
+	for i, r := range rows {
+		out[i] = CaseRun{Case: UseCaseByAbbrev(r.abbrev), PaperVSyncFDPS: r.fdps, Tail: r.tail}
+	}
+	return out
+}
+
+// Mate60GLESCases lists the right panel of Figure 13: the 20 cases with
+// frame drops on Mate 60 Pro (GLES), average baseline 7.51 FDPS.
+func Mate60GLESCases() []CaseRun {
+	type row struct {
+		abbrev string
+		fdps   float64
+		tail   TailClass
+	}
+	rows := []row{
+		{"clck settings", 30.0, HeavyTail},
+		{"scrl videos", 17.0, Moderate},
+		{"vert to hori", 13.0, Moderate},
+		{"shw ctrl btns", 12.0, Moderate},
+		{"clr all notif", 10.5, Moderate},
+		{"hori to vert", 9.0, Scattered},
+		{"scrl photos", 8.0, Scattered},
+		{"cls notif ctr", 7.0, Scattered},
+		{"scrl tiktok", 6.5, Scattered},
+		{"scrl albums", 6.0, Scattered},
+		{"scrl wechat", 5.5, Scattered},
+		{"pht to cam", 5.0, Moderate},
+		{"sld cls fd", 4.5, Scattered},
+		{"open ctrl ctr", 4.0, Scattered},
+		{"cam to pht", 3.5, Moderate},
+		{"lock to pswd", 3.0, Scattered},
+		{"clck hibd cd", 2.5, Scattered},
+		{"tap cls fd", 2.0, Scattered},
+		{"cls ctrl ctr", 1.5, Scattered},
+		{"scrl sets", 1.0, Scattered},
+	}
+	out := make([]CaseRun, len(rows))
+	for i, r := range rows {
+		out[i] = CaseRun{Case: UseCaseByAbbrev(r.abbrev), PaperVSyncFDPS: r.fdps, Tail: r.tail}
+	}
+	return out
+}
+
+// Paper-reported averages for the use-case experiments, for EXPERIMENTS.md.
+var (
+	// PaperFig12 holds (baseline, D-VSync) averages for Figure 12.
+	PaperFig12 = [2]float64{8.42, 1.39}
+	// PaperFig13Mate40 for the Figure 13 left panel.
+	PaperFig13Mate40 = [2]float64{3.17, 0.97}
+	// PaperFig13Mate60 for the Figure 13 right panel.
+	PaperFig13Mate60 = [2]float64{7.51, 2.52}
+)

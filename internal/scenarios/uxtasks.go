@@ -1,0 +1,111 @@
+package scenarios
+
+import "dvsync/internal/workload"
+
+// UXTask is one row of Table 2: a composite multi-scene task performed by
+// professional UX evaluators on Mate 60 Pro, scored by perceived stutters
+// (later confirmed with a high-speed camera).
+type UXTask struct {
+	// Name is a short label.
+	Name string
+	// Description is the Table 2 task text.
+	Description string
+	// Scenes is the number of distinct animation scenes the task chains.
+	Scenes int
+	// SceneFrames is the length of each scene.
+	SceneFrames int
+	// PaperVSyncStutters is the measured VSync stutter count — the
+	// calibration target.
+	PaperVSyncStutters int
+	// PaperDVSyncStutters is the paper's D-VSync outcome, recorded for
+	// EXPERIMENTS.md comparison.
+	PaperDVSyncStutters int
+	// Tail classifies the workload shape; the shopping task's image-heavy
+	// long frames are what limit its improvement to 7 %.
+	Tail TailClass
+}
+
+// UXTasks lists Table 2 in order.
+func UXTasks() []UXTask {
+	return []UXTask{
+		{
+			Name: "cold-start-top20",
+			Description: "Cold start and close the Top 20 apps, then slide through " +
+				"the multitasking interface.",
+			Scenes: 21, SceneFrames: 140,
+			PaperVSyncStutters: 20, PaperDVSyncStutters: 12,
+			Tail: Moderate,
+		},
+		{
+			Name: "cold-start-news-swipe",
+			Description: "Cold start every Top 10 news/social apps, and immediately " +
+				"swipe upwards after start.",
+			Scenes: 10, SceneFrames: 200,
+			PaperVSyncStutters: 28, PaperDVSyncStutters: 3,
+			Tail: Scattered,
+		},
+		{
+			Name: "hot-start-news-swipe",
+			Description: "Hot start every Top 10 news/social apps, and immediately " +
+				"swipe upwards after start.",
+			Scenes: 10, SceneFrames: 200,
+			PaperVSyncStutters: 25, PaperDVSyncStutters: 2,
+			Tail: Scattered,
+		},
+		{
+			Name: "game-news-switch",
+			Description: "In a game app, switch to a news app and swipe upwards " +
+				"(switch back to the game and repeat 5 times).",
+			Scenes: 10, SceneFrames: 180,
+			PaperVSyncStutters: 20, PaperDVSyncStutters: 3,
+			Tail: Scattered,
+		},
+		{
+			Name: "short-video-comments",
+			Description: "In a short video app, open up the comments and swipe " +
+				"upwards (slide to the next video and repeat 5 times).",
+			Scenes: 10, SceneFrames: 170,
+			PaperVSyncStutters: 20, PaperDVSyncStutters: 2,
+			Tail: Scattered,
+		},
+		{
+			Name: "music-swipe-play",
+			Description: "In a music app, swipe through the music page and click on " +
+				"one to play (switch back and repeat 5 times).",
+			Scenes: 10, SceneFrames: 150,
+			PaperVSyncStutters: 7, PaperDVSyncStutters: 0,
+			Tail: Scattered,
+		},
+		{
+			Name: "shopping-products",
+			Description: "In a shopping app, swipe through the products page, and " +
+				"open up a product to swipe through the details.",
+			Scenes: 4, SceneFrames: 300,
+			PaperVSyncStutters: 14, PaperDVSyncStutters: 13,
+			Tail: HeavyTail,
+		},
+		{
+			Name: "lifestyle-restaurants",
+			Description: "In a lifestyle app, swipe through the advertisements, and " +
+				"open up all nearby restaurants to swipe through.",
+			Scenes: 8, SceneFrames: 220,
+			PaperVSyncStutters: 40, PaperDVSyncStutters: 10,
+			Tail: Moderate,
+		},
+	}
+}
+
+// Trace synthesises the composite workload for the task on Mate 60 Pro:
+// one profile instance per scene, concatenated, each scene with its own
+// seed so scene boundaries vary.
+func (u UXTask) Trace(seed int64) *workload.Trace {
+	var scenes []*workload.Trace
+	for i := 0; i < u.Scenes; i++ {
+		p := BaseProfile(u.Name, Mate60Pro, u.Tail, workload.Deterministic)
+		scenes = append(scenes, p.Generate(u.SceneFrames, seed+int64(i)*7919))
+	}
+	return workload.Concat(u.Name, scenes...)
+}
+
+// PaperUXReduction is the average stutter reduction Table 2 reports.
+const PaperUXReduction = 72.3

@@ -1,0 +1,132 @@
+// Package signal implements the VSync signal distributor: the software
+// layer that turns hardware VSync edges into the per-stage software signals
+// (VSync-app, VSync-rs, VSync-sf) that drive the classic rendering pipeline
+// (§2), and that D-VSync bypasses with its own D-VSync events (§4.1).
+//
+// Each software signal fires at a fixed offset after the hardware edge, at
+// the configured divisor of the hardware rate. Subscribers receive the
+// signal timestamp plus the hardware edge it derives from.
+package signal
+
+import (
+	"fmt"
+
+	"dvsync/internal/event"
+	"dvsync/internal/simtime"
+)
+
+// Kind identifies a software VSync signal.
+type Kind int
+
+// Software VSync signal kinds.
+const (
+	// VSyncApp triggers the app UI thread (input handling + UI logic).
+	VSyncApp Kind = iota
+	// VSyncRS triggers the render service / render thread.
+	VSyncRS
+	// VSyncSF triggers surface compositing (SurfaceFlinger on Android).
+	VSyncSF
+	// DVSync is the decoupled event injected by the Frame Pre-Executor.
+	DVSync
+)
+
+// String names the signal like the paper's figures.
+func (k Kind) String() string {
+	switch k {
+	case VSyncApp:
+		return "VSync-app"
+	case VSyncRS:
+		return "VSync-rs"
+	case VSyncSF:
+		return "VSync-sf"
+	case DVSync:
+		return "D-VSync"
+	}
+	return fmt.Sprintf("signal(%d)", int(k))
+}
+
+// Event is a delivered signal.
+type Event struct {
+	// Kind is the signal type.
+	Kind Kind
+	// At is the delivery timestamp.
+	At simtime.Time
+	// HWEdge is the hardware VSync edge this signal derives from (for
+	// D-VSync events, the most recent edge before injection).
+	HWEdge simtime.Time
+	// EdgeSeq is the hardware edge index.
+	EdgeSeq uint64
+	// Period is the refresh period in force.
+	Period simtime.Duration
+}
+
+// Listener receives signal events.
+type Listener func(Event)
+
+// Distributor fans hardware edges out to offset software signals.
+type Distributor struct {
+	engine    *event.Engine
+	offsets   map[Kind]simtime.Duration
+	listeners map[Kind][]Listener
+	delivered map[Kind]uint64
+}
+
+// NewDistributor creates a distributor with the given per-signal offsets.
+// A missing offset defaults to zero (the signal fires at the edge itself).
+func NewDistributor(e *event.Engine, offsets map[Kind]simtime.Duration) *Distributor {
+	d := &Distributor{
+		engine:    e,
+		offsets:   make(map[Kind]simtime.Duration),
+		listeners: make(map[Kind][]Listener),
+		delivered: make(map[Kind]uint64),
+	}
+	for k, off := range offsets {
+		if off < 0 {
+			panic(fmt.Sprintf("signal: negative offset for %v", k))
+		}
+		d.offsets[k] = off
+	}
+	return d
+}
+
+// Subscribe registers a listener for one signal kind.
+func (d *Distributor) Subscribe(k Kind, l Listener) {
+	d.listeners[k] = append(d.listeners[k], l)
+}
+
+// Offset returns the configured offset of a signal.
+func (d *Distributor) Offset(k Kind) simtime.Duration { return d.offsets[k] }
+
+// Delivered returns how many events of kind k have been delivered.
+func (d *Distributor) Delivered(k Kind) uint64 { return d.delivered[k] }
+
+// OnHWEdge is wired to the panel: for each hardware edge it schedules the
+// offset software signals. Register it with Panel.OnEdge.
+func (d *Distributor) OnHWEdge(now simtime.Time, seq uint64, period simtime.Duration) {
+	for _, k := range []Kind{VSyncApp, VSyncRS, VSyncSF} {
+		ls := d.listeners[k]
+		if len(ls) == 0 {
+			continue
+		}
+		off := d.offsets[k]
+		ev := Event{Kind: k, At: now.Add(off), HWEdge: now, EdgeSeq: seq, Period: period}
+		if off == 0 {
+			d.deliver(ev)
+			continue
+		}
+		d.engine.At(ev.At, event.PrioritySignal, func(simtime.Time) { d.deliver(ev) })
+	}
+}
+
+// InjectDVSync delivers a decoupled D-VSync event immediately. The FPE calls
+// this when it decides pre-rendering is feasible (§4.3).
+func (d *Distributor) InjectDVSync(now, hwEdge simtime.Time, edgeSeq uint64, period simtime.Duration) {
+	d.deliver(Event{Kind: DVSync, At: now, HWEdge: hwEdge, EdgeSeq: edgeSeq, Period: period})
+}
+
+func (d *Distributor) deliver(ev Event) {
+	d.delivered[ev.Kind]++
+	for _, l := range d.listeners[ev.Kind] {
+		l(ev)
+	}
+}

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"testing"
+
+	"dvsync/internal/simtime"
+)
+
+// Golden tests pin the exact event timing of the canonical workloads. The
+// simulation is deterministic, so any change to the pipeline mechanics that
+// shifts a single latch or jank shows up here.
+
+const p60ns = 16666666 // one 60 Hz period in ns
+
+func edges(ns ...int64) []simtime.Time {
+	out := make([]simtime.Time, len(ns))
+	for i, v := range ns {
+		out[i] = simtime.Time(v)
+	}
+	return out
+}
+
+// TestGoldenVSyncSteadyState: 4 ms frames on a 60 Hz panel. Frame k's UI
+// starts at tick k, queues at k·P+4 ms, latches at (k+1)·P, presents at
+// (k+2)·P — the textbook 2-period pipeline of Figure 2.
+func TestGoldenVSyncSteadyState(t *testing.T) {
+	tr := scripted("golden-steady", repeat(4, 6)...)
+	r := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+	if len(r.Presented) != 6 || len(r.Janks) != 0 {
+		t.Fatalf("presented=%d janks=%d", len(r.Presented), len(r.Janks))
+	}
+	for k, f := range r.Presented {
+		wantUI := simtime.Time(int64(k) * p60ns)
+		wantLatch := simtime.Time(int64(k+1) * p60ns)
+		wantPresent := simtime.Time(int64(k+2) * p60ns)
+		if f.UIStart != wantUI {
+			t.Errorf("frame %d UIStart %v, want %v", k, f.UIStart, wantUI)
+		}
+		if f.QueuedAt != wantUI.Add(simtime.FromMillis(4)) {
+			t.Errorf("frame %d QueuedAt %v", k, f.QueuedAt)
+		}
+		if f.LatchedAt != wantLatch {
+			t.Errorf("frame %d LatchedAt %v, want %v", k, f.LatchedAt, wantLatch)
+		}
+		if f.PresentAt != wantPresent {
+			t.Errorf("frame %d PresentAt %v, want %v", k, f.PresentAt, wantPresent)
+		}
+		if f.ContentTime != wantUI {
+			t.Errorf("frame %d ContentTime %v, want trigger tick", k, f.ContentTime)
+		}
+	}
+}
+
+// TestGoldenFigure2: short frames with one 2.4-period key frame at index 4.
+// The exact Figure 2 cascade: the key frame misses its slots (janks), and
+// the frames behind it are stuffed one extra period from then on.
+func TestGoldenFigure2(t *testing.T) {
+	costs := repeat(4, 10)
+	costs[4] = 40 // 2.4 periods
+	tr := scripted("golden-fig2", costs...)
+	r := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+
+	// Frame 4's UI starts at tick 4 and queues 40 ms later, missing edges
+	// 5 and 6; with nothing queued behind frame 3, both edges jank.
+	wantJanks := edges(5*p60ns, 6*p60ns)
+	if len(r.Janks) != len(wantJanks) {
+		t.Fatalf("janks = %d at %v, want %d", len(r.Janks), r.Janks, len(wantJanks))
+	}
+	for i, j := range r.Janks {
+		if j.At != wantJanks[i] {
+			t.Errorf("jank %d at %v, want %v", i, j.At, wantJanks[i])
+		}
+		if !j.KeyFrame {
+			t.Errorf("jank %d not attributed to the key frame", i)
+		}
+	}
+
+	// One slot was skipped while blocked (the time-based animation jumped).
+	if r.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1", r.Skipped)
+	}
+
+	// Frame 5's UI still fit at tick 5 (the key frame's UI stage had
+	// finished), so its render queued behind the key frame; tick 6 found
+	// every buffer occupied and its content slot was skipped. The key
+	// frame latches at edge 7, frame 5 — stuffed behind it — at edge 8.
+	bySeq := map[int]int{}
+	for i, f := range r.Presented {
+		bySeq[f.Seq] = i
+	}
+	if _, ok := bySeq[6]; ok {
+		t.Fatal("slot 6 should have been skipped")
+	}
+	kf := r.Presented[bySeq[4]]
+	if kf.LatchedAt != simtime.Time(7*p60ns) {
+		t.Errorf("key frame latched at %v, want edge 7", kf.LatchedAt)
+	}
+	nf := r.Presented[bySeq[5]]
+	if nf.LatchedAt != simtime.Time(8*p60ns) {
+		t.Errorf("frame 5 latched at %v, want edge 8", nf.LatchedAt)
+	}
+	if nf.QueueWait() < simtime.Duration(p60ns) {
+		t.Errorf("frame 5 queue wait %v: should be buffer-stuffed", nf.QueueWait())
+	}
+	// Post-recovery steady state: frame 7 starts at tick 7 and presents at
+	// edge 10 — the persistent 3-period latency of Figure 2's dark-gray
+	// arrow.
+	sf := r.Presented[bySeq[7]]
+	wantLat := 3 * simtime.Duration(p60ns).Milliseconds()
+	if lat := sf.PresentAt.Sub(sf.ContentTime).Milliseconds(); lat < wantLat-0.01 || lat > wantLat+0.01 {
+		t.Errorf("steady-state latency %.2f ms, want %.2f", lat, wantLat)
+	}
+}
+
+// TestGoldenDVSyncAccumulation: D-VSync with 5 buffers on 4 ms frames.
+// Frames 0..3 pre-execute back to back (accumulation); the queue reaches
+// the pre-render limit and execution enters the sync stage.
+func TestGoldenDVSyncAccumulation(t *testing.T) {
+	tr := scripted("golden-accum", repeat(4, 8)...)
+	r := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if len(r.Janks) != 0 {
+		t.Fatalf("janks = %d", len(r.Janks))
+	}
+	// Frame 0 starts at the first tick; frames 1..3 start as the previous
+	// UI stage completes (UI cost = 1.4 ms of the 4 ms total).
+	ui := simtime.Duration(float64(simtime.FromMillis(4)) * 0.35)
+	for k := 0; k < 4; k++ {
+		want := simtime.Time(int64(k) * int64(ui))
+		if got := r.Presented[k].UIStart; got != want {
+			t.Errorf("frame %d UIStart %v, want %v (back-to-back accumulation)", k, got, want)
+		}
+	}
+	// Frame 4 must wait for the first slot release: the latch at edge 1.
+	if got := r.Presented[4].UIStart; got != simtime.Time(1*p60ns) {
+		t.Errorf("frame 4 UIStart %v, want the edge-1 slot release (sync stage)", got)
+	}
+	// D-Timestamps: frame k displays at edge k+1 + one scan-out period.
+	for k, f := range r.Presented {
+		want := simtime.Time(int64(k+2) * p60ns)
+		if f.DTimestamp != want {
+			t.Errorf("frame %d D-Timestamp %v, want %v", k, f.DTimestamp, want)
+		}
+		if f.PresentAt != want {
+			t.Errorf("frame %d PresentAt %v, want %v (perfect prediction)", k, f.PresentAt, want)
+		}
+	}
+}
+
+// TestGoldenDVSyncKeyFrameCoverage: the Figure 10 trace. The 2.4-period
+// key frame at index 4 is fully covered by the accumulated cushion: not a
+// single jank, and every frame still presents exactly one period apart.
+func TestGoldenDVSyncKeyFrameCoverage(t *testing.T) {
+	costs := repeat(4, 10)
+	costs[4] = 40
+	tr := scripted("golden-fig10", costs...)
+	r := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if len(r.Janks) != 0 {
+		t.Fatalf("janks = %d, Figure 10(b) is perfectly smooth", len(r.Janks))
+	}
+	if len(r.Presented) != 10 || r.Skipped != 0 {
+		t.Fatalf("presented=%d skipped=%d", len(r.Presented), r.Skipped)
+	}
+	for k := 1; k < len(r.Presented); k++ {
+		dt := r.Presented[k].PresentAt.Sub(r.Presented[k-1].PresentAt)
+		if dt != simtime.Duration(p60ns) {
+			t.Errorf("present step %d = %v, want exactly one period", k, dt)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// randomTrace builds a bounded random workload from raw fuzz bytes.
+func randomTrace(raw []byte) *workload.Trace {
+	if len(raw) < 8 {
+		return nil
+	}
+	t := &workload.Trace{Name: "prop"}
+	for _, b := range raw {
+		// 1..30 ms frames: bodies, near-period frames and multi-period
+		// key frames all occur.
+		ms := 1 + float64(b%30)
+		total := simtime.FromMillis(ms)
+		ui := simtime.Duration(float64(total) * 0.35)
+		t.Costs = append(t.Costs, workload.Cost{UI: ui, RS: total - ui,
+			Class: workload.Deterministic})
+	}
+	return t
+}
+
+// TestSimulationInvariants fuzzes workloads through both architectures and
+// checks the conservation laws every run must satisfy.
+func TestSimulationInvariants(t *testing.T) {
+	f := func(raw []byte, dvsync bool, bufSel uint8) bool {
+		tr := randomTrace(raw)
+		if tr == nil {
+			return true
+		}
+		mode := ModeVSync
+		buffers := 3 + int(bufSel%3) // 3..5
+		if dvsync {
+			mode = ModeDVSync
+			buffers = 4 + int(bufSel%4) // 4..7
+		}
+		s := New(Config{Mode: mode, Panel: panel60(), Buffers: buffers, Trace: tr})
+		r := s.Run()
+		if !r.Completed {
+			t.Logf("watchdog expired for %d frames", tr.Len())
+			return false
+		}
+		// Conservation: every trace index was presented or skipped.
+		if len(r.Presented)+r.Skipped != tr.Len() {
+			t.Logf("presented %d + skipped %d != %d", len(r.Presented), r.Skipped, tr.Len())
+			return false
+		}
+		// D-VSync never skips content.
+		if mode == ModeDVSync && r.Skipped != 0 {
+			t.Logf("D-VSync skipped %d", r.Skipped)
+			return false
+		}
+		// Display window accounting: edges = latches−1 + janks.
+		if r.EdgesInWindow != len(r.Presented)-1+len(r.Janks) {
+			t.Logf("edges %d != %d latches−1 + %d janks",
+				r.EdgesInWindow, len(r.Presented), len(r.Janks))
+			return false
+		}
+		// Frames present in latch order with monotone present times, and
+		// sequence numbers strictly increase (FIFO, no reordering).
+		for i := 1; i < len(r.Presented); i++ {
+			if r.Presented[i].Seq <= r.Presented[i-1].Seq {
+				t.Log("sequence order violated")
+				return false
+			}
+			if !r.Presented[i].PresentAt.After(r.Presented[i-1].PresentAt) {
+				t.Log("present times not monotone")
+				return false
+			}
+		}
+		// Every presented frame has a consistent lifecycle.
+		for _, f := range r.Presented {
+			if !(f.UIStart <= f.UIDone && f.UIDone <= f.RSStart &&
+				f.RSStart <= f.RSDone && f.RSDone == f.QueuedAt &&
+				f.QueuedAt <= f.LatchedAt && f.LatchedAt < f.PresentAt) {
+				t.Logf("frame %d lifecycle out of order: %+v", f.Seq, f)
+				return false
+			}
+		}
+		// Buffer conservation at the end of the run.
+		if err := s.Queue().CheckInvariants(); err != nil {
+			t.Log(err)
+			return false
+		}
+		// Stuffing split covers all latched frames.
+		if r.Stuffed+r.Direct != len(r.Presented) {
+			t.Logf("stuffed %d + direct %d != %d", r.Stuffed, r.Direct, len(r.Presented))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDVSyncDTimestampMonotoneProperty: issued D-Timestamps never regress
+// across the presented stream, whatever the workload (§4.4's uniform
+// pacing, elastic to drops).
+func TestDVSyncDTimestampMonotoneProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr := randomTrace(raw)
+		if tr == nil {
+			return true
+		}
+		r := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+		for i := 1; i < len(r.Presented); i++ {
+			if r.Presented[i].DTimestamp < r.Presented[i-1].DTimestamp {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDVSyncNeverWorseJanksProperty: on any deterministic-animation
+// workload, D-VSync with one extra buffer never janks more than VSync.
+func TestDVSyncNeverWorseJanksProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		tr := randomTrace(raw)
+		if tr == nil {
+			return true
+		}
+		v := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+		d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 4, Trace: tr})
+		// D-VSync renders the frames VSync skipped, so compare drop *rates*
+		// over the display window rather than raw counts.
+		return d.FDPS() <= v.FDPS()+0.75
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

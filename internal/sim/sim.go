@@ -1,0 +1,581 @@
+// Package sim binds the panel, buffer queue, signal distributor, rendering
+// pipeline and scheduler (VSync or D-VSync) into a runnable full-system
+// simulation, and collects the per-frame records every experiment is
+// computed from.
+package sim
+
+import (
+	"fmt"
+
+	"dvsync/internal/buffer"
+	"dvsync/internal/core"
+	"dvsync/internal/display"
+	"dvsync/internal/event"
+	"dvsync/internal/ltpo"
+	"dvsync/internal/metrics"
+	"dvsync/internal/pipeline"
+	"dvsync/internal/signal"
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// Mode selects the rendering architecture.
+type Mode int
+
+// Rendering architectures.
+const (
+	// ModeVSync is the conventional architecture: frame execution is
+	// triggered by software VSync signals, pacing production 1:1 with the
+	// display (Figure 10a).
+	ModeVSync Mode = iota
+	// ModeDVSync is the decoupled architecture: the FPE pre-executes
+	// frames ahead of display VSyncs under the pre-render limit
+	// (Figure 10b).
+	ModeDVSync
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeVSync {
+		return "VSync"
+	}
+	return "D-VSync"
+}
+
+// DefaultDVSyncOverhead is the per-frame FPE+DTV bookkeeping cost measured
+// in §6.4 (102.6 µs on a little core).
+const DefaultDVSyncOverhead = 102600 * simtime.Nanosecond
+
+// Config describes one simulation run.
+type Config struct {
+	// Mode selects VSync or D-VSync.
+	Mode Mode
+	// Panel configures the screen.
+	Panel display.Config
+	// Buffers is the total buffer-pool size (front + back).
+	Buffers int
+	// PreRenderLimit caps frames rendered ahead in D-VSync mode. Zero
+	// defaults to Buffers−1: every back buffer usable for pre-rendering,
+	// matching §5.1's OpenHarmony configuration (4 buffers ⇒ at most 3
+	// back buffers for pre-rendering).
+	PreRenderLimit int
+	// Trace is the frame workload.
+	Trace *workload.Trace
+	// AppOffset delays VSync-app after the hardware edge.
+	AppOffset simtime.Duration
+	// DTV tunes the Display Time Virtualizer.
+	DTV core.DTVConfig
+	// Predictor optionally registers an IPL predictor, enabling the
+	// decoupling-aware channel for Interactive frames.
+	Predictor core.InputPredictor
+	// PerFrameOverhead is the bookkeeping cost charged per started frame
+	// in D-VSync mode; negative disables, zero uses the §6.4 default.
+	PerFrameOverhead simtime.Duration
+	// ContentSample, when set, is invoked at each frame start so the
+	// scenario can record what the frame rendered (animation progress or
+	// predicted input state). now is the execution time.
+	ContentSample func(f *buffer.Frame, now simtime.Time)
+	// DisableDVSync starts the runtime controller switched off (frames
+	// fall back to the VSync path even in D-VSync mode).
+	DisableDVSync bool
+	// RuntimeSwitch, when set, drives the §4.5 runtime switch per frame:
+	// it is consulted as trigger opportunities arise and toggles the
+	// controller, the way the map app activates D-VSync only while zooming
+	// (§6.5). It overrides DisableDVSync.
+	RuntimeSwitch func(now simtime.Time) bool
+	// DropStaleBuffers switches the consumer to SurfaceFlinger's
+	// opportunistic stale-dropping: at each edge the newest queued buffer
+	// is latched and older ones are discarded. It trims post-jank latency
+	// on the VSync path at the cost of wasted rendering — and it destroys
+	// D-VSync's accumulated cushion, which is why D-VSync pins the FIFO
+	// discipline instead (§4.4: the screen HAL consumes the queue in FIFO
+	// order).
+	DropStaleBuffers bool
+	// VSyncPipelineDepth caps frames in flight (queued + rendering) on the
+	// classic VSync path. Tick-paced production keeps at most one buffer
+	// queued while the next frame renders (Figure 2's pipeline), so the
+	// depth is 2 regardless of pool size: extra back buffers ease parallel
+	// rendering of consecutive frames (§2) but are never used to
+	// accumulate frames — accumulation is precisely the capability
+	// D-VSync's explicit frame timing management adds (§3.4, §4.1).
+	// Zero defaults to 2.
+	VSyncPipelineDepth int
+	// MaxSimTime bounds the run as a watchdog; zero derives a generous
+	// bound from the trace length.
+	MaxSimTime simtime.Duration
+	// Recorder, when set, captures a structured event trace of the run
+	// (hardware edges, frame lifecycle, janks, rate changes).
+	Recorder *trace.Recorder
+	// LTPOPolicy, together with LTPOVelocity, enables variable refresh:
+	// at every edge the coordinator observes the content velocity and
+	// retargets the rate under the §5.3 drain rule.
+	LTPOPolicy ltpo.Policy
+	// LTPOVelocity reports the content velocity (e.g. scroll px/s) at an
+	// instant. Required when LTPOPolicy is set.
+	LTPOVelocity func(simtime.Time) float64
+}
+
+// JankRecord is one repeated-frame edge.
+type JankRecord struct {
+	// At is the edge timestamp.
+	At simtime.Time
+	// EdgeSeq is the panel edge index.
+	EdgeSeq uint64
+	// KeyFrame marks janks attributable to a heavily loaded frame.
+	KeyFrame bool
+}
+
+// Result carries everything measured in one run.
+type Result struct {
+	// Mode is the architecture simulated.
+	Mode Mode
+	// Period is the nominal refresh period.
+	Period simtime.Duration
+	// Presented lists latched frames in latch order.
+	Presented []*buffer.Frame
+	// Janks lists repeated-frame edges inside the display window.
+	Janks []JankRecord
+	// Skipped counts frame indices never rendered (VSync falls behind and
+	// the time-based animation jumps over them).
+	Skipped int
+	// FirstLatch/LastLatch bound the active display window.
+	FirstLatch, LastLatch simtime.Time
+	// ExecutedWork is the total pipeline stage time spent.
+	ExecutedWork simtime.Duration
+	// OverheadWork is the total FPE/DTV bookkeeping charged.
+	OverheadWork simtime.Duration
+	// Stuffed and Direct split presented frames per Figure 6.
+	Stuffed, Direct int
+	// LatencyMs holds per-presented-frame rendering latency (ms).
+	LatencyMs []float64
+	// DTVMeanAbsErrMs / DTVMaxAbsErrMs are D-Timestamp prediction errors.
+	DTVMeanAbsErrMs, DTVMaxAbsErrMs float64
+	// FPEStage statistics (D-VSync only).
+	FPEStarts, FPEPreStarts, FPESyncBlocks int
+	// DecoupledFrames / VSyncPathFrames split frames by channel.
+	DecoupledFrames, VSyncPathFrames int
+	// MemoryBytes is the buffer-pool footprint.
+	MemoryBytes int64
+	// StaleDropped counts rendered frames discarded by the stale-dropping
+	// consumer (zero under the FIFO discipline).
+	StaleDropped int
+	// Completed is false if the watchdog expired first.
+	Completed bool
+	// EdgesInWindow counts refresh edges in (FirstLatch, LastLatch].
+	EdgesInWindow int
+}
+
+// Jank converts the run into the FDPS report.
+func (r *Result) Jank() metrics.JankReport {
+	return metrics.JankReport{
+		Janks:         len(r.Janks),
+		Edges:         r.EdgesInWindow,
+		WindowSeconds: r.LastLatch.Sub(r.FirstLatch).Seconds(),
+	}
+}
+
+// FDPS returns frame drops per second.
+func (r *Result) FDPS() float64 { return r.Jank().FDPS() }
+
+// LatencySummary summarises per-frame rendering latency in ms.
+func (r *Result) LatencySummary() metrics.Summary {
+	return metrics.Summarize(r.LatencyMs)
+}
+
+// JankEvents adapts the jank list for the stutter detector.
+func (r *Result) JankEvents() []metrics.JankEvent {
+	out := make([]metrics.JankEvent, len(r.Janks))
+	for i, j := range r.Janks {
+		out[i] = metrics.JankEvent{EdgeSeq: j.EdgeSeq, KeyFrame: j.KeyFrame}
+	}
+	return out
+}
+
+// WorkMs returns executed + overhead work in milliseconds.
+func (r *Result) WorkMs() float64 {
+	return (r.ExecutedWork + r.OverheadWork).Milliseconds()
+}
+
+// WindowMs returns the display window in milliseconds.
+func (r *Result) WindowMs() float64 { return r.LastLatch.Sub(r.FirstLatch).Milliseconds() }
+
+// System is a wired simulation ready to run.
+type System struct {
+	cfg      Config
+	engine   *event.Engine
+	panel    *display.Panel
+	dist     *signal.Distributor
+	queue    *buffer.Queue
+	producer *pipeline.Producer
+	dtv      *core.DTV
+	fpe      *core.FPE
+	ctl      *core.Controller
+	ltpo     *ltpo.Coordinator
+
+	res Result
+
+	// driver state
+	nextIdx int  // next trace index to start
+	started bool // stream has begun (first VSync-app seen)
+	ticks   int  // VSync-app ticks since stream start
+}
+
+// New wires a simulation from the config.
+func New(cfg Config) *System {
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		panic("sim: empty trace")
+	}
+	if cfg.Buffers < 2 {
+		panic(fmt.Sprintf("sim: %d buffers cannot double-buffer", cfg.Buffers))
+	}
+	if cfg.PreRenderLimit == 0 {
+		cfg.PreRenderLimit = cfg.Buffers - 1
+	}
+	if cfg.PreRenderLimit < 1 {
+		cfg.PreRenderLimit = 1
+	}
+	if cfg.PerFrameOverhead == 0 {
+		cfg.PerFrameOverhead = DefaultDVSyncOverhead
+	}
+	if cfg.PerFrameOverhead < 0 {
+		cfg.PerFrameOverhead = 0
+	}
+	if cfg.VSyncPipelineDepth == 0 {
+		cfg.VSyncPipelineDepth = 2
+	}
+
+	s := &System{cfg: cfg, engine: event.NewEngine()}
+	s.panel = display.NewPanel(s.engine, cfg.Panel)
+	s.dist = signal.NewDistributor(s.engine, map[signal.Kind]simtime.Duration{
+		signal.VSyncApp: cfg.AppOffset,
+	})
+	s.queue = buffer.NewQueue(buffer.Config{
+		Buffers: cfg.Buffers,
+		Width:   cfg.Panel.Width,
+		Height:  cfg.Panel.Height,
+	})
+	s.producer = pipeline.NewProducer(s.engine, s.queue, cfg.Trace)
+
+	period := simtime.PeriodForHz(cfg.Panel.RefreshHz)
+	s.res.Mode = cfg.Mode
+	s.res.Period = period
+	s.res.MemoryBytes = s.queue.MemoryBytes()
+
+	if cfg.Mode == ModeDVSync {
+		s.dtv = core.NewDTV(cfg.DTV, period)
+		s.ctl = core.NewController(cfg.PreRenderLimit, s.dtv)
+		if cfg.Predictor != nil {
+			s.ctl.RegisterPredictor(cfg.Predictor)
+		}
+		if cfg.DisableDVSync {
+			s.ctl.SetEnabled(false)
+		}
+		s.fpe = core.NewFPE(core.FPEConfig{MaxAhead: cfg.PreRenderLimit}, (*fpeView)(s))
+		s.producer.PerFrameOverhead = cfg.PerFrameOverhead
+		// DTV observes edges before the consumer latches at the same edge.
+		s.panel.OnEdge(func(now simtime.Time, seq uint64, p simtime.Duration) {
+			s.dtv.ObserveEdge(now, seq, p)
+		})
+	}
+
+	s.panel.OnEdge(s.onEdge)
+	s.panel.OnEdge(s.dist.OnHWEdge)
+	s.dist.Subscribe(signal.VSyncApp, s.onAppTick)
+
+	s.producer.OnUIDone = func(now simtime.Time, _ *buffer.Frame) {
+		if s.fpe != nil {
+			s.fpe.Pump(now)
+		}
+	}
+	if cfg.LTPOPolicy != nil {
+		if cfg.LTPOVelocity == nil {
+			panic("sim: LTPOPolicy requires LTPOVelocity")
+		}
+		s.ltpo = ltpo.NewCoordinator(cfg.LTPOPolicy, s.panel, (*pendingRates)(s))
+	}
+	if cfg.Recorder != nil {
+		s.producer.OnQueued = func(now simtime.Time, f *buffer.Frame) {
+			cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameQueued, Frame: f.Seq,
+				Decoupled: f.Decoupled})
+		}
+	}
+	return s
+}
+
+// pendingRates adapts the queue and in-flight frames to ltpo.QueueView:
+// the rate bounds of every rendered-but-undisplayed buffer.
+type pendingRates System
+
+// PendingRates implements ltpo.QueueView.
+func (v *pendingRates) PendingRates() []int {
+	var out []int
+	for i := 0; ; i++ {
+		b := v.queue.PeekQueued(i)
+		if b == nil {
+			break
+		}
+		out = append(out, b.Frame.RateHz)
+	}
+	for _, f := range v.producer.Inflight() {
+		out = append(out, f.RateHz)
+	}
+	return out
+}
+
+// fpeView adapts System to core.PipelineView.
+type fpeView System
+
+// Ahead implements core.PipelineView.
+func (v *fpeView) Ahead() int { return v.producer.Ahead() }
+
+// CanDequeue implements core.PipelineView.
+func (v *fpeView) CanDequeue() bool { return v.queue.CanDequeue() }
+
+// UIFree implements core.PipelineView.
+func (v *fpeView) UIFree(now simtime.Time) bool { return v.producer.UIFree(now) }
+
+// HasPendingRequest implements core.PipelineView: the next frame exists,
+// the stream has begun, and the frame is routed to the decoupled channel.
+func (v *fpeView) HasPendingRequest() bool {
+	s := (*System)(v)
+	if !s.started || s.nextIdx >= s.cfg.Trace.Len() {
+		return false
+	}
+	return s.ctl.Decoupled(s.cfg.Trace.Costs[s.nextIdx].Class)
+}
+
+// StartFrame implements core.PipelineView.
+func (v *fpeView) StartFrame(now simtime.Time) {
+	s := (*System)(v)
+	ahead := s.producer.Ahead()
+	dts := s.dtv.DTimestamp(now, ahead)
+	s.startFrame(now, pipeline.StartRequest{
+		Index:       s.nextIdx,
+		ContentTime: dts,
+		DTimestamp:  dts,
+		Decoupled:   true,
+		RateHz:      s.frameRate(),
+	})
+}
+
+func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) {
+	f := s.producer.Start(now, req)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameStart, Frame: f.Seq,
+			Decoupled: f.Decoupled, DTimestamp: f.DTimestamp})
+	}
+	if s.cfg.ContentSample != nil {
+		s.cfg.ContentSample(f, now)
+	}
+	s.nextIdx = req.Index + 1
+	if req.Decoupled {
+		s.res.DecoupledFrames++
+	} else {
+		s.res.VSyncPathFrames++
+	}
+}
+
+// onAppTick is the VSync-app software signal handler: the classic trigger
+// path, also used by D-VSync for non-decoupled frames.
+func (s *System) onAppTick(ev signal.Event) {
+	n := s.cfg.Trace.Len()
+	if !s.started {
+		s.started = true
+		s.ticks = 0
+	} else {
+		s.ticks++
+	}
+	if s.fpe != nil {
+		if s.cfg.RuntimeSwitch != nil {
+			s.ctl.SetEnabled(s.cfg.RuntimeSwitch(ev.At))
+		}
+		// D-VSync: decoupled frames are pumped; if the next frame is
+		// routed to the VSync path, trigger it on this tick.
+		s.fpe.Pump(ev.At)
+		if s.nextIdx < n && !s.ctl.Decoupled(s.cfg.Trace.Costs[s.nextIdx].Class) &&
+			s.producer.UIFree(ev.At) && s.queue.CanDequeue() &&
+			s.producer.Ahead() < s.cfg.VSyncPipelineDepth {
+			s.startFrame(ev.At, pipeline.StartRequest{
+				Index:       s.nextIdx,
+				ContentTime: ev.At,
+				RateHz:      s.frameRate(),
+			})
+		}
+		return
+	}
+
+	// VSync baseline: the animation is time-based; the content slot for
+	// this tick is s.ticks. If production fell behind, the indices in
+	// between are skipped (the animation jumps), exactly like a real app
+	// missing Choreographer callbacks.
+	target := s.ticks
+	if target >= n {
+		target = n - 1
+	}
+	if target < s.nextIdx {
+		return // already produced this slot (cannot happen: 1 start/tick)
+	}
+	if !s.producer.UIFree(ev.At) || !s.queue.CanDequeue() ||
+		s.producer.Ahead() >= s.cfg.VSyncPipelineDepth {
+		return // blocked: this slot's content will be skipped
+	}
+	s.res.Skipped += target - s.nextIdx
+	s.startFrame(ev.At, pipeline.StartRequest{
+		Index:       target,
+		ContentTime: ev.At,
+		RateHz:      s.frameRate(),
+	})
+}
+
+// frameRate is the rate new frames are produced for: the LTPO render rate
+// when variable refresh is active, else the panel rate.
+func (s *System) frameRate() int {
+	if s.ltpo != nil {
+		return s.ltpo.RenderHz()
+	}
+	return s.panel.RefreshHz()
+}
+
+// streamDone reports whether all content has been produced and displayed:
+// every trace index has been started (indices VSync skipped never will be)
+// and nothing is in flight or queued.
+func (s *System) streamDone() bool {
+	return s.nextIdx >= s.cfg.Trace.Len() && s.producer.Ahead() == 0
+}
+
+// onEdge is the display consumer: latch one queued buffer per hardware
+// edge, or account a jank when updates are due but none is ready.
+func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.HWVSync, Frame: -1, EdgeSeq: seq,
+			Hz: simtime.HzForPeriod(period)})
+	}
+	var b *buffer.Buffer
+	if s.cfg.DropStaleBuffers {
+		var dropped int
+		b, dropped = s.queue.LatchNewest(now, period)
+		s.res.StaleDropped += dropped
+	} else {
+		b = s.queue.Latch(now, period)
+	}
+	if b != nil {
+		f := b.Frame
+		f.PresentAt = now.Add(period)
+		if len(s.res.Presented) == 0 {
+			s.res.FirstLatch = now
+		}
+		s.res.LastLatch = now
+		s.res.Presented = append(s.res.Presented, f)
+		s.recordLatency(f)
+		if rec := s.cfg.Recorder; rec != nil {
+			rec.Add(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
+				Decoupled: f.Decoupled, EdgeSeq: seq})
+			s.engine.At(f.PresentAt, event.PriorityControl, func(t simtime.Time) {
+				rec.Add(trace.Event{At: t, Kind: trace.FramePresent, Frame: f.Seq,
+					Decoupled: f.Decoupled})
+			})
+		}
+		if s.fpe != nil {
+			if f.Decoupled {
+				s.dtv.RecordPresent(f.DTimestamp, f.PresentAt)
+			}
+			// The latch freed the previous front buffer: a slot opened.
+			s.fpe.Pump(now)
+		}
+	} else if s.queue.Front() != nil && !s.streamDone() {
+		key := false
+		if inflight := s.producer.OldestInflight(); inflight != nil {
+			key = inflight.UICost+inflight.RSCost > period
+		}
+		s.res.Janks = append(s.res.Janks, JankRecord{At: now, EdgeSeq: seq, KeyFrame: key})
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
+		}
+	}
+
+	if s.ltpo != nil {
+		prev := s.panel.RefreshHz()
+		s.ltpo.Observe(now, s.cfg.LTPOVelocity(now))
+		if cur := s.panel.RefreshHz(); cur != prev && s.cfg.Recorder != nil {
+			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.RateChange, Frame: -1,
+				EdgeSeq: seq, Hz: cur})
+		}
+	}
+
+	if s.queue.Front() != nil && s.streamDone() && s.queue.QueuedCount() == 0 {
+		s.panel.Stop()
+		s.engine.Stop()
+	}
+}
+
+// recordLatency computes the rendering-latency metric of §6.3.
+//
+// A VSync-path frame's content is sampled at its trigger tick, so its
+// latency is present − trigger: 2 periods for direct composition, 3 when
+// stuffed, more after janks. A decoupled frame renders content *for* its
+// D-Timestamp, so waiting in the queue does not age it; its effective
+// latency is the just-in-time pipeline depth (2 periods) plus the DTV
+// prediction error — the mechanism by which §6.3's 31 % reduction arises.
+func (s *System) recordLatency(f *buffer.Frame) {
+	var lat simtime.Duration
+	if f.Decoupled {
+		err := f.PresentAt.Sub(f.DTimestamp)
+		if err < 0 {
+			err = -err
+		}
+		lat = 2*s.res.Period + err
+	} else {
+		lat = f.PresentAt.Sub(f.ContentTime)
+	}
+	s.res.LatencyMs = append(s.res.LatencyMs, lat.Milliseconds())
+}
+
+// Engine exposes the event engine (examples drive extra events through it).
+func (s *System) Engine() *event.Engine { return s.engine }
+
+// Controller exposes the runtime controller in D-VSync mode (nil otherwise).
+func (s *System) Controller() *core.Controller { return s.ctl }
+
+// Queue exposes the buffer queue for inspection.
+func (s *System) Queue() *buffer.Queue { return s.queue }
+
+// Run executes the simulation to completion (or watchdog) and returns the
+// collected result.
+func (s *System) Run() *Result {
+	n := s.cfg.Trace.Len()
+	period := s.res.Period
+	horizon := s.cfg.MaxSimTime
+	if horizon <= 0 {
+		horizon = simtime.Duration(n+64)*period*8 + simtime.Second
+	}
+	s.panel.Start(0)
+	s.engine.Run(simtime.Time(0).Add(horizon))
+	if s.cfg.Recorder != nil {
+		// Drain pending present-fence recordings scheduled past the last
+		// latch (the panel is stopped, so only bookkeeping events remain).
+		s.engine.RunAll()
+	}
+	s.res.Completed = s.streamDone()
+
+	st := s.queue.Stats()
+	s.res.Stuffed, s.res.Direct = st.Stuffed, st.Direct
+	s.res.ExecutedWork = s.producer.ExecutedWork()
+	s.res.OverheadWork = s.producer.OverheadWork()
+	if s.dtv != nil {
+		s.res.DTVMeanAbsErrMs = s.dtv.MeanAbsErrorMs()
+		s.res.DTVMaxAbsErrMs = s.dtv.MaxAbsErrorMs()
+	}
+	if s.fpe != nil {
+		s.res.FPEStarts = s.fpe.Starts()
+		s.res.FPEPreStarts = s.fpe.PreStarts()
+		s.res.FPESyncBlocks = s.fpe.SyncBlocks()
+	}
+	if s.res.LastLatch > s.res.FirstLatch {
+		s.res.EdgesInWindow = len(s.res.Presented) - 1 + len(s.res.Janks)
+	}
+	return &s.res
+}
+
+// Run is the convenience one-shot entry point.
+func Run(cfg Config) *Result { return New(cfg).Run() }

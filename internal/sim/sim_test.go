@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"testing"
+
+	"dvsync/internal/core"
+	"dvsync/internal/display"
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// scripted builds a trace of explicit total frame costs (ms) with a 35 % UI
+// share.
+func scripted(name string, costsMs ...float64) *workload.Trace {
+	t := &workload.Trace{Name: name}
+	for _, ms := range costsMs {
+		total := simtime.FromMillis(ms)
+		ui := simtime.Duration(float64(total) * 0.35)
+		t.Costs = append(t.Costs, workload.Cost{UI: ui, RS: total - ui, Class: workload.Deterministic})
+	}
+	return t
+}
+
+func panel60() display.Config {
+	return display.Config{Name: "test", RefreshHz: 60, Width: 1080, Height: 2340}
+}
+
+func repeat(ms float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = ms
+	}
+	return out
+}
+
+// TestVSyncSmoothShortFrames: frames well under one period produce zero
+// janks and pure direct composition under VSync.
+func TestVSyncSmoothShortFrames(t *testing.T) {
+	tr := scripted("short", repeat(5, 60)...)
+	r := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+	if !r.Completed {
+		t.Fatal("run did not complete")
+	}
+	if len(r.Janks) != 0 {
+		t.Fatalf("janks = %d, want 0", len(r.Janks))
+	}
+	if r.Skipped != 0 {
+		t.Fatalf("skipped = %d, want 0", r.Skipped)
+	}
+	if len(r.Presented) != 60 {
+		t.Fatalf("presented = %d, want 60", len(r.Presented))
+	}
+	if r.Stuffed != 0 {
+		t.Errorf("stuffed = %d, want 0 on a healthy stream", r.Stuffed)
+	}
+	// Direct-composition latency is 2 periods (UI tick → latch next edge →
+	// photon one more edge later).
+	ls := r.LatencySummary()
+	if ls.Mean < 2*16.5 || ls.Mean > 2*16.9 {
+		t.Errorf("mean latency %.2fms, want ≈33.3ms", ls.Mean)
+	}
+}
+
+// TestVSyncLongFrameJanksAndStuffing reproduces the Figure 2 trace: one
+// heavy frame causes janks and all subsequent frames get stuffed (+1 period
+// of latency).
+func TestVSyncLongFrameJanksAndStuffing(t *testing.T) {
+	costs := repeat(5, 40)
+	costs[10] = 40 // ~2.4 periods of work
+	tr := scripted("fig2", costs...)
+	r := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+	if !r.Completed {
+		t.Fatal("run did not complete")
+	}
+	if len(r.Janks) == 0 {
+		t.Fatal("expected janks from the long frame")
+	}
+	if r.Stuffed == 0 {
+		t.Fatal("expected buffer stuffing after the jank")
+	}
+	// Latency of direct frames before the jank ≈ 2 periods; frames after
+	// it ≈ 3 periods (Figure 2's dark-gray arrow).
+	early := r.LatencyMs[2]
+	late := r.LatencyMs[len(r.LatencyMs)-2]
+	if late < early+14 {
+		t.Errorf("post-jank latency %.1fms not one period above pre-jank %.1fms", late, early)
+	}
+	if !r.Janks[0].KeyFrame {
+		t.Error("jank should be attributed to a key frame")
+	}
+}
+
+// TestDVSyncHidesLongFrame reproduces Figure 10: the same workload that
+// janks under VSync is perfectly smooth under D-VSync because accumulated
+// short frames cover the long one.
+func TestDVSyncHidesLongFrame(t *testing.T) {
+	costs := repeat(5, 40)
+	costs[10] = 40
+	tr := scripted("fig10", costs...)
+	v := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if !d.Completed {
+		t.Fatal("D-VSync run did not complete")
+	}
+	if len(v.Janks) == 0 {
+		t.Fatal("baseline should jank")
+	}
+	if len(d.Janks) != 0 {
+		t.Fatalf("D-VSync janks = %d, want 0 (cushion %d periods)", len(d.Janks), 3)
+	}
+	if d.Skipped != 0 {
+		t.Errorf("D-VSync skipped %d frames, must render all", d.Skipped)
+	}
+	if len(d.Presented) != 40 {
+		t.Errorf("D-VSync presented %d frames, want 40", len(d.Presented))
+	}
+	if d.FPEPreStarts == 0 {
+		t.Error("FPE never pre-started a frame")
+	}
+	if d.FPESyncBlocks == 0 {
+		t.Error("FPE never hit the pre-render limit (sync stage)")
+	}
+}
+
+// TestDVSyncOverwhelmedStillJanks: a frame longer than the whole cushion
+// still drops (D-VSync is not a panacea, §6.1).
+func TestDVSyncOverwhelmedStillJanks(t *testing.T) {
+	costs := repeat(5, 40)
+	costs[20] = 120 // ~7 periods of work against a 3-period cushion
+	tr := scripted("overwhelm", costs...)
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if !d.Completed {
+		t.Fatal("run did not complete")
+	}
+	if len(d.Janks) == 0 {
+		t.Fatal("a 7-period frame must jank even under D-VSync")
+	}
+}
+
+// TestDVSyncDTimestampAccuracy: with a jitter-free panel and no janks,
+// every D-Timestamp must match the actual present time exactly.
+func TestDVSyncDTimestampAccuracy(t *testing.T) {
+	tr := scripted("clean", repeat(5, 50)...)
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if !d.Completed {
+		t.Fatal("run did not complete")
+	}
+	if len(d.Janks) != 0 {
+		t.Fatalf("unexpected janks: %d", len(d.Janks))
+	}
+	if d.DTVMaxAbsErrMs > 0.001 {
+		t.Errorf("max DTV error %.4fms, want 0 on a jitter-free panel", d.DTVMaxAbsErrMs)
+	}
+}
+
+// TestDVSyncDTimestampPacing: D-Timestamps of consecutive presented frames
+// advance by exactly one period — uniform animation pacing (§4.4).
+func TestDVSyncDTimestampPacing(t *testing.T) {
+	tr := scripted("pacing", repeat(6, 50)...)
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	period := d.Period
+	for i := 1; i < len(d.Presented); i++ {
+		dt := d.Presented[i].DTimestamp.Sub(d.Presented[i-1].DTimestamp)
+		if dt != period {
+			t.Fatalf("frame %d: D-Timestamp step %v, want %v", i, dt, period)
+		}
+	}
+}
+
+// TestDVSyncJitterCalibration: with panel jitter, DTV error stays bounded
+// near the jitter scale thanks to periodic calibration.
+func TestDVSyncJitterCalibration(t *testing.T) {
+	tr := scripted("jitter", repeat(5, 100)...)
+	cfg := Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr}
+	cfg.Panel.JitterStdDev = simtime.FromMicros(80)
+	cfg.Panel.JitterSeed = 7
+	d := Run(cfg)
+	if !d.Completed {
+		t.Fatal("run did not complete")
+	}
+	// Error should be on the order of the jitter (~0.08 ms), far below a
+	// period (16.7 ms). Allow generous headroom.
+	if d.DTVMeanAbsErrMs > 1.0 {
+		t.Errorf("mean DTV error %.3fms too large under 80µs jitter", d.DTVMeanAbsErrMs)
+	}
+}
+
+// TestVSyncSkipsContent: under VSync, blocked ticks skip animation content;
+// under D-VSync every frame is rendered (the §6.7 power accounting).
+func TestVSyncSkipsContent(t *testing.T) {
+	costs := repeat(5, 60)
+	for i := 10; i < 50; i += 8 {
+		costs[i] = 38
+	}
+	tr := scripted("skips", costs...)
+	v := Run(Config{Mode: ModeVSync, Panel: panel60(), Buffers: 3, Trace: tr})
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if v.Skipped == 0 {
+		t.Error("VSync should skip content when blocked")
+	}
+	if d.Skipped != 0 {
+		t.Error("D-VSync must not skip content")
+	}
+	if d.ExecutedWork <= v.ExecutedWork {
+		t.Error("D-VSync should execute at least the work VSync skipped")
+	}
+}
+
+// TestRealtimeFramesStayOnVSyncPath: Realtime frames never decouple.
+func TestRealtimeFramesStayOnVSyncPath(t *testing.T) {
+	tr := scripted("rt", repeat(5, 30)...).WithClass(workload.Realtime)
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if d.DecoupledFrames != 0 {
+		t.Errorf("decoupled %d realtime frames", d.DecoupledFrames)
+	}
+	if d.VSyncPathFrames == 0 {
+		t.Error("no frames on VSync path")
+	}
+}
+
+// TestInteractiveNeedsPredictor: Interactive frames decouple only when an
+// IPL predictor is registered (§4.5 dual channels).
+func TestInteractiveNeedsPredictor(t *testing.T) {
+	tr := scripted("ia", repeat(5, 30)...).WithClass(workload.Interactive)
+	oblivious := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	if oblivious.DecoupledFrames != 0 {
+		t.Error("interactive frames decoupled without a predictor")
+	}
+	aware := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr,
+		Predictor: constPredictor{}})
+	if aware.DecoupledFrames == 0 {
+		t.Error("interactive frames not decoupled with a predictor")
+	}
+}
+
+type constPredictor struct{}
+
+func (constPredictor) Predict(_ []core.InputSample, _ simtime.Time) float64 { return 0 }
+
+// TestRuntimeSwitchOff: with the controller disabled, D-VSync mode behaves
+// like VSync (no decoupled frames).
+func TestRuntimeSwitchOff(t *testing.T) {
+	tr := scripted("off", repeat(5, 30)...)
+	d := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr, DisableDVSync: true})
+	if d.DecoupledFrames != 0 {
+		t.Errorf("decoupled %d frames with controller off", d.DecoupledFrames)
+	}
+}
+
+// TestQueueInvariantsThroughout runs a bursty workload and validates buffer
+// conservation at the end.
+func TestQueueInvariantsThroughout(t *testing.T) {
+	costs := repeat(5, 80)
+	costs[10], costs[30], costs[55] = 45, 30, 60
+	tr := scripted("inv", costs...)
+	for _, mode := range []Mode{ModeVSync, ModeDVSync} {
+		s := New(Config{Mode: mode, Panel: panel60(), Buffers: 5, Trace: tr})
+		s.Run()
+		if err := s.Queue().CheckInvariants(); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+// TestMemoryAccounting checks the §6.4 memory model.
+func TestMemoryAccounting(t *testing.T) {
+	tr := scripted("mem", repeat(5, 10)...)
+	r := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 4, Trace: tr})
+	want := int64(1080) * 2340 * 4 * 4
+	if r.MemoryBytes != want {
+		t.Errorf("memory = %d, want %d", r.MemoryBytes, want)
+	}
+}
+
+// TestRuntimeSwitchWindow toggles D-VSync mid-run (the §6.5 pattern: active
+// only while zooming): frames inside the window decouple, frames outside
+// ride the VSync path.
+func TestRuntimeSwitchWindow(t *testing.T) {
+	tr := scripted("window", repeat(5, 90)...)
+	period := simtime.PeriodForHz(60)
+	winStart := simtime.Time(30 * int64(period))
+	winEnd := simtime.Time(60 * int64(period))
+	r := Run(Config{
+		Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr,
+		RuntimeSwitch: func(now simtime.Time) bool {
+			return now >= winStart && now < winEnd
+		},
+	})
+	if !r.Completed {
+		t.Fatal("run did not complete")
+	}
+	if r.DecoupledFrames == 0 || r.VSyncPathFrames == 0 {
+		t.Fatalf("both channels should be used: decoupled=%d vsync=%d",
+			r.DecoupledFrames, r.VSyncPathFrames)
+	}
+	for _, f := range r.Presented {
+		if f.Decoupled && (f.UIStart < winStart || f.UIStart >= winEnd+simtime.Time(period)) {
+			t.Fatalf("frame %d decoupled at %v outside the window", f.Seq, f.UIStart)
+		}
+	}
+}
+
+// TestDropStaleUnderDVSync: a stale-dropping consumer discards the
+// pre-rendered cushion (why §4.4 requires FIFO consumption).
+func TestDropStaleUnderDVSync(t *testing.T) {
+	costs := repeat(5, 60)
+	costs[30] = 40
+	tr := scripted("stale", costs...)
+	fifo := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr})
+	drop := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 5, Trace: tr,
+		DropStaleBuffers: true})
+	if drop.StaleDropped == 0 {
+		t.Fatal("stale consumer should discard accumulated buffers")
+	}
+	if fifo.StaleDropped != 0 {
+		t.Fatal("FIFO consumer must not discard")
+	}
+	if len(drop.Janks) <= len(fifo.Janks) {
+		t.Errorf("discarding the cushion should cost janks: fifo=%d drop=%d",
+			len(fifo.Janks), len(drop.Janks))
+	}
+}
+
+// TestRecorderCapturesLifecycle: the structured trace contains the full
+// frame lifecycle in order.
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	tr := scripted("rec", repeat(5, 20)...)
+	rec := trace.NewRecorder()
+	r := Run(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 4, Trace: tr, Recorder: rec})
+	s := trace.Summarize(rec)
+	if s.Frames != len(r.Presented) {
+		t.Errorf("trace presents %d frames, result has %d", s.Frames, len(r.Presented))
+	}
+	if s.Events[trace.FrameStart] != 20 || s.Events[trace.FrameQueued] != 20 {
+		t.Errorf("lifecycle events missing: %v", s.Events)
+	}
+	if s.DecoupledShare != 1 {
+		t.Errorf("all frames decoupled, share = %v", s.DecoupledShare)
+	}
+}

@@ -1,0 +1,237 @@
+// Package trace records simulation runs as structured event logs — the
+// equivalent of the Perfetto traces the paper's analysis is based on (§3.2)
+// — and provides encoding and analysis passes over them.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dvsync/internal/simtime"
+)
+
+// EventKind classifies trace events.
+type EventKind string
+
+// Trace event kinds.
+const (
+	// HWVSync is a hardware VSync edge.
+	HWVSync EventKind = "hw-vsync"
+	// FrameStart marks a frame's UI-stage begin.
+	FrameStart EventKind = "frame-start"
+	// FrameQueued marks a rendered buffer entering the queue.
+	FrameQueued EventKind = "frame-queued"
+	// FrameLatched marks the panel latching a buffer.
+	FrameLatched EventKind = "frame-latched"
+	// FramePresent marks the present fence.
+	FramePresent EventKind = "frame-present"
+	// Jank marks a repeated-frame edge.
+	Jank EventKind = "jank"
+	// RateChange marks an LTPO refresh-rate switch.
+	RateChange EventKind = "rate-change"
+)
+
+// Event is one trace record. Fields are denormalised for easy filtering.
+type Event struct {
+	// At is the event timestamp (ns on the simulation clock).
+	At simtime.Time `json:"at"`
+	// Kind is the event type.
+	Kind EventKind `json:"kind"`
+	// Frame is the frame sequence number (-1 when not frame-related).
+	Frame int `json:"frame"`
+	// Decoupled marks FPE-triggered frames.
+	Decoupled bool `json:"decoupled,omitempty"`
+	// DTimestamp is the issued display prediction (0 on the VSync path).
+	DTimestamp simtime.Time `json:"dts,omitempty"`
+	// EdgeSeq is the panel edge index for edge-aligned events.
+	EdgeSeq uint64 `json:"edge,omitempty"`
+	// Hz is the refresh rate for RateChange events.
+	Hz int `json:"hz,omitempty"`
+}
+
+// Recorder accumulates events in timestamp order (append order must be
+// non-decreasing, which the single-threaded simulation guarantees).
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add appends one event.
+func (r *Recorder) Add(ev Event) {
+	if n := len(r.events); n > 0 && ev.At < r.events[n-1].At {
+		panic(fmt.Sprintf("trace: out-of-order event at %v after %v", ev.At, r.events[n-1].At))
+	}
+	r.events = append(r.events, ev)
+}
+
+// Events returns the recorded events.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// WriteJSONL encodes the trace as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range r.events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: encode: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL trace.
+func ReadJSONL(rd io.Reader) (*Recorder, error) {
+	r := NewRecorder()
+	dec := json.NewDecoder(rd)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		r.events = append(r.events, ev)
+	}
+	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].At < r.events[j].At })
+	return r, nil
+}
+
+// Summary is the analysis pass over a trace.
+type Summary struct {
+	// Events counts records by kind.
+	Events map[EventKind]int
+	// Frames is the number of distinct presented frames.
+	Frames int
+	// Janks is the repeated-frame count.
+	Janks int
+	// Span is first→last event time.
+	Span simtime.Duration
+	// MeanQueueLatency averages queued→latched per frame (ms).
+	MeanQueueLatency float64
+	// DecoupledShare is the fraction of started frames that were
+	// FPE-triggered.
+	DecoupledShare float64
+}
+
+// Summarize computes the analysis pass.
+func Summarize(r *Recorder) Summary {
+	s := Summary{Events: map[EventKind]int{}}
+	if r.Len() == 0 {
+		return s
+	}
+	queued := map[int]simtime.Time{}
+	var waitSum simtime.Duration
+	var waits int
+	starts, decoupled := 0, 0
+	for _, ev := range r.events {
+		s.Events[ev.Kind]++
+		switch ev.Kind {
+		case FrameStart:
+			starts++
+			if ev.Decoupled {
+				decoupled++
+			}
+		case FrameQueued:
+			queued[ev.Frame] = ev.At
+		case FrameLatched:
+			if q, ok := queued[ev.Frame]; ok {
+				waitSum += ev.At.Sub(q)
+				waits++
+			}
+		case FramePresent:
+			s.Frames++
+		case Jank:
+			s.Janks++
+		}
+	}
+	s.Span = r.events[len(r.events)-1].At.Sub(r.events[0].At)
+	if waits > 0 {
+		s.MeanQueueLatency = float64(waitSum) / float64(waits) / float64(simtime.Millisecond)
+	}
+	if starts > 0 {
+		s.DecoupledShare = float64(decoupled) / float64(starts)
+	}
+	return s
+}
+
+// RenderTimeline draws an ASCII view of the trace: one column per VSync
+// period, lanes for frame starts and the latch/jank stream — the quick
+// visual graphics engineers get from Perfetto, in the terminal.
+func RenderTimeline(r *Recorder, maxCols int) string {
+	if r.Len() == 0 {
+		return "(empty trace)\n"
+	}
+	if maxCols <= 0 {
+		maxCols = 100
+	}
+	// Derive the period from consecutive HW edges.
+	var edges []simtime.Time
+	for _, ev := range r.events {
+		if ev.Kind == HWVSync {
+			edges = append(edges, ev.At)
+		}
+	}
+	if len(edges) < 2 {
+		return "(no VSync edges in trace)\n"
+	}
+	period := edges[1].Sub(edges[0])
+	cols := len(edges)
+	if cols > maxCols {
+		cols = maxCols
+	}
+	col := func(t simtime.Time) (int, bool) {
+		c := int(t.Sub(edges[0]) / simtime.Duration(period))
+		if c < 0 || c >= cols {
+			return 0, false
+		}
+		return c, true
+	}
+	exec := bytesOf(cols)
+	disp := bytesOf(cols)
+	for _, ev := range r.events {
+		c, ok := col(ev.At)
+		if !ok {
+			continue
+		}
+		switch ev.Kind {
+		case FrameStart:
+			mark := byte('e')
+			if ev.Decoupled {
+				mark = 'd'
+			}
+			if exec[c] == '.' || exec[c] == 'e' {
+				exec[c] = mark
+			}
+		case FrameLatched:
+			disp[c] = '#'
+		case Jank:
+			disp[c] = 'J'
+		case RateChange:
+			disp[c] = 'R'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "period %.3fms, %d columns (one per VSync period)\n",
+		period.Milliseconds(), cols)
+	fmt.Fprintf(&b, "execute %s\n", exec)
+	fmt.Fprintf(&b, "display %s\n", disp)
+	b.WriteString("legend: e frame start, d decoupled start, # latch, J jank, R rate change\n")
+	return b.String()
+}
+
+func bytesOf(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '.'
+	}
+	return out
+}

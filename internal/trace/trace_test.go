@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvsync/internal/simtime"
+)
+
+func sample() *Recorder {
+	r := NewRecorder()
+	r.Add(Event{At: 0, Kind: HWVSync, Frame: -1, EdgeSeq: 0, Hz: 60})
+	r.Add(Event{At: 100, Kind: FrameStart, Frame: 0, Decoupled: true, DTimestamp: 5000})
+	r.Add(Event{At: 900, Kind: FrameQueued, Frame: 0, Decoupled: true})
+	r.Add(Event{At: 1000, Kind: HWVSync, Frame: -1, EdgeSeq: 1, Hz: 60})
+	r.Add(Event{At: 1000, Kind: FrameLatched, Frame: 0, EdgeSeq: 1})
+	r.Add(Event{At: 2000, Kind: FramePresent, Frame: 0})
+	r.Add(Event{At: 3000, Kind: Jank, Frame: -1, EdgeSeq: 2})
+	r.Add(Event{At: 4000, Kind: RateChange, Frame: -1, Hz: 90})
+	return r
+}
+
+func TestRecorderOrdering(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{At: 10, Kind: HWVSync, Frame: -1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order event")
+		}
+	}()
+	r.Add(Event{At: 5, Kind: HWVSync, Frame: -1})
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := sample()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != r.Len() {
+		t.Errorf("wrote %d lines for %d events", lines, r.Len())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip lost events: %d vs %d", back.Len(), r.Len())
+	}
+	for i, ev := range back.Events() {
+		if ev != r.Events()[i] {
+			t.Errorf("event %d differs: %+v vs %+v", i, ev, r.Events()[i])
+		}
+	}
+}
+
+func TestReadJSONLGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Frames != 1 {
+		t.Errorf("Frames = %d", s.Frames)
+	}
+	if s.Janks != 1 {
+		t.Errorf("Janks = %d", s.Janks)
+	}
+	if s.Events[HWVSync] != 2 {
+		t.Errorf("edges = %d", s.Events[HWVSync])
+	}
+	if s.Span != simtime.Duration(4000) {
+		t.Errorf("Span = %v", s.Span)
+	}
+	// Frame 0 waited 100ns queued→latched.
+	if s.MeanQueueLatency <= 0 {
+		t.Errorf("MeanQueueLatency = %v", s.MeanQueueLatency)
+	}
+	if s.DecoupledShare != 1 {
+		t.Errorf("DecoupledShare = %v", s.DecoupledShare)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(NewRecorder())
+	if s.Frames != 0 || s.Janks != 0 || s.Span != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := NewRecorder()
+	p := int64(16666666)
+	for i := int64(0); i < 6; i++ {
+		r.Add(Event{At: simtime.Time(i * p), Kind: HWVSync, Frame: -1, EdgeSeq: uint64(i)})
+		if i == 3 {
+			r.Add(Event{At: simtime.Time(i * p), Kind: Jank, Frame: -1, EdgeSeq: uint64(i)})
+		} else if i > 0 {
+			r.Add(Event{At: simtime.Time(i * p), Kind: FrameLatched, Frame: int(i)})
+		}
+		r.Add(Event{At: simtime.Time(i*p + p/4), Kind: FrameStart, Frame: int(i), Decoupled: i%2 == 0})
+	}
+	out := RenderTimeline(r, 100)
+	if !strings.Contains(out, "J") {
+		t.Error("jank missing from timeline")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("latches missing from timeline")
+	}
+	if !strings.Contains(out, "d") || !strings.Contains(out, "e") {
+		t.Error("frame-start lane missing kinds")
+	}
+}
+
+func TestRenderTimelineDegenerate(t *testing.T) {
+	if out := RenderTimeline(NewRecorder(), 10); !strings.Contains(out, "empty") {
+		t.Errorf("empty trace rendering: %q", out)
+	}
+	r := NewRecorder()
+	r.Add(Event{At: 0, Kind: HWVSync, Frame: -1})
+	if out := RenderTimeline(r, 10); !strings.Contains(out, "no VSync edges") {
+		t.Errorf("single-edge rendering: %q", out)
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dvsync/internal/simtime"
+)
+
+// traceJSON is the on-disk form of a Trace: stage costs in microseconds to
+// keep files compact and diffable (the paper's game traces record CPU/GPU
+// time per frame at comparable precision, §6.1).
+type traceJSON struct {
+	Name   string      `json:"name"`
+	Frames []frameJSON `json:"frames"`
+}
+
+type frameJSON struct {
+	UIUs  int64  `json:"ui_us"`
+	RSUs  int64  `json:"rs_us"`
+	Class string `json:"class,omitempty"`
+}
+
+// WriteJSON encodes the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := traceJSON{Name: t.Name, Frames: make([]frameJSON, len(t.Costs))}
+	for i, c := range t.Costs {
+		fj := frameJSON{
+			UIUs: int64(c.UI) / int64(simtime.Microsecond),
+			RSUs: int64(c.RS) / int64(simtime.Microsecond),
+		}
+		if c.Class != Deterministic {
+			fj.Class = c.Class.String()
+		}
+		out.Frames[i] = fj
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("workload: encode trace %q: %w", t.Name, err)
+	}
+	return bw.Flush()
+}
+
+// ReadJSON decodes a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in traceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	t := &Trace{Name: in.Name, Costs: make([]Cost, len(in.Frames))}
+	for i, fj := range in.Frames {
+		if fj.UIUs < 0 || fj.RSUs < 0 {
+			return nil, fmt.Errorf("workload: frame %d has negative cost", i)
+		}
+		c := Cost{
+			UI: simtime.Duration(fj.UIUs) * simtime.Microsecond,
+			RS: simtime.Duration(fj.RSUs) * simtime.Microsecond,
+		}
+		switch fj.Class {
+		case "", "deterministic":
+			c.Class = Deterministic
+		case "interactive":
+			c.Class = Interactive
+		case "realtime":
+			c.Class = Realtime
+		default:
+			return nil, fmt.Errorf("workload: frame %d has unknown class %q", i, fj.Class)
+		}
+		t.Costs[i] = c
+	}
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	p := testProfile()
+	orig := p.Generate(200, 7)
+	orig.Costs[3].Class = Interactive
+	orig.Costs[4].Class = Realtime
+
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Len() != orig.Len() {
+		t.Fatalf("identity lost: %q/%d vs %q/%d", back.Name, back.Len(), orig.Name, orig.Len())
+	}
+	for i := range orig.Costs {
+		if back.Costs[i].Class != orig.Costs[i].Class {
+			t.Fatalf("frame %d class changed", i)
+		}
+		// Costs are stored at µs precision.
+		if d := back.Costs[i].UI - orig.Costs[i].UI; d < -1000 || d > 0 {
+			t.Fatalf("frame %d UI cost drifted by %d", i, d)
+		}
+		if d := back.Costs[i].RS - orig.Costs[i].RS; d < -1000 || d > 0 {
+			t.Fatalf("frame %d RS cost drifted by %d", i, d)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{not json",
+		"negative cost": `{"name":"x","frames":[{"ui_us":-1,"rs_us":5}]}`,
+		"unknown class": `{"name":"x","frames":[{"ui_us":1,"rs_us":5,"class":"psychic"}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadJSONDefaultsClass(t *testing.T) {
+	tr, err := ReadJSON(strings.NewReader(`{"name":"x","frames":[{"ui_us":100,"rs_us":200}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Costs[0].Class != Deterministic {
+		t.Error("missing class should default to deterministic")
+	}
+}

@@ -1,0 +1,98 @@
+// Command dvlint runs the determinism and invariant static-analysis suite
+// over the module and exits non-zero on violations.
+//
+// Usage:
+//
+//	dvlint ./...        # lint every package in the module
+//	dvlint -rules       # list the rules and their allowlists
+//
+// Violations print in the compiler's file:line:col format. A finding can be
+// suppressed in place with a justified directive:
+//
+//	//dvlint:ignore <rule> <reason>
+//
+// on the offending line or the line directly above it. Directives that name
+// an unknown rule or omit the reason are themselves violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dvsync/internal/lint"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list the rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dvlint [-rules] ./...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *rules {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "dvlint: unsupported pattern %q (only ./...)\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(rel(root, d))
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "dvlint: %d violation(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// rel prints a diagnostic with its path relative to the module root.
+func rel(root string, d lint.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}

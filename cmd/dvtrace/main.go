@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"dvsync"
 	"dvsync/internal/trace"
@@ -91,8 +92,13 @@ func doSummarize(path string, timeline *bool) error {
 	}
 	s := trace.Summarize(rec)
 	fmt.Printf("events            %d over %s\n", rec.Len(), s.Span)
-	for kind, n := range s.Events {
-		fmt.Printf("  %-14s  %d\n", kind, n)
+	kinds := make([]string, 0, len(s.Events))
+	for kind := range s.Events {
+		kinds = append(kinds, string(kind))
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		fmt.Printf("  %-14s  %d\n", kind, s.Events[trace.EventKind(kind)])
 	}
 	fmt.Printf("frames presented  %d\n", s.Frames)
 	fmt.Printf("janks             %d\n", s.Janks)

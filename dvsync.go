@@ -119,8 +119,17 @@ const (
 	DVSync = sim.ModeDVSync
 )
 
-// Run executes one simulation to completion.
+// Run executes one simulation to completion. Invalid configurations panic;
+// use TryRun when the config comes from external input.
 func Run(cfg Config) *Result { return sim.Run(cfg) }
+
+// TryRun executes one simulation, returning configuration errors as values
+// instead of panicking. Panics remain only for provable internal invariant
+// violations (pipeline ordering, buffer state machine).
+func TryRun(cfg Config) (*Result, error) { return sim.TryRun(cfg) }
+
+// ValidateConfig reports what TryRun would reject, without running.
+var ValidateConfig = sim.Validate
 
 // NewRecorder returns an empty trace recorder to attach to a Config.
 func NewRecorder() *Recorder { return trace.NewRecorder() }

@@ -13,6 +13,52 @@ func benchmarkProfile() Profile {
 	}
 }
 
+// TestTryRunErrors covers the panic-audit conversions: config and profile
+// mistakes surface as error values through the Try entry points, while the
+// panicking convenience paths are unchanged for internal callers.
+func TestTryRunErrors(t *testing.T) {
+	p := benchmarkProfile()
+	tr := p.Generate(50, 7)
+
+	bad := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty trace", Config{Mode: VSync, Panel: Pixel5.Panel(), Buffers: 3}},
+		{"too few buffers", Config{Mode: VSync, Panel: Pixel5.Panel(), Buffers: 1, Trace: tr}},
+		{"no refresh rate", Config{Mode: VSync, Buffers: 3, Trace: tr}},
+		{"negative app offset", Config{Mode: VSync, Panel: Pixel5.Panel(), Buffers: 3,
+			Trace: tr, AppOffset: -FromMillis(1)}},
+		{"LTPO without velocity", Config{Mode: DVSync, Panel: Pixel5.Panel(), Buffers: 4,
+			Trace: tr, LTPOPolicy: DefaultLTPOPolicy()}},
+	}
+	for _, c := range bad {
+		if _, err := TryRun(c.cfg); err == nil {
+			t.Errorf("%s: TryRun accepted an invalid config", c.name)
+		}
+		if err := ValidateConfig(c.cfg); err == nil {
+			t.Errorf("%s: ValidateConfig accepted an invalid config", c.name)
+		}
+	}
+
+	r, err := TryRun(Config{Mode: DVSync, Panel: Pixel5.Panel(), Buffers: 4, Trace: tr})
+	if err != nil {
+		t.Fatalf("TryRun rejected a valid config: %v", err)
+	}
+	if !r.Completed {
+		t.Fatal("TryRun run did not complete")
+	}
+
+	invalid := benchmarkProfile()
+	invalid.UIShare = 2
+	if _, err := invalid.TryGenerate(10, 1); err == nil {
+		t.Error("TryGenerate accepted an invalid profile")
+	}
+	if got, err := p.TryGenerate(10, 1); err != nil || got.Len() != 10 {
+		t.Errorf("TryGenerate(10) = %v frames, err %v", got.Len(), err)
+	}
+}
+
 func TestCompare(t *testing.T) {
 	p := benchmarkProfile()
 	tr := p.Generate(800, 42)

@@ -1,0 +1,20 @@
+// Host-clock access for the experiment harness.
+//
+// Experiments measure two unrelated kinds of time: simulated instants
+// (simtime.Time, driving every FDPS/latency result) and the host wall clock
+// (only to report what this implementation's predictor code costs to run,
+// the way §6.5 reports the Java ZDP at 151.6 µs/frame). The helpers here
+// are the single sanctioned crossing point to the host clock; everything
+// else in the harness is dvlint-checked to stay on the virtual clock.
+package exp
+
+import "time"
+
+// hostNow reads the host wall clock. It exists so profiling call sites stay
+// injectable in tests and greppable in audits; it must never feed a
+// simulated decision.
+var hostNow = time.Now //dvlint:ignore nowallclock host profiling only: measures implementation cost, never simulation state
+
+// hostSince returns the host wall-clock span since t0, for profiling the
+// real cost of predictor implementations.
+func hostSince(t0 time.Time) time.Duration { return hostNow().Sub(t0) }

@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHostClockInjectable proves the profiling clock is injectable: a fake
+// clock fully determines hostSince, so nothing in the harness needs a real
+// wall-clock reading under test.
+func TestHostClockInjectable(t *testing.T) {
+	defer func(orig func() time.Time) { hostNow = orig }(hostNow)
+
+	base := time.Unix(1000, 0)
+	now := base
+	hostNow = func() time.Time { return now }
+
+	t0 := hostNow()
+	now = base.Add(151600 * time.Nanosecond) // the paper's ZDP cost per frame
+	if got := hostSince(t0); got != 151600*time.Nanosecond {
+		t.Fatalf("hostSince = %v, want 151.6µs", got)
+	}
+}

@@ -281,9 +281,9 @@ func Fig16() *Fig16Result {
 				return
 			}
 			h := coreHistory(samples, now)
-			t0 := time.Now()
+			t0 := hostNow()
 			f.ContentValue = zdp.Predict(h, f.DTimestamp)
-			zdpTotal += time.Since(t0)
+			zdpTotal += hostSince(t0)
 			zdpCalls++
 		},
 	})

@@ -1,0 +1,228 @@
+// Package lint implements dvlint, the determinism and invariant
+// static-analysis suite for the D-VSync reproduction.
+//
+// The whole value of the simulator is that runs are bit-for-bit
+// deterministic: the paper's FDPS and latency comparisons are only
+// trustworthy if no wall-clock reading, unseeded randomness, or goroutine
+// scheduling can leak into simulated decisions. Those rules used to be
+// enforced by convention (package comments in internal/simtime); dvlint
+// machine-checks them on every build.
+//
+// The suite is built directly on go/ast + go/parser + go/types — the module
+// is dependency-free and must stay buildable offline, so golang.org/x/tools
+// is deliberately not used. See Analyzers for the rule set and DESIGN.md's
+// "Determinism contract" section for the policy rationale.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the analyzer that fired (or "dvlint" for directive
+	// errors).
+	Rule string
+	// Message explains the violation.
+	Message string
+}
+
+// String formats the diagnostic the way compilers do.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Analyzer is one dvlint rule.
+type Analyzer struct {
+	// Name is the rule identifier used in reports and suppression
+	// directives.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Skip, when set, exempts whole packages by import path (the
+	// allowlist). Suppressions inside checked packages use
+	// //dvlint:ignore directives instead.
+	Skip func(pkgPath string) bool
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (package, analyzer) invocation.
+type Pass struct {
+	// Pkg is the loaded, type-checked package under inspection.
+	Pkg *Package
+	// Analyzer is the running rule.
+	Analyzer *Analyzer
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full dvlint rule set in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoWallClock,
+		SeededRand,
+		NoGoroutine,
+		MapOrder,
+		SimtimeConfusion,
+	}
+}
+
+// Run applies the analyzers to every package, resolves //dvlint:ignore
+// suppressions, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			if a.Skip != nil && a.Skip(pkg.Path) {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, Analyzer: a, diags: &raw})
+		}
+		dirs, bad := directives(pkg, known)
+		all = append(all, bad...)
+		for _, d := range raw {
+			if !dirs.suppresses(d) {
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return all
+}
+
+// ignorePrefix introduces a suppression directive comment.
+const ignorePrefix = "//dvlint:ignore"
+
+// directiveSet indexes suppression directives by (file, line, rule).
+type directiveSet map[string]map[int]map[string]bool
+
+// suppresses reports whether a directive covers the diagnostic: an ignore
+// for the rule on the same line (trailing comment) or on the line directly
+// above (own-line comment).
+func (s directiveSet) suppresses(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Rule] || lines[d.Pos.Line-1][d.Rule]
+}
+
+// directives collects //dvlint:ignore comments across the package. A
+// directive must name a known rule and give a non-empty justification;
+// malformed directives are themselves diagnostics so suppressions cannot
+// silently rot.
+func directives(pkg *Package, known map[string]bool) (directiveSet, []Diagnostic) {
+	set := directiveSet{}
+	var bad []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    "dvlint",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "ignore directive missing rule name: %q", c.Text)
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					report(c.Pos(), "ignore directive names unknown rule %q", rule)
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "ignore directive for %s needs a justification", rule)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				rules := lines[pos.Line]
+				if rules == nil {
+					rules = map[string]bool{}
+					lines[pos.Line] = rules
+				}
+				rules[rule] = true
+			}
+		}
+	}
+	return set, bad
+}
+
+// pathIn reports whether pkgPath is path itself or a subpackage of it.
+func pathIn(pkgPath, path string) bool {
+	return pkgPath == path || strings.HasPrefix(pkgPath, path+"/")
+}
+
+// pathMatchesAny reports whether pkgPath falls under any of the prefixes.
+func pathMatchesAny(pkgPath string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if pathIn(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// useOf resolves an identifier or selector to the object it denotes.
+func useOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the named function from the named
+// package.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags map iteration whose body performs order-sensitive effects.
+//
+// Go randomises map iteration order on purpose; a range over a map that
+// appends to a slice, emits through a method (events, trace records,
+// scheduler pushes), or prints, produces a different sequence every run.
+// Order-insensitive bodies — writes into another map, commutative
+// accumulation, pure value reads — are allowed, as is the collect-then-sort
+// idiom (append the keys, sort, iterate the slice).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range over a map whose body emits, appends, or writes output in iteration order",
+	Run:  runMapOrder,
+}
+
+// printFuncs are fmt functions whose call inside a map range serialises the
+// iteration order into program output. The Sprint family is pure and
+// exempt.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		// Walk top-level declarations so each range statement can be
+		// related to its enclosing function (for the sorted-collect check).
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(p, fd, rng)
+				return true
+			})
+		}
+	}
+}
+
+// checkMapRange reports order-sensitive effects inside one map range body.
+func checkMapRange(p *Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside map range: iteration order is random")
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" &&
+				isBuiltin(info, id) && len(n.Args) > 0 {
+				if target := rootIdent(n.Args[0]); target != nil &&
+					declaredOutside(info, target, rng) &&
+					!sortedLater(info, fn, rng, target) {
+					p.Reportf(n.Pos(),
+						"append to %s inside map range: iteration order is random; sort the keys first",
+						target.Name)
+				}
+				return true
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := useOf(info, sel); obj != nil && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "fmt" && printFuncs[obj.Name()] {
+				p.Reportf(n.Pos(),
+					"fmt.%s inside map range: output order is random; sort the keys first",
+					obj.Name())
+				return true
+			}
+			if s, isSel := info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+				if recv := rootIdent(sel.X); recv != nil && declaredOutside(info, recv, rng) {
+					p.Reportf(n.Pos(),
+						"method call %s.%s on outer state inside map range: effects follow random iteration order; sort the keys first",
+						recv.Name, sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether id resolves to a predeclared builtin (i.e. is
+// not shadowed by a user declaration).
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// rootIdent walks selector/index chains to the base identifier, e.g.
+// s.engine.At → s, keys[i] → keys.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether id's declaration lies outside the range
+// statement — loop-local accumulators do not leak iteration order.
+func declaredOutside(info *types.Info, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return true // unresolvable: be conservative and treat as outer
+	}
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedLater recognises the collect-then-sort idiom: the slice appended to
+// inside the map range is passed to a sort or slices call elsewhere in the
+// same function, which erases the random collection order.
+func sortedLater(info *types.Info, fn *ast.FuncDecl, rng *ast.RangeStmt, target *ast.Ident) bool {
+	obj := info.Uses[target]
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || (n != nil && n.Pos() >= rng.Pos() && n.End() <= rng.End()) {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fobj := useOf(info, sel)
+		if fobj == nil || fobj.Pkg() == nil ||
+			(fobj.Pkg().Path() != "sort" && fobj.Pkg().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && info.Uses[root] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// corePkgs are the single-threaded simulation core: every simulated
+// decision flows through these packages, and replayability requires that
+// no goroutine interleaving can reorder them.
+var corePkgs = []string{
+	"dvsync/internal/sim",
+	"dvsync/internal/core",
+	"dvsync/internal/pipeline",
+	"dvsync/internal/buffer",
+	"dvsync/internal/display",
+	"dvsync/internal/event",
+}
+
+// NoGoroutine forbids concurrency constructs inside the simulation core.
+//
+// The discrete-event engine serialises everything on the virtual clock; a
+// goroutine or channel in the core would reintroduce scheduler
+// nondeterminism that no seed can pin down. The rule bans go statements,
+// select, channel sends/receives, and channel types themselves (so channels
+// cannot even appear in signatures or struct fields).
+var NoGoroutine = &Analyzer{
+	Name: "nogoroutine",
+	Doc:  "forbid go statements and channel operations inside the simulation core",
+	Skip: func(pkgPath string) bool {
+		return !pathMatchesAny(pkgPath, corePkgs...)
+	},
+	Run: runNoGoroutine,
+}
+
+func runNoGoroutine(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "go statement in simulation core; the core must stay single-threaded")
+			case *ast.SelectStmt:
+				p.Reportf(n.Pos(), "select statement in simulation core; the core must stay single-threaded")
+			case *ast.SendStmt:
+				p.Reportf(n.Pos(), "channel send in simulation core; the core must stay single-threaded")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					p.Reportf(n.Pos(), "channel receive in simulation core; the core must stay single-threaded")
+				}
+			case *ast.ChanType:
+				p.Reportf(n.Pos(), "channel type in simulation core; the core must stay single-threaded")
+			case *ast.RangeStmt:
+				if tv, ok := p.Pkg.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						p.Reportf(n.Pos(), "range over channel in simulation core; the core must stay single-threaded")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

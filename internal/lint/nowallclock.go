@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-time functions that read or wait on the
+// host clock. Referencing one — even without calling it — smuggles
+// wall-clock readings into code paths that must depend only on
+// simtime.Time.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// NoWallClock forbids host wall-clock reads outside host-facing binaries.
+//
+// Simulated decisions must be functions of simulated state alone: a single
+// time.Now() in a scheduler path makes every golden trace and FDPS
+// comparison irreproducible. Host-facing mains (cmd/*, examples/*) are
+// allowlisted; host-profiling helpers elsewhere (e.g. internal/exp's ZDP
+// cost measurement) must carry an explicit //dvlint:ignore justification.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Sleep/Since/After and friends outside host-facing binaries",
+	Skip: func(pkgPath string) bool {
+		return pathMatchesAny(pkgPath, "dvsync/cmd", "dvsync/examples")
+	},
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := useOf(p.Pkg.Info, sel)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if wallClockFuncs[obj.Name()] {
+				p.Reportf(sel.Pos(),
+					"wall-clock read time.%s in simulation code; use simtime, or justify with %s",
+					obj.Name(), ignorePrefix)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPkgs are the unseeded-randomness sources. Both rand generations are
+// covered: math/rand/v2 has no Seed at all and its top-level functions are
+// always process-global.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// SeededRand forbids unseeded randomness outside internal/dist.
+//
+// All randomness must flow through dist.RNG so a scenario seed fully
+// determines a run. Top-level math/rand functions draw from the global,
+// process-seeded source; rand.New is tolerated only when its rand.NewSource
+// argument is a constant or propagated seed expression (no function calls —
+// in particular no time.Now().UnixNano()).
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid math/rand top-level functions and non-propagated rand.New seeds outside internal/dist",
+	Skip: func(pkgPath string) bool {
+		return pathIn(pkgPath, "dvsync/internal/dist")
+	},
+	Run: runSeededRand,
+}
+
+func runSeededRand(p *Pass) {
+	info := p.Pkg.Info
+	// handled marks selector expressions already judged as part of an
+	// accepted rand.New(rand.NewSource(seed)) composition.
+	handled := map[*ast.SelectorExpr]bool{}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fnSel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := useOf(info, fnSel)
+			if obj == nil || obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] {
+				return true
+			}
+			if obj.Name() != "New" || len(call.Args) != 1 {
+				return true // judged as a bare selector use below
+			}
+			srcCall, ok := call.Args[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			srcSel, ok := srcCall.Fun.(*ast.SelectorExpr)
+			if !ok || !isPkgFunc(useOf(info, srcSel), obj.Pkg().Path(), "NewSource") {
+				return true
+			}
+			if len(srcCall.Args) == 1 && seedPropagated(srcCall.Args[0]) {
+				handled[fnSel] = true
+				handled[srcSel] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || handled[sel] {
+				return true
+			}
+			obj := useOf(info, sel)
+			if obj == nil || obj.Pkg() == nil || !randPkgs[obj.Pkg().Path()] {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc || fn.Type().(*types.Signature).Recv() != nil {
+				// Type and method references (rand.Rand, r.Intn) are fine:
+				// determinism hinges on how the generator was seeded.
+				return true
+			}
+			switch obj.Name() {
+			case "New", "NewSource":
+				p.Reportf(sel.Pos(),
+					"rand.%s without a constant or propagated seed; route randomness through internal/dist",
+					obj.Name())
+			default:
+				p.Reportf(sel.Pos(),
+					"global math/rand source rand.%s is unseeded; route randomness through internal/dist",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// seedPropagated reports whether a seed expression is a constant or a
+// propagated value: any expression free of function calls (identifiers,
+// selectors, literals, arithmetic over them). A call in the seed — e.g.
+// time.Now().UnixNano() — makes the stream irreproducible.
+func seedPropagated(e ast.Expr) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, isCall := n.(*ast.CallExpr); isCall {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simtimePkg is the virtual-clock type universe.
+const simtimePkg = "dvsync/internal/simtime"
+
+// SimtimeConfusion flags conversions between the virtual-clock types
+// (simtime.Time, simtime.Duration) and the host-clock types (time.Time,
+// time.Duration).
+//
+// The two families deliberately share shape so code reads naturally, but a
+// conversion between them is almost always a bug: it either injects a
+// wall-clock reading into simulated state or interprets a simulated instant
+// as a host timestamp. Genuine boundary crossings (host profiling reports)
+// must carry a //dvlint:ignore justification.
+var SimtimeConfusion = &Analyzer{
+	Name: "simtimeconfusion",
+	Doc:  "flag conversions mixing simtime.Time/Duration with time.Time/Duration",
+	Run:  runSimtimeConfusion,
+}
+
+// clockFamily classifies a type: "sim" for simtime named types, "wall" for
+// package time named types, "" for everything else.
+func clockFamily(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch obj.Pkg().Path() {
+	case simtimePkg:
+		return "sim"
+	case "time":
+		return "wall"
+	}
+	return ""
+}
+
+func runSimtimeConfusion(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // a call, not a conversion
+			}
+			dst := clockFamily(tv.Type)
+			if dst == "" {
+				return true
+			}
+			argTV, ok := info.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			src := clockFamily(argTV.Type)
+			if src == "" || src == dst {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"conversion from %s to %s mixes the virtual clock with the host clock",
+				argTV.Type, tv.Type)
+			return true
+		})
+	}
+}

@@ -1,0 +1,24 @@
+// Fixture for the //dvlint:ignore suppression machinery.
+package fixture
+
+import "time"
+
+// A justified trailing directive suppresses the finding on its line.
+var trailing = time.Now //dvlint:ignore nowallclock fixture: justified trailing directive
+
+//dvlint:ignore nowallclock fixture: justified own-line directive
+var ownLine = time.Now
+
+// A directive without a justification is itself a violation and suppresses
+// nothing.
+// want dvlint nowallclock
+var unjustified = time.Now //dvlint:ignore nowallclock
+
+// A directive naming an unknown rule is itself a violation and suppresses
+// nothing.
+// want dvlint nowallclock
+var unknownRule = time.Now //dvlint:ignore bogusrule because reasons
+
+// A justified directive for the wrong rule does not suppress.
+// want nowallclock
+var wrongRule = time.Now //dvlint:ignore maporder fixture: names the wrong rule

@@ -1,0 +1,73 @@
+// Fixture for the maporder analyzer.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+// emitter stands in for a scheduler, trace recorder, or event sink.
+type emitter struct{ log []string }
+
+// Emit records one entry.
+func (e *emitter) Emit(s string) { e.log = append(e.log, s) }
+
+// unsortedAppend leaks iteration order into a slice.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	return keys
+}
+
+// printed leaks iteration order into program output.
+func printed(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want maporder
+	}
+}
+
+// emitted leaks iteration order into an outer sink.
+func emitted(m map[string]int, e *emitter) {
+	for k := range m {
+		e.Emit(k) // want maporder
+	}
+}
+
+// sortedCollect is the sanctioned idiom: collect, sort, then iterate.
+func sortedCollect(m map[string]int, e *emitter) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Emit(k)
+	}
+}
+
+// commutative accumulation and map-to-map writes are order-insensitive.
+func commutative(m map[string]int) (int, map[string]bool) {
+	total := 0
+	seen := map[string]bool{}
+	for k, v := range m {
+		total += v
+		seen[k] = true
+	}
+	return total, seen
+}
+
+// loopLocal appends to a slice scoped inside the iteration, which cannot
+// observe cross-key ordering.
+func loopLocal(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}

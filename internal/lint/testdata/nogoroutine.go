@@ -1,0 +1,27 @@
+// Fixture for the nogoroutine analyzer; checked as if it were part of the
+// simulation core (dvsync/internal/sim).
+package fixture
+
+// pump exercises every banned concurrency construct.
+func pump(done chan struct{}) { // want nogoroutine
+	ch := make(chan int, 1) // want nogoroutine
+	go func() {             // want nogoroutine
+		ch <- 1 // want nogoroutine
+	}()
+	<-ch     // want nogoroutine
+	select { // want nogoroutine
+	default:
+	}
+	for range ch { // want nogoroutine
+	}
+	close(done)
+}
+
+// serial shows ordinary single-threaded code is untouched.
+func serial(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

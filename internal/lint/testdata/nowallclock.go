@@ -1,0 +1,26 @@
+// Fixture for the nowallclock analyzer.
+package fixture
+
+import "time"
+
+// elapsed exercises the banned wall-clock reads.
+func elapsed() time.Duration {
+	t0 := time.Now()              // want nowallclock
+	time.Sleep(time.Millisecond)  // want nowallclock
+	ch := time.After(time.Second) // want nowallclock
+	_ = ch
+	return time.Since(t0) // want nowallclock
+}
+
+// smuggled shows that references (not just calls) are caught.
+var smuggled = time.Now // want nowallclock
+
+// justified is allowed through a justified suppression directive.
+var justified = time.Now //dvlint:ignore nowallclock fixture: host profiling helper
+
+// durations shows plain time.Duration values are fine: only clock reads and
+// waits are banned.
+func durations() time.Duration {
+	d := 3 * time.Second
+	return d.Round(time.Millisecond)
+}

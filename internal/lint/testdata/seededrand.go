@@ -1,0 +1,37 @@
+// Fixture for the seededrand analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// global draws from the process-global, unseeded source.
+func global() int {
+	rand.Shuffle(3, func(i, j int) {}) // want seededrand
+	_ = rand.Float64()                 // want seededrand
+	return rand.Intn(6)                // want seededrand
+}
+
+// wallSeed seeds from the wall clock: every run gets a new stream.
+func wallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want seededrand seededrand nowallclock
+}
+
+// opaqueSource hides the seed behind an arbitrary call.
+func opaqueSource(mk func() rand.Source) *rand.Rand {
+	return rand.New(mk()) // want seededrand
+}
+
+// constSeed is reproducible: a constant seed fully determines the stream.
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// propagatedSeed is reproducible: the caller owns the seed.
+func propagatedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 1))
+}
+
+// methods on an already-seeded generator are fine.
+func methods(r *rand.Rand) int { return r.Intn(6) }

@@ -1,0 +1,23 @@
+// Fixture for the simtimeconfusion analyzer.
+package fixture
+
+import (
+	"time"
+
+	"dvsync/internal/simtime"
+)
+
+// crossings exercises both illegal conversion directions.
+func crossings(sd simtime.Duration, wd time.Duration, st simtime.Time) {
+	_ = time.Duration(sd)    // want simtimeconfusion
+	_ = simtime.Duration(wd) // want simtimeconfusion
+	_ = time.Duration(st)    // want simtimeconfusion
+}
+
+// sameFamily conversions and untyped constants are fine.
+func sameFamily(ns int64) (simtime.Duration, time.Duration) {
+	sd := simtime.Duration(ns)
+	wd := time.Duration(42)
+	_ = simtime.Time(ns)
+	return sd, wd
+}

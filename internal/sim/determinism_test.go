@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"dvsync/internal/ipl"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// replayDigest runs one seeded scenario and folds the full structured event
+// trace plus the result summary into a hash. Any nondeterminism anywhere in
+// the stack — an unseeded draw, a wall-clock read, map-order iteration, a
+// goroutine race — perturbs at least one event timestamp or counter and
+// changes the digest.
+func replayDigest(t *testing.T, mode Mode) [sha256.Size]byte {
+	t.Helper()
+	p := workload.Profile{
+		Name: "determinism", ShortMeanMs: 5, ShortSigmaMs: 2,
+		LongRatio: 0.06, LongScaleMs: 20, LongAlpha: 1.8,
+		Burstiness: 0.3, UIShare: 0.4, Class: workload.Interactive,
+	}
+	rec := trace.NewRecorder()
+	r := Run(Config{
+		Mode: mode, Panel: panel60(), Buffers: 4,
+		Trace:     p.Generate(400, 1234),
+		Predictor: ipl.Kalman{},
+		Recorder:  rec,
+	})
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatalf("encoding trace: %v", err)
+	}
+	fmt.Fprintf(&buf, "fdps=%v janks=%d presented=%d stuffed=%d direct=%d "+
+		"decoupled=%d vsyncpath=%d work=%v latency=%+v\n",
+		r.FDPS(), len(r.Janks), len(r.Presented), r.Stuffed, r.Direct,
+		r.DecoupledFrames, r.VSyncPathFrames, r.ExecutedWork, r.LatencySummary())
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestDeterministicReplay is the determinism regression gate: the same
+// seeded scenario, run twice in the same process, must produce bit-for-bit
+// identical trace output under both architectures. It complements the
+// golden tests (which pin timings across versions) by catching run-to-run
+// nondeterminism directly, the contract dvlint enforces statically.
+func TestDeterministicReplay(t *testing.T) {
+	for _, mode := range []Mode{ModeVSync, ModeDVSync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			first := replayDigest(t, mode)
+			for run := 2; run <= 3; run++ {
+				if got := replayDigest(t, mode); got != first {
+					t.Fatalf("run %d diverged from run 1: %x != %x", run, got, first)
+				}
+			}
+		})
+	}
+}

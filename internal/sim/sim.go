@@ -221,13 +221,34 @@ type System struct {
 	ticks   int  // VSync-app ticks since stream start
 }
 
-// New wires a simulation from the config.
-func New(cfg Config) *System {
-	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
-		panic("sim: empty trace")
+// Validate reports configuration errors: everything a caller could get
+// wrong by construction, checked up front so library users get an error
+// value instead of a panic from deep inside the wiring.
+func Validate(cfg Config) error {
+	switch {
+	case cfg.Trace == nil || cfg.Trace.Len() == 0:
+		return fmt.Errorf("sim: empty trace")
+	case cfg.Buffers < 2:
+		return fmt.Errorf("sim: %d buffers cannot double-buffer", cfg.Buffers)
+	case cfg.Panel.RefreshHz <= 0:
+		return fmt.Errorf("sim: invalid panel refresh rate %d", cfg.Panel.RefreshHz)
+	case cfg.AppOffset < 0:
+		return fmt.Errorf("sim: negative VSync-app offset %v", cfg.AppOffset)
+	case cfg.PreRenderLimit < 0:
+		return fmt.Errorf("sim: negative pre-render limit %d", cfg.PreRenderLimit)
+	case cfg.VSyncPipelineDepth < 0:
+		return fmt.Errorf("sim: negative VSync pipeline depth %d", cfg.VSyncPipelineDepth)
+	case cfg.LTPOPolicy != nil && cfg.LTPOVelocity == nil:
+		return fmt.Errorf("sim: LTPOPolicy requires LTPOVelocity")
 	}
-	if cfg.Buffers < 2 {
-		panic(fmt.Sprintf("sim: %d buffers cannot double-buffer", cfg.Buffers))
+	return nil
+}
+
+// New wires a simulation from the config. Invalid configurations panic;
+// use TryRun (or Validate first) to get an error value instead.
+func New(cfg Config) *System {
+	if err := Validate(cfg); err != nil {
+		panic(err)
 	}
 	if cfg.PreRenderLimit == 0 {
 		cfg.PreRenderLimit = cfg.Buffers - 1
@@ -289,9 +310,6 @@ func New(cfg Config) *System {
 		}
 	}
 	if cfg.LTPOPolicy != nil {
-		if cfg.LTPOVelocity == nil {
-			panic("sim: LTPOPolicy requires LTPOVelocity")
-		}
 		s.ltpo = ltpo.NewCoordinator(cfg.LTPOPolicy, s.panel, (*pendingRates)(s))
 	}
 	if cfg.Recorder != nil {
@@ -577,5 +595,16 @@ func (s *System) Run() *Result {
 	return &s.res
 }
 
-// Run is the convenience one-shot entry point.
+// Run is the convenience one-shot entry point. Invalid configurations
+// panic; TryRun returns an error instead.
 func Run(cfg Config) *Result { return New(cfg).Run() }
+
+// TryRun executes one simulation, reporting configuration errors as values
+// — the entry point for library integrations that cannot afford a panic on
+// user-supplied configs.
+func TryRun(cfg Config) (*Result, error) {
+	if err := Validate(cfg); err != nil {
+		return nil, err
+	}
+	return New(cfg).Run(), nil
+}

@@ -171,8 +171,19 @@ func (p *Profile) Validate() error {
 	return nil
 }
 
+// TryGenerate synthesises an n-frame trace, reporting profile errors as
+// values instead of panicking — the entry point for callers building
+// profiles from external input.
+func (p *Profile) TryGenerate(n int, seed int64) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p.Generate(n, seed), nil
+}
+
 // Generate synthesises an n-frame trace. Generation is deterministic in
-// (profile, n, seed).
+// (profile, n, seed). Invalid profiles panic; use TryGenerate to get an
+// error value instead.
 func (p *Profile) Generate(n int, seed int64) *Trace {
 	if err := p.Validate(); err != nil {
 		panic(err)

@@ -5,6 +5,7 @@
 //
 //	dvbench                 # run every experiment
 //	dvbench -exp fig11      # run one experiment
+//	dvbench -quick          # reduced configurations where available (CI smoke)
 //	dvbench -list           # list experiment IDs
 //	dvbench -csv results/   # also export every table as CSV
 package main
@@ -22,6 +23,7 @@ import (
 func main() {
 	expID := flag.String("exp", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	quick := flag.Bool("quick", false, "use reduced experiment configurations where available")
 	csvDir := flag.String("csv", "", "directory to export tables as CSV files")
 	flag.Parse()
 
@@ -49,6 +51,10 @@ func main() {
 				fmt.Fprintln(os.Stderr, "dvbench:", err)
 				os.Exit(1)
 			}
+			continue
+		}
+		if *quick && e.RunQuick != nil {
+			e.RunQuick(os.Stdout)
 			continue
 		}
 		e.Run(os.Stdout)

@@ -10,6 +10,8 @@
 //	dvsim -app QQMusic            # a Figure 11 app, paper-calibrated
 //	dvsim -usecase "cls notif ctr" # an Appendix A case (scripted run)
 //	dvsim -game "8 Ball Pool"      # a Figure 14 game
+//	dvsim -fault stall -fault-severity 0.8            # inject one fault class
+//	dvsim -mode dvsync -fault alloc -fallback          # with §4.5 supervision
 package main
 
 import (
@@ -47,8 +49,28 @@ func main() {
 		gameName  = flag.String("game", "", "run a Figure 14 game scenario by name")
 		traceIn   = flag.String("trace-file", "", "replay a recorded workload trace (JSON, see workload.WriteJSON)")
 		traceOut  = flag.String("dump-trace", "", "write the generated workload trace as JSON and exit")
+		faultCls  = flag.String("fault", "", "inject one fault class (see -fault-list)")
+		faultSev  = flag.Float64("fault-severity", 0.5, "normalised fault severity in [0, 1]")
+		faultFrom = flag.Float64("fault-start", 500, "fault window start (ms)")
+		faultTo   = flag.Float64("fault-end", 0, "fault window end (ms, 0: rest of the run)")
+		faultSeed = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
+		faultList = flag.Bool("fault-list", false, "list fault classes and exit")
+		fallback  = flag.Bool("fallback", false, "enable the supervised D-VSync→VSync fallback (§4.5)")
 	)
 	flag.Parse()
+
+	if *faultList {
+		for _, c := range dvsync.FaultClasses() {
+			fmt.Println(c)
+		}
+		return
+	}
+	faults, err := buildFaults(*faultCls, *faultSev, *faultFrom, *faultTo, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvsim:", err)
+		os.Exit(2)
+	}
+	harden = hardening{faults: faults, fallback: *fallback}
 
 	if *appName != "" || *caseName != "" || *gameName != "" {
 		if err := runScenario(*appName, *caseName, *gameName); err != nil {
@@ -105,6 +127,29 @@ func main() {
 	runModes(*mode, *hz, *buffers, *limit, *jitterUs, tr)
 }
 
+// hardening carries the optional fault-injection and supervision settings
+// from the flag parser into every run.
+type hardening struct {
+	faults   *dvsync.FaultConfig
+	fallback bool
+}
+
+var harden hardening
+
+// buildFaults turns the -fault* flags into a single-class injection plan.
+func buildFaults(cls string, sev, fromMs, toMs float64, seed int64) (*dvsync.FaultConfig, error) {
+	if cls == "" {
+		return nil, nil
+	}
+	end := dvsync.Time(dvsync.FromMillis(toMs))
+	if toMs <= 0 {
+		// Far beyond any plausible run length: the fault stays active until
+		// the simulation drains.
+		end = dvsync.Time(dvsync.FromSeconds(3600))
+	}
+	return dvsync.FaultScenario(cls, sev, dvsync.Time(dvsync.FromMillis(fromMs)), end, seed)
+}
+
 // runModes executes the requested architectures over one trace.
 func runModes(mode string, hz, buffers, limit int, jitterUs float64, tr *dvsync.Trace) {
 	panel := dvsync.PanelConfig{
@@ -120,10 +165,22 @@ func runModes(mode string, hz, buffers, limit int, jitterUs float64, tr *dvsync.
 				bufs = 4
 			}
 		}
-		r := dvsync.Run(dvsync.Config{
+		cfg := dvsync.Config{
 			Mode: m, Panel: panel, Buffers: bufs,
 			PreRenderLimit: limit, Trace: tr,
-		})
+			Faults: harden.faults,
+		}
+		if harden.fallback && m == dvsync.DVSync {
+			cfg.EnableFallback = true
+			cfg.Health = dvsync.HealthConfig{
+				MaxFDPS:       5,
+				MaxCalibErrMs: 10,
+				StallTimeout:  dvsync.FromMillis(250),
+			}
+			cfg.DTV.MaxAbsErrMs = 8
+			cfg.FPEOverloadAfter = 4
+		}
+		r := dvsync.Run(cfg)
 		printResult(r, bufs)
 	}
 	switch mode {
@@ -165,6 +222,21 @@ func printResult(r *dvsync.Result, buffers int) {
 		fmt.Printf("  FPE                %d starts, %d pre-starts, %d sync blocks\n",
 			r.FPEStarts, r.FPEPreStarts, r.FPESyncBlocks)
 		fmt.Printf("  DTV abs error ms   mean %.3f  max %.3f\n", r.DTVMeanAbsErrMs, r.DTVMaxAbsErrMs)
+	}
+	if c := r.FaultCounters; c != (dvsync.FaultCounters{}) {
+		fmt.Printf("  injected faults    %d stalled, %d jittered, %d missed, %d drifted, %d alloc, %d dropped, %d delayed\n",
+			c.StalledFrames, c.JitteredEdges, c.MissedEdges, c.DriftedSignals,
+			c.AllocFailures, c.DroppedSamples, c.DelayedSamples)
+	}
+	if r.DTVReAnchors > 0 || r.FPEBackoffs > 0 || r.FPEStartFailures > 0 {
+		fmt.Printf("  hardening          %d DTV re-anchors, %d FPE backoffs, %d start retries\n",
+			r.DTVReAnchors, r.FPEBackoffs, r.FPEStartFailures)
+	}
+	for _, fb := range r.Fallbacks {
+		fmt.Printf("  fallback           → %s at %v (%s)\n", fb.To, fb.At, fb.Reason)
+	}
+	if r.WatchdogTripped != "" {
+		fmt.Printf("  WATCHDOG           %s\n", r.WatchdogTripped)
 	}
 	fmt.Printf("  buffer memory      %.1f MB\n", float64(r.MemoryBytes)/(1<<20))
 }

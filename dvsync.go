@@ -42,6 +42,8 @@ import (
 	"dvsync/internal/core"
 	"dvsync/internal/display"
 	"dvsync/internal/exp"
+	"dvsync/internal/fault"
+	"dvsync/internal/health"
 	"dvsync/internal/input"
 	"dvsync/internal/ipl"
 	"dvsync/internal/ltpo"
@@ -261,6 +263,31 @@ var (
 	Games = scenarios.Games
 	// UXTasks lists Table 2's tasks.
 	UXTasks = scenarios.UXTasks
+)
+
+// Fault injection and graceful degradation (DESIGN.md §7).
+type (
+	// FaultConfig is a seeded deterministic fault-injection plan.
+	FaultConfig = fault.Config
+	// FaultEpisode is one bounded fault window with a severity.
+	FaultEpisode = fault.Episode
+	// FaultCounters tallies every injected fault of a run.
+	FaultCounters = fault.Counters
+	// HealthConfig tunes the supervised-fallback watchdog thresholds.
+	HealthConfig = health.Config
+	// HealthReason says which watchdog tripped a fallback.
+	HealthReason = health.Reason
+	// FallbackRecord is one supervised architecture switch (§4.5).
+	FallbackRecord = sim.FallbackRecord
+)
+
+// Fault-injection helpers.
+var (
+	// FaultScenario builds a single-class fault plan from a normalised
+	// severity in [0, 1].
+	FaultScenario = fault.Scenario
+	// FaultClasses lists every injectable fault class.
+	FaultClasses = fault.Classes
 )
 
 // Appendix A testing framework (internal/autotest).

@@ -140,6 +140,8 @@ type Queue struct {
 	queued []*Buffer // FIFO of queued buffers
 	front  *Buffer   // currently displayed, nil before first latch
 
+	allocFault func() bool
+
 	stats Stats
 }
 
@@ -155,6 +157,8 @@ type Stats struct {
 	Direct, Stuffed int
 	// MaxDepth is the maximum number of simultaneously queued buffers.
 	MaxDepth int
+	// AllocFailed counts dequeues refused by an injected allocation fault.
+	AllocFailed int
 	// TotalQueueWait accumulates time buffers spent queued.
 	TotalQueueWait simtime.Duration
 }
@@ -208,10 +212,21 @@ func (q *Queue) MemoryBytes() int64 {
 // CanDequeue reports whether a free buffer is available.
 func (q *Queue) CanDequeue() bool { return len(q.free) > 0 }
 
+// SetAllocFault installs a transient allocation-failure hook (internal/
+// fault). When the hook returns true a Dequeue is refused as if the pool
+// were exhausted; the producer retries at its next opportunity, so a fault
+// never leaks or corrupts a buffer.
+func (q *Queue) SetAllocFault(fn func() bool) { q.allocFault = fn }
+
 // Dequeue hands a free buffer to the producer. It returns nil when the pool
-// is exhausted (the producer must wait for OnRelease).
+// is exhausted (the producer must wait for OnRelease) or when an injected
+// allocation fault refuses the request.
 func (q *Queue) Dequeue(f *Frame) *Buffer {
 	if len(q.free) == 0 {
+		return nil
+	}
+	if q.allocFault != nil && q.allocFault() {
+		q.stats.AllocFailed++
 		return nil
 	}
 	b := q.free[len(q.free)-1]

@@ -286,3 +286,93 @@ func TestLatchNewestEmptyAndSingle(t *testing.T) {
 		t.Errorf("single-buffer latch-newest: b=%v dropped=%d", b, dropped)
 	}
 }
+
+// TestConservationUnderAllocFaultStream drives random operation streams
+// through a queue whose allocation hook fails on a scripted byte pattern,
+// checking the conservation invariant after every single operation. The
+// op stream and fault stream both come from testing/quick, so the search
+// covers interleavings a hand-written test would not.
+func TestConservationUnderAllocFaultStream(t *testing.T) {
+	prop := func(ops []uint8, faults []uint8) bool {
+		q := newTestQueue(4)
+		fi := 0
+		q.SetAllocFault(func() bool {
+			if len(faults) == 0 {
+				return false
+			}
+			v := faults[fi%len(faults)]
+			fi++
+			return v%3 == 0 // fail roughly a third of allocations
+		})
+		var now simtime.Time
+		var dequeued []*Buffer
+		seq := 0
+		for _, op := range ops {
+			now = now.Add(simtime.FromMillis(1))
+			switch op % 4 {
+			case 0: // dequeue
+				f := &Frame{Seq: seq}
+				if b := q.Dequeue(f); b != nil {
+					seq++
+					dequeued = append(dequeued, b)
+				}
+			case 1: // enqueue the oldest dequeued buffer
+				if len(dequeued) > 0 {
+					b := dequeued[0]
+					dequeued = dequeued[1:]
+					b.Frame.QueuedAt = now
+					q.Enqueue(b)
+				}
+			case 2: // latch
+				q.Latch(now, simtime.FromMillis(16))
+			case 3: // cancel the newest dequeued buffer
+				if len(dequeued) > 0 {
+					b := dequeued[len(dequeued)-1]
+					dequeued = dequeued[:len(dequeued)-1]
+					q.CancelDequeue(b)
+				}
+			}
+			if err := q.CheckInvariants(); err != nil {
+				t.Logf("after op %d: %v", op, err)
+				return false
+			}
+		}
+		// Nothing leaked: accounted slots equal the pool.
+		return q.FreeCount()+q.QueuedCount()+len(dequeued)+frontCount(q) == q.Capacity()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocFaultCountsAndRefuses(t *testing.T) {
+	q := newTestQueue(3)
+	fail := true
+	q.SetAllocFault(func() bool { return fail })
+	if b := q.Dequeue(&Frame{}); b != nil {
+		t.Fatal("faulted dequeue returned a buffer")
+	}
+	if q.Stats().AllocFailed != 1 || q.Stats().Dequeued != 0 {
+		t.Fatalf("stats = %+v", q.Stats())
+	}
+	if q.FreeCount() != 3 {
+		t.Fatalf("free = %d after refused dequeue, want 3", q.FreeCount())
+	}
+	fail = false
+	if b := q.Dequeue(&Frame{}); b == nil {
+		t.Fatal("dequeue refused after fault cleared")
+	}
+	// Exhaustion is reported as exhaustion, not as an allocation fault:
+	// drain the pool fault-free, then fault the hook — an empty pool never
+	// reaches it.
+	q.Dequeue(&Frame{})
+	q.Dequeue(&Frame{})
+	fail = true
+	failedBefore := q.Stats().AllocFailed
+	if b := q.Dequeue(&Frame{}); b != nil {
+		t.Fatal("dequeue from exhausted pool")
+	}
+	if q.Stats().AllocFailed != failedBefore {
+		t.Fatal("pool exhaustion miscounted as an allocation fault")
+	}
+}

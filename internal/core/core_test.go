@@ -151,23 +151,31 @@ func TestDTVDTimestampProperties(t *testing.T) {
 
 // fakeView is a scriptable PipelineView.
 type fakeView struct {
-	ahead    int
-	free     int
-	uiFree   bool
-	requests int
-	started  []simtime.Time
+	ahead     int
+	free      int
+	uiFree    bool
+	requests  int
+	started   []simtime.Time
+	failNext  int // StartFrame refusals to simulate (transient alloc faults)
+	startFail int
 }
 
 func (v *fakeView) Ahead() int               { return v.ahead }
 func (v *fakeView) CanDequeue() bool         { return v.free > 0 }
 func (v *fakeView) UIFree(simtime.Time) bool { return v.uiFree }
 func (v *fakeView) HasPendingRequest() bool  { return v.requests > 0 }
-func (v *fakeView) StartFrame(now simtime.Time) {
+func (v *fakeView) StartFrame(now simtime.Time) bool {
+	if v.failNext > 0 {
+		v.failNext--
+		v.startFail++
+		return false
+	}
 	v.started = append(v.started, now)
 	v.requests--
 	v.ahead++
 	v.free--
 	v.uiFree = false
+	return true
 }
 
 func TestFPEStartsWhenUnconstrained(t *testing.T) {
@@ -308,5 +316,145 @@ func TestControllerFrameDisplayTime(t *testing.T) {
 func TestStageString(t *testing.T) {
 	if Accumulation.String() != "accumulation" || Sync.String() != "sync" {
 		t.Error("stage strings wrong")
+	}
+}
+
+func TestDTVMissedEdgeDiscrimination(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 20, p60)
+	before := d.Period()
+	// The panel skips two refreshes: the next observed edge lands three
+	// whole periods out with the nominal period unchanged. The model must
+	// keep its learned period instead of resetting it (rate-change reset).
+	t1 := last.Add(3 * p60)
+	d.ObserveEdge(t1, 21, p60)
+	if d.MissedEdges() != 2 {
+		t.Fatalf("missed edges = %d, want 2", d.MissedEdges())
+	}
+	if got := d.Period(); absDur(got-before) > before/100 {
+		t.Fatalf("missed edges perturbed the period: %v -> %v", before, got)
+	}
+	// Phase is locked to the freshest edge as usual.
+	if got := d.NextEdgeAfter(t1); got != t1.Add(d.Period()) {
+		t.Fatalf("NextEdgeAfter after missed edges = %v, want %v", got, t1.Add(d.Period()))
+	}
+}
+
+func TestDTVRateChangeIsNotMissedEdge(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 20, p60)
+	// LTPO rate halving to 30 Hz: the gap is exactly two old periods, but
+	// the *nominal* period changed too — this must be treated as a rate
+	// change (reset to nominal), not as one missed edge.
+	p30 := simtime.PeriodForHz(30)
+	t1 := last.Add(p30)
+	d.ObserveEdge(t1, 21, p30)
+	if d.MissedEdges() != 0 {
+		t.Fatalf("rate change misclassified as %d missed edges", d.MissedEdges())
+	}
+	if got := d.Period(); got != p30 {
+		t.Fatalf("period after rate change = %v, want %v", got, p30)
+	}
+}
+
+func TestDTVReAnchorOnErrorBound(t *testing.T) {
+	cfg := DefaultDTVConfig()
+	cfg.MaxAbsErrMs = 5
+	d := NewDTV(cfg, p60)
+	last := feedEdges(d, 10, p60)
+	d.RecordPresent(last, last.Add(simtime.Duration(simtime.FromMillis(2))))
+	if d.ReAnchors() != 0 {
+		t.Fatalf("re-anchored below the bound (%d)", d.ReAnchors())
+	}
+	d.RecordPresent(last, last.Add(simtime.Duration(simtime.FromMillis(12))))
+	if d.ReAnchors() != 1 {
+		t.Fatalf("re-anchors = %d, want 1", d.ReAnchors())
+	}
+	// The re-anchored phase reference is the freshest edge: predictions
+	// stay on the observed grid.
+	if got := d.NextEdgeAfter(last); got != last.Add(d.Period()) {
+		t.Fatalf("NextEdgeAfter after re-anchor = %v, want %v", got, last.Add(d.Period()))
+	}
+}
+
+func TestDTVReAnchorDisabledByDefault(t *testing.T) {
+	d := NewDTV(DefaultDTVConfig(), p60)
+	last := feedEdges(d, 10, p60)
+	d.RecordPresent(last, last.Add(simtime.Duration(simtime.FromMillis(50))))
+	if d.ReAnchors() != 0 {
+		t.Fatalf("zero bound must disable re-anchoring, got %d", d.ReAnchors())
+	}
+}
+
+func TestFPEBackoffHysteresis(t *testing.T) {
+	v := &fakeView{ahead: 0, free: 8, uiFree: true, requests: 100}
+	f := NewFPE(FPEConfig{MaxAhead: 3, OverloadAfter: 3, RecoverAfter: 2}, v)
+	heavy := 2 * p60
+	light := p60 / 2
+	// Two overruns: not yet overloaded.
+	f.ObserveFrameCost(heavy, p60)
+	f.ObserveFrameCost(heavy, p60)
+	if f.Overloaded() {
+		t.Fatal("backed off before OverloadAfter consecutive overruns")
+	}
+	// An underrun resets the streak.
+	f.ObserveFrameCost(light, p60)
+	f.ObserveFrameCost(heavy, p60)
+	f.ObserveFrameCost(heavy, p60)
+	if f.Overloaded() {
+		t.Fatal("underrun did not reset the overload streak")
+	}
+	f.ObserveFrameCost(heavy, p60)
+	if !f.Overloaded() || f.Backoffs() != 1 {
+		t.Fatalf("overloaded=%v backoffs=%d, want true/1", f.Overloaded(), f.Backoffs())
+	}
+	// While overloaded the effective pre-render limit is 1.
+	v.ahead = 1
+	f.Pump(10)
+	if len(v.started) != 0 {
+		t.Fatal("accumulated beyond 1 ahead while overloaded")
+	}
+	if f.Stage() != Sync {
+		t.Fatalf("stage = %v, want sync under backoff", f.Stage())
+	}
+	// Recovery needs RecoverAfter consecutive underruns.
+	f.ObserveFrameCost(light, p60)
+	if !f.Overloaded() {
+		t.Fatal("recovered after a single underrun")
+	}
+	f.ObserveFrameCost(light, p60)
+	if f.Overloaded() {
+		t.Fatal("did not recover after RecoverAfter underruns")
+	}
+	f.Pump(20)
+	if len(v.started) != 1 {
+		t.Fatalf("started %d frames after recovery, want 1", len(v.started))
+	}
+}
+
+func TestFPEBackoffDisabledByDefault(t *testing.T) {
+	f := NewFPE(FPEConfig{MaxAhead: 3}, &fakeView{})
+	for i := 0; i < 100; i++ {
+		f.ObserveFrameCost(10*p60, p60)
+	}
+	if f.Overloaded() || f.Backoffs() != 0 {
+		t.Fatal("backoff engaged with OverloadAfter unset")
+	}
+}
+
+func TestFPEStartFailureRetries(t *testing.T) {
+	v := &fakeView{ahead: 0, free: 4, uiFree: true, requests: 5, failNext: 1}
+	f := NewFPE(FPEConfig{MaxAhead: 3}, v)
+	f.Pump(10)
+	if len(v.started) != 0 || f.Starts() != 0 {
+		t.Fatalf("started %d frames through a refused StartFrame", len(v.started))
+	}
+	if f.StartFailures() != 1 {
+		t.Fatalf("start failures = %d, want 1", f.StartFailures())
+	}
+	// Next trigger retries the same request and succeeds.
+	f.Pump(20)
+	if len(v.started) != 1 || f.Starts() != 1 {
+		t.Fatalf("retry did not start the frame (started=%d)", len(v.started))
 	}
 }

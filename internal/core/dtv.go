@@ -32,6 +32,11 @@ type DTVConfig struct {
 	// delta from the current estimate beyond which DTV assumes the panel
 	// switched refresh rate (LTPO) and resets its model.
 	RateChangeTolerance float64
+	// MaxAbsErrMs is the calibration-error bound: when a frame's
+	// |present − D-Timestamp| exceeds it, DTV discards its free-running
+	// phase and re-anchors on the freshest observed edge. Zero disables
+	// re-anchoring (the seed behaviour).
+	MaxAbsErrMs float64
 }
 
 // DefaultDTVConfig returns the configuration used in the evaluation.
@@ -57,8 +62,10 @@ type DTV struct {
 	haveAnchor bool
 	sinceCalib int // edges since the last calibration
 
-	issued int // D-Timestamps handed out
-	errAbs metrics.Welford
+	issued      int // D-Timestamps handed out
+	errAbs      metrics.Welford
+	missedEdges int // edges the panel skipped, inferred from whole-period gaps
+	reAnchors   int // error-bound re-anchorings
 }
 
 // NewDTV creates a virtualizer expecting the given nominal period until the
@@ -94,6 +101,33 @@ func (d *DTV) ObserveEdge(now simtime.Time, seq uint64, nominal simtime.Duration
 			dev = -dev
 		}
 		if dev > d.cfg.RateChangeTolerance {
+			// Distinguish missed refreshes from an LTPO rate change before
+			// resetting: a gap of nearly k whole periods (k ≥ 2) while the
+			// nominal period is unchanged means the panel skipped k−1 edges
+			// and the learned period is still right — keep it, count the
+			// implied edges toward calibration, and phase-lock as usual.
+			k := int64(float64(delta)/float64(d.periodEst) + 0.5)
+			nomDev := float64(nominal-d.periodEst) / float64(d.periodEst)
+			if nomDev < 0 {
+				nomDev = -nomDev
+			}
+			gapDev := float64(delta-simtime.Duration(k)*d.periodEst) / float64(d.periodEst)
+			if gapDev < 0 {
+				gapDev = -gapDev
+			}
+			if k >= 2 && nomDev <= d.cfg.RateChangeTolerance && gapDev <= d.cfg.RateChangeTolerance {
+				d.missedEdges += int(k - 1)
+				d.sinceCalib += int(k)
+				if d.sinceCalib >= d.cfg.CalibrateEvery {
+					measured := simtime.Duration(int64(now.Sub(d.anchor)) / int64(d.sinceCalib))
+					s := d.cfg.PeriodSmoothing
+					d.periodEst = simtime.Duration((1-s)*float64(d.periodEst) + s*float64(measured))
+					d.sinceCalib = 0
+					d.anchor = now
+				}
+				d.lastEdge = now
+				return
+			}
 			// Refresh-rate change (LTPO): reset to the nominal period and
 			// restart calibration so D-Timestamps track the new rhythm.
 			d.periodEst = nominal
@@ -166,7 +200,25 @@ func (d *DTV) RecordPresent(dTimestamp, present simtime.Time) {
 		err = -err
 	}
 	d.errAbs.Add(err)
+	if d.cfg.MaxAbsErrMs > 0 && d.haveAnchor &&
+		err/float64(simtime.Millisecond) > d.cfg.MaxAbsErrMs {
+		// Calibration error over the bound: the free-running phase has
+		// drifted (clock skew, missed edges). Re-anchor on the freshest
+		// observed edge — ground truth for phase — and restart the
+		// calibration span.
+		d.anchor = d.lastEdge
+		d.sinceCalib = 0
+		d.reAnchors++
+	}
 }
+
+// MissedEdges returns how many skipped panel refreshes the edge model
+// inferred from whole-period gaps.
+func (d *DTV) MissedEdges() int { return d.missedEdges }
+
+// ReAnchors returns how many times the calibration-error bound forced a
+// phase re-anchor.
+func (d *DTV) ReAnchors() int { return d.reAnchors }
 
 // Issued returns how many D-Timestamps have been handed out.
 func (d *DTV) Issued() int { return d.issued }

@@ -34,6 +34,16 @@ type FPEConfig struct {
 	// implementation allows at most 3 back buffers for pre-rendering
 	// (§5.1); Figure 11 sweeps the equivalent of 4/5/7-buffer queues.
 	MaxAhead int
+	// OverloadAfter enables accumulation backoff: after this many
+	// consecutive frames whose total stage cost exceeds the refresh period,
+	// the FPE treats the system as overloaded and caps pre-rendering at one
+	// frame ahead until costs recover — accumulating deeper during a
+	// sustained overload only adds latency, never throughput. Zero disables
+	// backoff (the seed behaviour).
+	OverloadAfter int
+	// RecoverAfter is how many consecutive under-period frames end the
+	// backoff; zero defaults to OverloadAfter.
+	RecoverAfter int
 }
 
 // PipelineView is how the FPE observes the rendering pipeline. The sim
@@ -50,8 +60,10 @@ type PipelineView interface {
 	// has another frame to render.
 	HasPendingRequest() bool
 	// StartFrame begins executing the next frame at now; it is only called
-	// when every constraint holds.
-	StartFrame(now simtime.Time)
+	// when every constraint holds. It reports whether the frame actually
+	// started — a transient allocation fault may refuse the buffer even
+	// though CanDequeue held.
+	StartFrame(now simtime.Time) bool
 }
 
 // FPE is the Frame Pre-Executor: it decides, at each trigger opportunity,
@@ -65,6 +77,13 @@ type FPE struct {
 	starts     int
 	preStarts  int // starts issued while the display had ≥1 frame queued ahead
 	syncBlocks int // trigger opportunities blocked by the pre-render limit
+
+	overloaded    bool
+	overruns      int // consecutive frames costing more than a period
+	underruns     int // consecutive frames costing less than a period
+	backoffs      int
+	recoveries    int
+	startFailures int // StartFrame refusals (transient allocation faults)
 }
 
 // NewFPE creates a pre-executor over the given pipeline view.
@@ -92,6 +111,44 @@ func (f *FPE) PreStarts() int { return f.preStarts }
 // deferred.
 func (f *FPE) SyncBlocks() int { return f.syncBlocks }
 
+// Overloaded reports whether accumulation backoff is currently active.
+func (f *FPE) Overloaded() bool { return f.overloaded }
+
+// Backoffs returns how many times sustained overload triggered backoff.
+func (f *FPE) Backoffs() int { return f.backoffs }
+
+// StartFailures returns how many StartFrame calls were refused.
+func (f *FPE) StartFailures() int { return f.startFailures }
+
+// ObserveFrameCost feeds one started frame's total stage cost and the
+// refresh period it raced against into the overload detector. Backoff
+// engages after OverloadAfter consecutive over-period frames and releases
+// after RecoverAfter consecutive under-period frames.
+func (f *FPE) ObserveFrameCost(total, period simtime.Duration) {
+	if f.cfg.OverloadAfter <= 0 {
+		return
+	}
+	rec := f.cfg.RecoverAfter
+	if rec <= 0 {
+		rec = f.cfg.OverloadAfter
+	}
+	if total > period {
+		f.overruns++
+		f.underruns = 0
+		if !f.overloaded && f.overruns >= f.cfg.OverloadAfter {
+			f.overloaded = true
+			f.backoffs++
+		}
+		return
+	}
+	f.underruns++
+	f.overruns = 0
+	if f.overloaded && f.underruns >= rec {
+		f.overloaded = false
+		f.recoveries++
+	}
+}
+
 // Pump evaluates the trigger conditions at now and starts as many frames as
 // the constraints allow (normally zero or one; the loop covers the case of
 // several constraints clearing at the same instant). The sim wires Pump to
@@ -99,12 +156,18 @@ func (f *FPE) SyncBlocks() int { return f.syncBlocks }
 // from the last frame, §4.3), a buffer slot freeing at a latch, and the
 // stream's first request.
 func (f *FPE) Pump(now simtime.Time) {
+	limit := f.cfg.MaxAhead
+	if f.overloaded && limit > 1 {
+		// Backoff: sustained overload means every frame arrives late anyway;
+		// accumulating deeper only inflates queue latency.
+		limit = 1
+	}
 	for f.view.HasPendingRequest() {
 		if !f.view.UIFree(now) {
 			return
 		}
 		ahead := f.view.Ahead()
-		if ahead >= f.cfg.MaxAhead || !f.view.CanDequeue() {
+		if ahead >= limit || !f.view.CanDequeue() {
 			// Pre-render limit reached: enter the sync stage; execution
 			// resumes when the screen consumes a buffer.
 			f.stage = Sync
@@ -112,10 +175,14 @@ func (f *FPE) Pump(now simtime.Time) {
 			return
 		}
 		f.stage = Accumulation
+		if !f.view.StartFrame(now) {
+			// Transient allocation fault: retry at the next trigger.
+			f.startFailures++
+			return
+		}
 		f.starts++
 		if ahead > 0 {
 			f.preStarts++
 		}
-		f.view.StartFrame(now)
 	}
 }

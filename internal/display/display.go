@@ -40,6 +40,17 @@ type Config struct {
 	// per million, emulating oscillator inaccuracy. The DTV's period
 	// calibration exists to learn this.
 	PeriodSkewPPM float64
+	// EdgeDelay, when set, perturbs each edge nominally scheduled at the
+	// given instant by an extra offset — the fault-injection hook for
+	// windowed jitter episodes (internal/fault). It may return negative
+	// offsets; the panel still clamps edges to land strictly after the
+	// previous one.
+	EdgeDelay func(nominal simtime.Time) simtime.Duration
+	// EdgeMiss, when set, is consulted as each edge fires; returning true
+	// makes the panel skip the refresh entirely — no latch, no software
+	// VSync fan-out — while the timing grid continues. OnMissedEdge
+	// listeners observe the skip.
+	EdgeMiss func(now simtime.Time, seq uint64) bool
 }
 
 // Panel is the screen model.
@@ -49,6 +60,7 @@ type Panel struct {
 	period     simtime.Duration // nominal period software queries
 	truePeriod simtime.Duration // actual oscillator period (skewed)
 	listeners  []EdgeListener
+	onMiss     []EdgeListener
 	rng        *dist.RNG
 	seq        uint64
 	running    bool
@@ -56,6 +68,7 @@ type Panel struct {
 	nextAt     simtime.Time // true (jitter-free) time of next edge
 	lastEdge   simtime.Time
 	edges      uint64
+	missed     uint64
 }
 
 func skewed(nominal simtime.Duration, ppm float64) simtime.Duration {
@@ -84,6 +97,13 @@ func NewPanel(e *event.Engine, cfg Config) *Panel {
 // registration order at PriorityHardware.
 func (p *Panel) OnEdge(l EdgeListener) { p.listeners = append(p.listeners, l) }
 
+// OnMissedEdge registers a listener for refreshes the panel skipped under
+// an EdgeMiss fault. Regular OnEdge listeners do not fire for missed edges.
+func (p *Panel) OnMissedEdge(l EdgeListener) { p.onMiss = append(p.onMiss, l) }
+
+// Missed returns how many refreshes were skipped by edge faults.
+func (p *Panel) Missed() uint64 { return p.missed }
+
 // Start schedules the first edge at the given instant.
 func (p *Panel) Start(first simtime.Time) {
 	if p.running {
@@ -96,10 +116,16 @@ func (p *Panel) Start(first simtime.Time) {
 
 func (p *Panel) schedule(nominal simtime.Time) {
 	at := nominal
+	var j simtime.Duration
 	if p.cfg.JitterStdDev > 0 && nominal > 0 {
-		j := simtime.Duration(float64(p.cfg.JitterStdDev) * p.rng.NormFloat64())
+		x := simtime.Duration(float64(p.cfg.JitterStdDev) * p.rng.NormFloat64())
 		// Clamp to ±3σ and never before the previous edge.
-		j = simtime.Clamp(j, -3*p.cfg.JitterStdDev, 3*p.cfg.JitterStdDev)
+		j += simtime.Clamp(x, -3*p.cfg.JitterStdDev, 3*p.cfg.JitterStdDev)
+	}
+	if p.cfg.EdgeDelay != nil && nominal > 0 {
+		j += p.cfg.EdgeDelay(nominal)
+	}
+	if j != 0 {
 		at = nominal.Add(j)
 		if at <= p.lastEdge {
 			at = p.lastEdge + 1
@@ -118,6 +144,15 @@ func (p *Panel) schedule(nominal simtime.Time) {
 		p.seq++
 		p.nextAt = p.nextAt.Add(p.truePeriod)
 		p.schedule(p.nextAt)
+		if p.cfg.EdgeMiss != nil && p.cfg.EdgeMiss(now, seq) {
+			// Skipped refresh: the grid continues but nothing latches and
+			// no software signals derive from this edge.
+			p.missed++
+			for _, l := range p.onMiss {
+				l(now, seq, p.period)
+			}
+			return
+		}
 		for _, l := range p.listeners {
 			l(now, seq, p.period)
 		}

@@ -86,6 +86,35 @@ func (a *agenda) Pop() any {
 	return it
 }
 
+// DefaultInstantLimit is the no-progress watchdog bound: the maximum number
+// of events the engine dispatches at a single instant before concluding the
+// agenda is stuck in a zero-delay loop. Legitimate simulations dispatch at
+// most a few dozen events per instant; the default leaves orders of
+// magnitude of headroom.
+const DefaultInstantLimit = 1 << 16
+
+// WatchdogError reports a tripped no-progress watchdog. It carries the
+// last-dispatched event's identity so the offending scheduling loop can be
+// diagnosed from the error alone.
+type WatchdogError struct {
+	// At is the instant the clock stopped advancing.
+	At simtime.Time
+	// Dispatched is how many events fired at that instant.
+	Dispatched int
+	// LastPriority, LastSeq and LastID identify the last-dispatched event.
+	LastPriority Priority
+	LastSeq      uint64
+	LastID       ID
+}
+
+// Error implements error.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf(
+		"event: no-progress watchdog: %d events dispatched at t=%v without the clock advancing "+
+			"(last event: priority=%d seq=%d id=%d)",
+		e.Dispatched, e.At, int(e.LastPriority), e.LastSeq, uint64(e.LastID))
+}
+
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; simulations are deterministic sequential programs.
 type Engine struct {
@@ -96,11 +125,34 @@ type Engine struct {
 	byID    map[ID]*item
 	stopped bool
 	fired   uint64
+
+	instantLimit int
+	instantAt    simtime.Time
+	instantFired int
+	wderr        *WatchdogError
 }
 
 // NewEngine returns an engine positioned at t = 0 with an empty agenda.
 func NewEngine() *Engine {
-	return &Engine{byID: make(map[ID]*item)}
+	return &Engine{byID: make(map[ID]*item), instantLimit: DefaultInstantLimit}
+}
+
+// SetInstantLimit overrides the no-progress watchdog bound (events per
+// instant). Non-positive limits panic: the watchdog cannot be disabled,
+// only widened.
+func (e *Engine) SetInstantLimit(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("event: non-positive instant limit %d", n))
+	}
+	e.instantLimit = n
+}
+
+// Err returns the watchdog error of a stalled run, or nil after clean runs.
+func (e *Engine) Err() error {
+	if e.wderr == nil {
+		return nil
+	}
+	return e.wderr
 }
 
 // Now returns the engine's current virtual time.
@@ -163,8 +215,25 @@ func (e *Engine) step() bool {
 		}
 		delete(e.byID, it.id)
 		e.now = it.at
+		if it.at == e.instantAt {
+			e.instantFired++
+		} else {
+			e.instantAt, e.instantFired = it.at, 1
+		}
 		e.fired++
 		it.fn(it.at)
+		if e.instantFired >= e.instantLimit && e.wderr == nil {
+			// The clock has not advanced for instantLimit dispatches: a
+			// zero-delay scheduling loop. Record the offender and halt.
+			e.wderr = &WatchdogError{
+				At:           it.at,
+				Dispatched:   e.instantFired,
+				LastPriority: it.prio,
+				LastSeq:      it.seq,
+				LastID:       it.id,
+			}
+			e.stopped = true
+		}
 		return true
 	}
 	return false
@@ -174,6 +243,11 @@ func (e *Engine) step() bool {
 // or the next event would fire after the horizon. The engine's clock is left
 // at the last dispatched event (or at the horizon when it ends the run).
 func (e *Engine) Run(horizon simtime.Time) {
+	if e.wderr != nil {
+		// A tripped watchdog poisons the engine: the agenda still holds the
+		// runaway loop, so resuming would stall again immediately.
+		return
+	}
 	e.stopped = false
 	for !e.stopped {
 		next, ok := e.peekTime()

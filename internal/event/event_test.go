@@ -270,3 +270,117 @@ func TestTickerDoubleStartPanics(t *testing.T) {
 	}()
 	tk.Start(5)
 }
+
+func TestWatchdogTripsOnStalledAgenda(t *testing.T) {
+	e := NewEngine()
+	e.SetInstantLimit(100)
+	var loop Handler
+	loop = func(now simtime.Time) { e.After(0, PriorityControl, loop) }
+	e.At(5, PriorityControl, loop)
+	e.RunAll()
+	err := e.Err()
+	if err == nil {
+		t.Fatal("stalled agenda did not trip the watchdog")
+	}
+	wd, ok := err.(*WatchdogError)
+	if !ok {
+		t.Fatalf("Err() = %T, want *WatchdogError", err)
+	}
+	if wd.At != 5 {
+		t.Fatalf("watchdog At = %v, want 5", wd.At)
+	}
+	if wd.Dispatched != 100 {
+		t.Fatalf("watchdog Dispatched = %d, want the limit 100", wd.Dispatched)
+	}
+	if wd.LastPriority != PriorityControl {
+		t.Fatalf("watchdog LastPriority = %v, want PriorityControl", wd.LastPriority)
+	}
+	// The loop schedules one event per dispatch starting from id/seq 1, so
+	// the 100th dispatched event is exactly id 100 / seq 100 — the error
+	// pins the offending event deterministically.
+	if wd.LastSeq != 100 || wd.LastID != 100 {
+		t.Fatalf("watchdog last event = seq %d id %d, want 100/100", wd.LastSeq, wd.LastID)
+	}
+}
+
+func TestWatchdogDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		e := NewEngine()
+		e.SetInstantLimit(64)
+		var loop Handler
+		loop = func(now simtime.Time) { e.After(0, PrioritySignal, loop) }
+		e.At(3, PrioritySignal, loop)
+		e.RunAll()
+		return e.Err().Error()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("watchdog error diverged between runs:\n%s\n%s", first, got)
+		}
+	}
+}
+
+func TestWatchdogIgnoresAdvancingClock(t *testing.T) {
+	e := NewEngine()
+	e.SetInstantLimit(100)
+	n := 0
+	var chain Handler
+	chain = func(now simtime.Time) {
+		n++
+		if n < 1000 {
+			e.After(1, PriorityControl, chain)
+		}
+	}
+	e.At(0, PriorityControl, chain)
+	e.RunAll()
+	if err := e.Err(); err != nil {
+		t.Fatalf("advancing chain tripped the watchdog: %v", err)
+	}
+	if n != 1000 {
+		t.Fatalf("chain dispatched %d times, want 1000", n)
+	}
+}
+
+func TestWatchdogAllowsBurstsBelowLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetInstantLimit(100)
+	fired := 0
+	for i := 0; i < 99; i++ {
+		e.At(7, PriorityControl, func(simtime.Time) { fired++ })
+	}
+	e.At(8, PriorityControl, func(simtime.Time) { fired++ })
+	e.RunAll()
+	if err := e.Err(); err != nil {
+		t.Fatalf("burst below the limit tripped the watchdog: %v", err)
+	}
+	if fired != 100 {
+		t.Fatalf("fired %d events, want 100", fired)
+	}
+}
+
+func TestWatchdogPoisonsSubsequentRuns(t *testing.T) {
+	e := NewEngine()
+	e.SetInstantLimit(10)
+	var loop Handler
+	loop = func(now simtime.Time) { e.After(0, PriorityControl, loop) }
+	e.At(1, PriorityControl, loop)
+	e.RunAll()
+	if e.Err() == nil {
+		t.Fatal("watchdog did not trip")
+	}
+	before := e.Fired()
+	e.RunAll() // must refuse to resume the poisoned agenda
+	if e.Fired() != before {
+		t.Fatal("engine resumed dispatching after watchdog trip")
+	}
+}
+
+func TestSetInstantLimitRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive instant limit accepted")
+		}
+	}()
+	NewEngine().SetInstantLimit(0)
+}

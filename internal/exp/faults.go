@@ -1,0 +1,222 @@
+// Fault-matrix experiment: degradation curves of FDPS and rendering latency
+// versus fault severity, for VSync, D-VSync, and D-VSync with supervised
+// fallback. Each fault class from internal/fault is swept separately; the
+// input classes (dropout, bursts) do not touch the display path, so they
+// are measured as IPL prediction error over perturbed digitizer streams.
+package exp
+
+import (
+	"fmt"
+
+	"dvsync/internal/core"
+	"dvsync/internal/display"
+	"dvsync/internal/fault"
+	"dvsync/internal/health"
+	"dvsync/internal/input"
+	"dvsync/internal/ipl"
+	"dvsync/internal/report"
+	"dvsync/internal/scenarios"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// FaultsPoint is one (class, severity) cell of the degradation matrix,
+// averaged over replicas.
+type FaultsPoint struct {
+	// Class is the fault class swept.
+	Class string
+	// Severity is the normalised fault severity in [0, 1].
+	Severity float64
+	// VSyncFDPS / DVSyncFDPS / FallbackFDPS are frame drops per second for
+	// the three architectures.
+	VSyncFDPS, DVSyncFDPS, FallbackFDPS float64
+	// VSyncLatMs / DVSyncLatMs / FallbackLatMs are mean rendering latencies.
+	VSyncLatMs, DVSyncLatMs, FallbackLatMs float64
+	// FallbackTransitions counts supervised runtime switches in the
+	// fallback-hardened runs (summed over replicas).
+	FallbackTransitions int
+}
+
+// FaultsResult is the full fault-matrix output.
+type FaultsResult struct {
+	// Table is the FDPS/latency degradation matrix.
+	Table *report.Table
+	// InputTable is the IPL prediction-error sweep for the input classes.
+	InputTable *report.Table
+	// Points holds the sim-class curves in sweep order.
+	Points []FaultsPoint
+}
+
+// SimFaultClasses are the fault classes exercised through the full
+// simulation (the input classes are measured separately).
+func SimFaultClasses() []string {
+	return []string{"stall", "jitter", "missed-vsync", "drift", "alloc"}
+}
+
+// FaultSeverities returns the severity grid. quick keeps CI smoke runs
+// under a few seconds.
+func FaultSeverities(quick bool) []float64 {
+	if quick {
+		return []float64{0, 0.5, 1}
+	}
+	return []float64{0, 0.25, 0.5, 0.75, 1}
+}
+
+func faultsWorkload(frames int, seed int64) *workload.Trace {
+	p := workload.Profile{
+		Name: "faults", ShortMeanMs: 5, ShortSigmaMs: 2,
+		LongRatio: 0.06, LongScaleMs: 20, LongAlpha: 1.8,
+		Burstiness: 0.3, UIShare: 0.4, Class: workload.Deterministic,
+	}
+	return p.Generate(frames, seed)
+}
+
+// faultsHealth is the supervision tuning used by the fallback runs (and
+// documented in DESIGN.md §7).
+func faultsHealth() health.Config {
+	return health.Config{
+		Window:        500 * simtime.Millisecond,
+		MaxFDPS:       5,
+		MaxCalibErrMs: 10,
+		StallTimeout:  250 * simtime.Millisecond,
+		RecoverAfter:  simtime.Second,
+	}
+}
+
+// Faults runs the degradation matrix. quick shrinks frames, severities and
+// replicas for the CI smoke configuration.
+func Faults(quick bool) *FaultsResult {
+	frames, replicas := 600, 3
+	if quick {
+		frames, replicas = 250, 2
+	}
+	sevs := FaultSeverities(quick)
+	res := &FaultsResult{
+		Table: &report.Table{
+			Title: "Fault matrix — FDPS and latency vs severity",
+			Note: "mean over seeded replicas; fault window starts 1 s into the run; " +
+				"fb = D-VSync with supervised §4.5 fallback",
+			Columns: []string{"class", "severity",
+				"VSync FDPS", "D-VSync FDPS", "D-VSync+fb FDPS",
+				"VSync lat (ms)", "D-VSync lat (ms)", "D-VSync+fb lat (ms)", "fb switches"},
+		},
+	}
+	// The fault window opens after the stream has warmed up and stays open
+	// past its end, so severity scales exposure, not duration.
+	fStart := simtime.Time(simtime.Second)
+	fEnd := simtime.Time(60 * simtime.Second)
+
+	for _, cls := range SimFaultClasses() {
+		for _, sev := range sevs {
+			pt := FaultsPoint{Class: cls, Severity: sev}
+			for r := 0; r < replicas; r++ {
+				tr := faultsWorkload(frames, 1234+int64(r))
+				fcfg, err := fault.Scenario(cls, sev, fStart, fEnd, 7000+int64(r))
+				if err != nil {
+					panic(err) // classes and severities are from our own grids
+				}
+				v := sim.Run(sim.Config{Mode: sim.ModeVSync, Panel: faultPanel(),
+					Buffers: 3, Trace: tr, Faults: fcfg})
+				d := sim.Run(sim.Config{Mode: sim.ModeDVSync, Panel: faultPanel(),
+					Buffers: 5, Trace: tr, Faults: fcfg})
+				fb := sim.Run(hardenedConfig(tr, fcfg))
+				pt.VSyncFDPS += v.FDPS() / float64(replicas)
+				pt.DVSyncFDPS += d.FDPS() / float64(replicas)
+				pt.FallbackFDPS += fb.FDPS() / float64(replicas)
+				pt.VSyncLatMs += v.LatencySummary().Mean / float64(replicas)
+				pt.DVSyncLatMs += d.LatencySummary().Mean / float64(replicas)
+				pt.FallbackLatMs += fb.LatencySummary().Mean / float64(replicas)
+				pt.FallbackTransitions += len(fb.Fallbacks)
+			}
+			res.Points = append(res.Points, pt)
+			res.Table.AddRow(pt.Class, fmt.Sprintf("%.2f", pt.Severity),
+				fmt.Sprintf("%.2f", pt.VSyncFDPS),
+				fmt.Sprintf("%.2f", pt.DVSyncFDPS),
+				fmt.Sprintf("%.2f", pt.FallbackFDPS),
+				fmt.Sprintf("%.1f", pt.VSyncLatMs),
+				fmt.Sprintf("%.1f", pt.DVSyncLatMs),
+				fmt.Sprintf("%.1f", pt.FallbackLatMs),
+				pt.FallbackTransitions)
+		}
+	}
+	res.InputTable = inputFaultTable(sevs)
+	return res
+}
+
+func faultPanel() display.Config { return scenarios.Pixel5.Panel() }
+
+// hardenedConfig is the D-VSync+fallback arm: supervision plus the DTV
+// re-anchor bound and FPE accumulation backoff.
+func hardenedConfig(tr *workload.Trace, fcfg *fault.Config) sim.Config {
+	cfg := sim.Config{
+		Mode: sim.ModeDVSync, Panel: faultPanel(), Buffers: 5, Trace: tr,
+		Faults:           fcfg,
+		EnableFallback:   true,
+		Health:           faultsHealth(),
+		FPEOverloadAfter: 4,
+	}
+	cfg.DTV.MaxAbsErrMs = 8
+	return cfg
+}
+
+// inputFaultTable sweeps the input fault classes as IPL prediction error:
+// the predictor sees the perturbed digitizer stream and is judged against
+// the ground-truth trajectory two periods ahead (the D-VSync lookahead).
+func inputFaultTable(sevs []float64) *report.Table {
+	tbl := &report.Table{
+		Title: "Input faults — IPL prediction error vs severity",
+		Note: "mean |predicted − actual| px over a fling, horizon 2 periods; " +
+			"dropout loses reports, bursts batch-deliver them late",
+		Columns: []string{"class", "severity", "Kalman err (px)", "LastValue err (px)"},
+	}
+	traj := input.Fling{Start: 500, Velocity: 1800,
+		DownFor: 600 * simtime.Millisecond, Friction: 3,
+		Settle: 900 * simtime.Millisecond}
+	samples := input.Digitizer{RateHz: 120}.Samples(traj)
+	period := simtime.PeriodForHz(60)
+	for _, cls := range []string{"input-drop", "input-burst"} {
+		for _, sev := range sevs {
+			fcfg, err := fault.Scenario(cls, sev, 0, traj.End()+1, 31)
+			if err != nil {
+				panic(err)
+			}
+			var perturbed []input.Sample
+			if fcfg.Enabled() {
+				perturbed = input.Perturb(samples, fault.NewInjector(*fcfg))
+			} else {
+				perturbed = samples
+			}
+			hist := coreSamples(perturbed)
+			kal := meanPredErr(ipl.Kalman{}, hist, traj, period)
+			last := meanPredErr(ipl.LastValue{}, hist, traj, period)
+			tbl.AddRow(cls, fmt.Sprintf("%.2f", sev),
+				fmt.Sprintf("%.1f", kal), fmt.Sprintf("%.1f", last))
+		}
+	}
+	return tbl
+}
+
+func meanPredErr(p core.InputPredictor, hist []core.InputSample, traj input.Trajectory,
+	period simtime.Duration) float64 {
+	var sum float64
+	var n int
+	step := 8 * simtime.Millisecond
+	for t := simtime.Time(100 * simtime.Millisecond); t < traj.End(); t = t.Add(step) {
+		at := t.Add(2 * period)
+		seen := coreHistory(hist, t)
+		if len(seen) == 0 {
+			continue
+		}
+		err := p.Predict(seen, at) - traj.Value(at)
+		if err < 0 {
+			err = -err
+		}
+		sum += err
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFaultsQuickDeterministic runs the quick fault matrix twice and demands
+// bit-identical tables: the whole sweep is seeded, so any divergence is a
+// determinism regression.
+func TestFaultsQuickDeterministic(t *testing.T) {
+	a, b := Faults(true), Faults(true)
+	if got, want := a.Table.String(), b.Table.String(); got != want {
+		t.Fatalf("fault matrix diverged between runs:\n%s\nvs\n%s", got, want)
+	}
+	if got, want := a.InputTable.String(), b.InputTable.String(); got != want {
+		t.Fatalf("input fault table diverged between runs:\n%s\nvs\n%s", got, want)
+	}
+	t.Logf("\n%s", a.Table.String())
+	t.Logf("\n%s", a.InputTable.String())
+}
+
+// TestFaultsDegradationShape checks the acceptance properties of the quick
+// degradation curves per fault class:
+//
+//  1. FDPS is monotone non-decreasing in severity (within a small tolerance
+//     for averaging noise), and
+//  2. the hardened D-VSync+fallback arm never degrades materially past the
+//     VSync baseline at the same severity — the whole point of the §4.5
+//     supervised switch.
+func TestFaultsDegradationShape(t *testing.T) {
+	const tol = 0.35
+	res := Faults(true)
+	byClass := map[string][]FaultsPoint{}
+	for _, pt := range res.Points {
+		byClass[pt.Class] = append(byClass[pt.Class], pt)
+	}
+	for _, cls := range SimFaultClasses() {
+		pts := byClass[cls]
+		if len(pts) != len(FaultSeverities(true)) {
+			t.Fatalf("%s: %d points, want %d", cls, len(pts), len(FaultSeverities(true)))
+		}
+		for i := 1; i < len(pts); i++ {
+			for _, arm := range []struct {
+				name       string
+				prev, curr float64
+			}{
+				{"VSync", pts[i-1].VSyncFDPS, pts[i].VSyncFDPS},
+				{"D-VSync", pts[i-1].DVSyncFDPS, pts[i].DVSyncFDPS},
+				{"D-VSync+fb", pts[i-1].FallbackFDPS, pts[i].FallbackFDPS},
+			} {
+				if arm.curr < arm.prev-tol {
+					t.Errorf("%s/%s: FDPS fell from %.2f to %.2f as severity rose %.2f→%.2f",
+						cls, arm.name, arm.prev, arm.curr, pts[i-1].Severity, pts[i].Severity)
+				}
+			}
+		}
+		for _, pt := range pts {
+			if pt.FallbackFDPS > pt.VSyncFDPS+tol {
+				t.Errorf("%s sev %.2f: hardened FDPS %.2f exceeds VSync baseline %.2f",
+					cls, pt.Severity, pt.FallbackFDPS, pt.VSyncFDPS)
+			}
+		}
+	}
+}
+
+// TestFaultsTableShape sanity-checks the rendered output consumed by dvbench.
+func TestFaultsTableShape(t *testing.T) {
+	res := Faults(true)
+	wantRows := len(SimFaultClasses()) * len(FaultSeverities(true))
+	if got := len(res.Table.Rows); got != wantRows {
+		t.Fatalf("matrix rows = %d, want %d", got, wantRows)
+	}
+	if got := len(res.InputTable.Rows); got != 2*len(FaultSeverities(true)) {
+		t.Fatalf("input rows = %d, want %d", got, 2*len(FaultSeverities(true)))
+	}
+	out := res.Table.String()
+	for _, cls := range SimFaultClasses() {
+		if !strings.Contains(out, cls) {
+			t.Errorf("matrix output missing class %q", cls)
+		}
+	}
+}

@@ -16,6 +16,10 @@ type Experiment struct {
 	Title string
 	// Run executes the experiment and writes its table(s) to w.
 	Run func(w io.Writer)
+	// RunQuick, when non-nil, is a reduced configuration suitable for CI
+	// smoke runs (`dvbench -quick`); experiments without one always run in
+	// full.
+	RunQuick func(w io.Writer)
 	// Tables re-runs the experiment and returns its tables for machine
 	// consumption (CSV export).
 	Tables func() []*report.Table
@@ -25,132 +29,132 @@ type Experiment struct {
 // order.
 func Registry() []Experiment {
 	return []Experiment{
-		{"table1", "Table 1 — platform configuration", func(w io.Writer) {
+		{ID: "table1", Title: "Table 1 — platform configuration", Run: func(w io.Writer) {
 			Table1().Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Table1()}
 		}},
-		{"fig1", "Figure 1 — frame rendering time CDF", func(w io.Writer) {
+		{ID: "fig1", Title: "Figure 1 — frame rendering time CDF", Run: func(w io.Writer) {
 			r := Fig1()
 			r.Table.Render(w)
 			fmt.Fprintf(w, "within one 60 Hz period: %.1f%% (paper: 78.3%%)\n", 100*r.WithinOnePeriod)
 			fmt.Fprintf(w, "beyond triple buffering:  %.1f%% (paper: ≈5%%)\n", 100*r.BeyondTriple)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig1().Table}
 		}},
-		{"fig3", "Figure 3 — pixels-per-second trend", func(w io.Writer) {
+		{ID: "fig3", Title: "Figure 3 — pixels-per-second trend", Run: func(w io.Writer) {
 			Fig3().Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig3()}
 		}},
-		{"fig5", "Figure 5 — frame-drop summary", func(w io.Writer) {
+		{ID: "fig5", Title: "Figure 5 — frame-drop summary", Run: func(w io.Writer) {
 			Fig5().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig5().Table}
 		}},
-		{"fig6", "Figure 6 — frame distribution", func(w io.Writer) {
+		{ID: "fig6", Title: "Figure 6 — frame distribution", Run: func(w io.Writer) {
 			r := Fig6()
 			r.Table.Render(w)
 			fmt.Fprintf(w, "overall buffer-stuffing share: %.0f%%\n", 100*r.StuffedShare)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig6().Table}
 		}},
-		{"fig7", "Figure 7 — touch-follow latency", func(w io.Writer) {
+		{ID: "fig7", Title: "Figure 7 — touch-follow latency", Run: func(w io.Writer) {
 			r := Fig7()
 			r.Table.Render(w)
 			fmt.Fprintf(w, "max displacement: %.0f px (paper: ≈400 px / 2.4 cm)\n", r.MaxDisplacementPx)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig7().Table}
 		}},
-		{"fig9", "Figure 9 — scope of D-VSync", func(w io.Writer) {
+		{ID: "fig9", Title: "Figure 9 — scope of D-VSync", Run: func(w io.Writer) {
 			Fig9().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig9().Table}
 		}},
-		{"fig10", "Figure 10 — execution patterns", func(w io.Writer) {
+		{ID: "fig10", Title: "Figure 10 — execution patterns", Run: func(w io.Writer) {
 			r := Fig10()
 			r.Table.Render(w)
 			fmt.Fprintln(w, r.Timeline)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig10().Table}
 		}},
-		{"fig11", "Figure 11 — FDPS, 25 apps (Pixel 5)", func(w io.Writer) {
+		{ID: "fig11", Title: "Figure 11 — FDPS, 25 apps (Pixel 5)", Run: func(w io.Writer) {
 			r := Fig11()
 			r.Table.Render(w)
 			printReductions(w, r)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig11().Table}
 		}},
-		{"fig12", "Figure 12 — FDPS, OS cases (Mate 60 Pro, Vulkan)", func(w io.Writer) {
+		{ID: "fig12", Title: "Figure 12 — FDPS, OS cases (Mate 60 Pro, Vulkan)", Run: func(w io.Writer) {
 			r := Fig12()
 			r.Table.Render(w)
 			printReductions(w, r)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig12().Table}
 		}},
-		{"fig13", "Figure 13 — FDPS, OS cases (GLES)", func(w io.Writer) {
+		{ID: "fig13", Title: "Figure 13 — FDPS, OS cases (GLES)", Run: func(w io.Writer) {
 			a, b := Fig13Mate40(), Fig13Mate60()
 			a.Table.Render(w)
 			printReductions(w, a)
 			b.Table.Render(w)
 			printReductions(w, b)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig13Mate40().Table, Fig13Mate60().Table}
 		}},
-		{"fig14", "Figure 14 — FDPS, 15 games", func(w io.Writer) {
+		{ID: "fig14", Title: "Figure 14 — FDPS, 15 games", Run: func(w io.Writer) {
 			r := Fig14()
 			r.Table.Render(w)
 			printReductions(w, r)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig14().Table}
 		}},
-		{"fig15", "Figure 15 — rendering latency", func(w io.Writer) {
+		{ID: "fig15", Title: "Figure 15 — rendering latency", Run: func(w io.Writer) {
 			Fig15().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig15().Table}
 		}},
-		{"fig16", "Figure 16 — map app case study", func(w io.Writer) {
+		{ID: "fig16", Title: "Figure 16 — map app case study", Run: func(w io.Writer) {
 			Fig16().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Fig16().Table}
 		}},
-		{"table2", "Table 2 — UX stutters", func(w io.Writer) {
+		{ID: "table2", Title: "Table 2 — UX stutters", Run: func(w io.Writer) {
 			r := Table2()
 			r.Table.Render(w)
 			fmt.Fprintf(w, "average stutter reduction: %.1f%% (paper: 72.3%%)\n", r.AvgReductionPct)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Table2().Table}
 		}},
-		{"costs", "§6.4 — execution/memory costs", func(w io.Writer) {
+		{ID: "costs", Title: "§6.4 — execution/memory costs", Run: func(w io.Writer) {
 			Costs().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Costs().Table}
 		}},
-		{"chromium", "§6.6 — Chromium case study", func(w io.Writer) {
+		{ID: "chromium", Title: "§6.6 — Chromium case study", Run: func(w io.Writer) {
 			r := Chromium()
 			r.Table.Render(w)
 			printReductions(w, r)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Chromium().Table}
 		}},
-		{"power", "§6.7 — power consumption", func(w io.Writer) {
+		{ID: "power", Title: "§6.7 — power consumption", Run: func(w io.Writer) {
 			Power().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Power().Table}
 		}},
-		{"census", "Appendix A — 75-case testing-framework census", func(w io.Writer) {
+		{ID: "census", Title: "Appendix A — 75-case testing-framework census", Run: func(w io.Writer) {
 			r := Census()
 			r.Table.Render(w)
 			fmt.Fprintf(w, "total-jank reduction across all 75 cases: %.1f%%\n", r.JankReductionPct)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Census().Table}
 		}},
-		{"future", "Projection — future high-refresh panels", func(w io.Writer) {
+		{ID: "future", Title: "Projection — future high-refresh panels", Run: func(w io.Writer) {
 			Future().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{Future().Table}
 		}},
-		{"ablations", "Ablation studies — design-choice sweeps", func(w io.Writer) {
+		{ID: "ablations", Title: "Ablation studies — design-choice sweeps", Run: func(w io.Writer) {
 			AblatePreRenderLimit().Table.Render(w)
 			fmt.Fprintln(w)
 			AblateDTVCalibration().Table.Render(w)
@@ -164,8 +168,22 @@ func Registry() []Experiment {
 			AblateConsumerPolicy().Table.Render(w)
 			fmt.Fprintln(w)
 			AblateAppOffset().Table.Render(w)
-		}, func() []*report.Table {
+		}, Tables: func() []*report.Table {
 			return []*report.Table{AblatePreRenderLimit().Table, AblateDTVCalibration().Table, AblateIPLPredictors().Table, AblateVSyncPipelineDepth().Table, AblateDTVPacing().Table, AblateConsumerPolicy().Table, AblateAppOffset().Table}
+		}},
+		{ID: "faults", Title: "Fault matrix — degradation under injected faults", Run: func(w io.Writer) {
+			r := Faults(false)
+			r.Table.Render(w)
+			fmt.Fprintln(w)
+			r.InputTable.Render(w)
+		}, RunQuick: func(w io.Writer) {
+			r := Faults(true)
+			r.Table.Render(w)
+			fmt.Fprintln(w)
+			r.InputTable.Render(w)
+		}, Tables: func() []*report.Table {
+			r := Faults(false)
+			return []*report.Table{r.Table, r.InputTable}
 		}},
 	}
 }

@@ -1,0 +1,177 @@
+package health
+
+import (
+	"strings"
+	"testing"
+
+	"dvsync/internal/simtime"
+)
+
+func ms(x float64) simtime.Time { return simtime.Time(simtime.FromMillis(x)) }
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"valid", Config{MaxFDPS: 5}, ""},
+		{"zero fallback threshold", Config{MaxFDPS: 0}, "threshold"},
+		{"negative fallback threshold", Config{MaxFDPS: -1}, "threshold"},
+		{"negative calib bound", Config{MaxFDPS: 5, MaxCalibErrMs: -1}, "calibration"},
+		{"negative window", Config{MaxFDPS: 5, Window: -1}, "window"},
+		{"negative stall timeout", Config{MaxFDPS: 5, StallTimeout: -1}, "stall"},
+		{"negative hysteresis", Config{MaxFDPS: 5, RecoverAfter: -1}, "hysteresis"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTripsOnJankBurst(t *testing.T) {
+	m := NewMonitor(Config{Window: simtime.FromMillis(500), MaxFDPS: 5})
+	// 2 janks in 500 ms is 4 FDPS: healthy.
+	m.ObserveJank(ms(600))
+	m.ObserveJank(ms(800))
+	if m.Evaluate(ms(1000), true) {
+		t.Fatalf("tripped at %v FDPS below threshold", m.WindowFDPS(ms(1000)))
+	}
+	// A third jank pushes the window to 6 FDPS.
+	m.ObserveJank(ms(950))
+	if !m.Evaluate(ms(1000), true) {
+		t.Fatal("did not trip above FDPS threshold")
+	}
+	if m.LastReason() != ReasonFDPS {
+		t.Fatalf("reason = %v, want fdps", m.LastReason())
+	}
+	if m.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", m.Trips())
+	}
+}
+
+func TestJanksAgeOutOfWindow(t *testing.T) {
+	m := NewMonitor(Config{Window: simtime.FromMillis(500), MaxFDPS: 5})
+	for i := 0; i < 10; i++ {
+		m.ObserveJank(ms(1000 + float64(i)*10))
+	}
+	if got := m.WindowFDPS(ms(2000)); got != 0 {
+		t.Fatalf("windowed FDPS after aging = %v, want 0", got)
+	}
+}
+
+func TestTripsOnCalibrationError(t *testing.T) {
+	m := NewMonitor(Config{Window: simtime.FromMillis(500), MaxFDPS: 100, MaxCalibErrMs: 4})
+	m.ObserveCalibError(ms(900), 2)
+	if m.Evaluate(ms(1000), true) {
+		t.Fatal("tripped below calibration bound")
+	}
+	m.ObserveCalibError(ms(950), 20)
+	if !m.Evaluate(ms(1000), true) {
+		t.Fatal("did not trip above calibration bound")
+	}
+	if m.LastReason() != ReasonCalibration {
+		t.Fatalf("reason = %v, want calibration", m.LastReason())
+	}
+}
+
+func TestTripsOnStallOnlyWhenBusy(t *testing.T) {
+	m := NewMonitor(Config{MaxFDPS: 100, StallTimeout: simtime.FromMillis(100)})
+	m.ObserveProgress(ms(500))
+	if m.Evaluate(ms(1000), false) {
+		t.Fatal("idle pipeline reported stalled")
+	}
+	if !m.Evaluate(ms(1000), true) {
+		t.Fatal("busy pipeline with no progress did not trip")
+	}
+	if m.LastReason() != ReasonStall {
+		t.Fatalf("reason = %v, want stall", m.LastReason())
+	}
+}
+
+func TestRecoveryHysteresis(t *testing.T) {
+	m := NewMonitor(Config{
+		Window:       simtime.FromMillis(200),
+		MaxFDPS:      5,
+		RecoverAfter: simtime.FromMillis(300),
+	})
+	m.ObserveJank(ms(1000))
+	m.ObserveJank(ms(1010))
+	m.ObserveJank(ms(1020))
+	if !m.Evaluate(ms(1030), true) {
+		t.Fatal("did not trip")
+	}
+	// Janks age out by 1300 but hysteresis holds the trip until a full
+	// RecoverAfter of clean evaluations has elapsed.
+	if !m.Evaluate(ms(1300), true) {
+		t.Fatal("recovered before hysteresis")
+	}
+	if !m.Evaluate(ms(1500), true) {
+		t.Fatal("recovered 200 ms into a 300 ms hysteresis")
+	}
+	if m.Evaluate(ms(1650), true) {
+		t.Fatal("did not recover after hysteresis elapsed")
+	}
+	if m.Recoveries() != 1 {
+		t.Fatalf("recoveries = %d, want 1", m.Recoveries())
+	}
+	if m.LastReason() != ReasonNone {
+		t.Fatalf("reason after recovery = %v, want none", m.LastReason())
+	}
+}
+
+func TestHysteresisRestartsOnNewViolation(t *testing.T) {
+	m := NewMonitor(Config{
+		Window:       simtime.FromMillis(100),
+		MaxFDPS:      5,
+		RecoverAfter: simtime.FromMillis(300),
+	})
+	m.ObserveJank(ms(1000))
+	if !m.Evaluate(ms(1000), true) {
+		t.Fatal("did not trip (1 jank in a 100 ms window is 10 FDPS)")
+	}
+	// Clean at 1200, violated again at 1250: the healthy clock restarts.
+	if !m.Evaluate(ms(1200), true) {
+		t.Fatal("recovered early")
+	}
+	m.ObserveJank(ms(1250))
+	if !m.Evaluate(ms(1250), true) {
+		t.Fatal("re-violation ignored")
+	}
+	// Healthy again from 1400; recovery needs a full 300 ms from there.
+	if !m.Evaluate(ms(1400), true) {
+		t.Fatal("recovered immediately after re-violation")
+	}
+	if m.Evaluate(ms(1400+310), true) {
+		t.Fatal("did not recover after restarted hysteresis window")
+	}
+	if m.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1 (re-violation while tripped is not a new trip)", m.Trips())
+	}
+}
+
+func TestReasonString(t *testing.T) {
+	cases := []struct {
+		r    Reason
+		want string
+	}{
+		{ReasonNone, "none"}, {ReasonFDPS, "fdps"},
+		{ReasonCalibration, "calibration"}, {ReasonStall, "stall"},
+		{Reason(99), "reason(99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.r.String(); got != tc.want {
+			t.Fatalf("Reason(%d).String() = %q, want %q", int(tc.r), got, tc.want)
+		}
+	}
+}

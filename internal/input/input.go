@@ -63,6 +63,39 @@ func History(samples []Sample, t simtime.Time) []Sample {
 	return samples[:hi]
 }
 
+// Perturber decides per-sample delivery faults. internal/fault's Injector
+// satisfies it; the indirection keeps this package dependency-free.
+type Perturber interface {
+	// DropSample reports whether the report at `at` is lost entirely.
+	DropSample(at simtime.Time) bool
+	// BurstDelivery re-times a report: when the second return is true the
+	// report is held and delivered at the returned instant instead (batched
+	// delivery, as when an overloaded input thread drains its queue in
+	// bursts).
+	BurstDelivery(at simtime.Time) (simtime.Time, bool)
+}
+
+// Perturb applies delivery faults to a digitizer stream: dropped reports
+// vanish, burst-held reports move to their batch-drain instant (keeping
+// their original Value — the fingertip was where it was, software just
+// learned late). The output preserves delivery order; input is unmodified.
+func Perturb(samples []Sample, p Perturber) []Sample {
+	if p == nil {
+		return samples
+	}
+	out := make([]Sample, 0, len(samples))
+	for _, s := range samples {
+		if p.DropSample(s.At) {
+			continue
+		}
+		if at, held := p.BurstDelivery(s.At); held {
+			s.At = at
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
 // Swipe is a constant-velocity drag: the fingertip moves from Start by
 // Velocity px/s while down, ending at Duration.
 type Swipe struct {

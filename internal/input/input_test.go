@@ -116,3 +116,44 @@ func TestDigitizerInvalidRate(t *testing.T) {
 	}()
 	Digitizer{}.Samples(Swipe{Duration: 1000})
 }
+
+// scriptedPerturber drops listed timestamps and delays listed ones.
+type scriptedPerturber struct {
+	drop  map[simtime.Time]bool
+	delay map[simtime.Time]simtime.Time
+}
+
+func (p scriptedPerturber) DropSample(at simtime.Time) bool { return p.drop[at] }
+func (p scriptedPerturber) BurstDelivery(at simtime.Time) (simtime.Time, bool) {
+	d, ok := p.delay[at]
+	return d, ok
+}
+
+func TestPerturb(t *testing.T) {
+	samples := []Sample{
+		{At: 0, Value: 0}, {At: 10, Value: 1}, {At: 20, Value: 2}, {At: 30, Value: 3},
+	}
+	p := scriptedPerturber{
+		drop:  map[simtime.Time]bool{10: true},
+		delay: map[simtime.Time]simtime.Time{20: 25},
+	}
+	got := Perturb(samples, p)
+	if len(got) != 3 {
+		t.Fatalf("perturbed stream has %d samples, want 3", len(got))
+	}
+	if got[0].At != 0 || got[1].At != 25 || got[2].At != 30 {
+		t.Fatalf("delivery times = %v,%v,%v, want 0,25,30", got[0].At, got[1].At, got[2].At)
+	}
+	// A held report keeps its sampled value: the glass state is unchanged,
+	// software just learns it late.
+	if got[1].Value != 2 {
+		t.Fatalf("held sample value = %v, want 2", got[1].Value)
+	}
+	// The input slice is untouched.
+	if samples[2].At != 20 {
+		t.Fatal("Perturb mutated its input")
+	}
+	if out := Perturb(samples, nil); len(out) != len(samples) {
+		t.Fatal("nil perturber must be the identity")
+	}
+}

@@ -51,6 +51,11 @@ type Producer struct {
 	// frame (the FPE+DTV bookkeeping cost of §6.4 when running D-VSync).
 	PerFrameOverhead simtime.Duration
 
+	// CostScale, when set, multiplies both stage costs of frames started at
+	// now — the fault-injection hook for render/UI stall episodes
+	// (internal/fault). Must return >= 1.
+	CostScale func(now simtime.Time) float64
+
 	started  int
 	executed simtime.Duration // total stage time spent
 	overhead simtime.Duration // total bookkeeping time spent
@@ -108,6 +113,18 @@ func (p *Producer) OldestInflight() *buffer.Frame {
 // verified UIFree and queue availability; Start panics otherwise, because a
 // violated precondition means the driver logic is wrong.
 func (p *Producer) Start(now simtime.Time, req StartRequest) *buffer.Frame {
+	f := p.TryStart(now, req)
+	if f == nil {
+		panic(fmt.Sprintf("pipeline: start at %v with no free buffer", now))
+	}
+	return f
+}
+
+// TryStart is Start without the no-free-buffer panic: it returns nil when
+// the queue refuses the dequeue (pool exhausted or an injected allocation
+// fault), leaving all pipeline state untouched so the caller can retry at
+// its next trigger. Stage-cost preconditions still panic.
+func (p *Producer) TryStart(now simtime.Time, req StartRequest) *buffer.Frame {
 	if req.Index < 0 || req.Index >= p.trace.Len() {
 		panic(fmt.Sprintf("pipeline: frame index %d out of range", req.Index))
 	}
@@ -115,6 +132,12 @@ func (p *Producer) Start(now simtime.Time, req StartRequest) *buffer.Frame {
 		panic(fmt.Sprintf("pipeline: start at %v while UI busy until %v", now, p.uiBusyUntil))
 	}
 	cost := p.trace.Costs[req.Index]
+	if p.CostScale != nil {
+		if s := p.CostScale(now); s != 1 {
+			cost.UI = simtime.Duration(float64(cost.UI) * s)
+			cost.RS = simtime.Duration(float64(cost.RS) * s)
+		}
+	}
 	f := &buffer.Frame{
 		Seq:         req.Index,
 		ContentTime: req.ContentTime,
@@ -127,7 +150,7 @@ func (p *Producer) Start(now simtime.Time, req StartRequest) *buffer.Frame {
 	}
 	b := p.queue.Dequeue(f)
 	if b == nil {
-		panic(fmt.Sprintf("pipeline: start at %v with no free buffer", now))
+		return nil
 	}
 
 	f.UIDone = now.Add(cost.UI)

@@ -69,6 +69,7 @@ type Distributor struct {
 	offsets   map[Kind]simtime.Duration
 	listeners map[Kind][]Listener
 	delivered map[Kind]uint64
+	delay     func(k Kind, at simtime.Time) simtime.Duration
 }
 
 // NewDistributor creates a distributor with the given per-signal offsets.
@@ -97,6 +98,14 @@ func (d *Distributor) Subscribe(k Kind, l Listener) {
 // Offset returns the configured offset of a signal.
 func (d *Distributor) Offset(k Kind) simtime.Duration { return d.offsets[k] }
 
+// SetDelay installs a per-delivery delay hook — the fault-injection point
+// for clock drift between the panel and the software VSync distributor
+// (internal/fault). Negative return values are ignored; the hook only ever
+// postpones a signal past its nominal offset.
+func (d *Distributor) SetDelay(fn func(k Kind, at simtime.Time) simtime.Duration) {
+	d.delay = fn
+}
+
 // Delivered returns how many events of kind k have been delivered.
 func (d *Distributor) Delivered(k Kind) uint64 { return d.delivered[k] }
 
@@ -109,6 +118,11 @@ func (d *Distributor) OnHWEdge(now simtime.Time, seq uint64, period simtime.Dura
 			continue
 		}
 		off := d.offsets[k]
+		if d.delay != nil {
+			if x := d.delay(k, now); x > 0 {
+				off += x
+			}
+		}
 		ev := Event{Kind: k, At: now.Add(off), HWEdge: now, EdgeSeq: seq, Period: period}
 		if off == 0 {
 			d.deliver(ev)

@@ -6,7 +6,10 @@ import (
 	"fmt"
 	"testing"
 
+	"dvsync/internal/fault"
+	"dvsync/internal/health"
 	"dvsync/internal/ipl"
+	"dvsync/internal/simtime"
 	"dvsync/internal/trace"
 	"dvsync/internal/workload"
 )
@@ -53,6 +56,70 @@ func TestDeterministicReplay(t *testing.T) {
 			first := replayDigest(t, mode)
 			for run := 2; run <= 3; run++ {
 				if got := replayDigest(t, mode); got != first {
+					t.Fatalf("run %d diverged from run 1: %x != %x", run, got, first)
+				}
+			}
+		})
+	}
+}
+
+// faultedReplayDigest runs a seeded scenario with every fault class active
+// at once and (in D-VSync mode) the full hardening stack engaged — DTV
+// re-anchoring, FPE backoff, supervised fallback — and digests the trace
+// plus the robustness counters. The injector's per-class RNG streams, the
+// health monitor and the fallback transitions are all inside the hash.
+func faultedReplayDigest(t *testing.T, mode Mode) [sha256.Size]byte {
+	t.Helper()
+	p := workload.Profile{
+		Name: "faulted-determinism", ShortMeanMs: 5, ShortSigmaMs: 2,
+		LongRatio: 0.06, LongScaleMs: 20, LongAlpha: 1.8,
+		Burstiness: 0.3, UIShare: 0.4, Class: workload.Interactive,
+	}
+	faults := &fault.Config{
+		Seed:        99,
+		Stalls:      []fault.Episode{{Start: msT(500), End: msT(1200), Severity: 1.5}},
+		VSyncJitter: []fault.Episode{{Start: msT(1300), End: msT(2000), Severity: 1}},
+		MissedVSync: []fault.Episode{{Start: msT(2100), End: msT(2700), Severity: 0.3}},
+		ClockDrift:  []fault.Episode{{Start: msT(2800), End: msT(3600), Severity: 2000}},
+		AllocFail:   []fault.Episode{{Start: msT(3700), End: msT(4400), Severity: 0.4}},
+	}
+	cfg := Config{
+		Mode: mode, Panel: panel60(), Buffers: 4,
+		Trace:     p.Generate(400, 1234),
+		Predictor: ipl.Kalman{},
+		Recorder:  trace.NewRecorder(),
+		Faults:    faults,
+	}
+	if mode == ModeDVSync {
+		cfg.DTV.MaxAbsErrMs = 8
+		cfg.FPEOverloadAfter = 4
+		cfg.EnableFallback = true
+		cfg.Health = health.Config{MaxFDPS: 6, MaxCalibErrMs: 12,
+			StallTimeout: 250 * simtime.Millisecond}
+	}
+	r := Run(cfg)
+
+	var buf bytes.Buffer
+	if err := cfg.Recorder.WriteJSONL(&buf); err != nil {
+		t.Fatalf("encoding trace: %v", err)
+	}
+	fmt.Fprintf(&buf, "fdps=%v janks=%d presented=%d skipped=%d counters=%+v "+
+		"missed=%d allocfailed=%d reanchors=%d dtvmissed=%d backoffs=%d "+
+		"startfail=%d fallbacks=%+v watchdog=%q\n",
+		r.FDPS(), len(r.Janks), len(r.Presented), r.Skipped, r.FaultCounters,
+		r.MissedEdges, r.AllocFailed, r.DTVReAnchors, r.DTVMissedEdges,
+		r.FPEBackoffs, r.FPEStartFailures, r.Fallbacks, r.WatchdogTripped)
+	return sha256.Sum256(buf.Bytes())
+}
+
+// TestDeterministicFaultedReplay extends the gate to the fault-injection
+// and graceful-degradation stack: three replays per mode must be identical.
+func TestDeterministicFaultedReplay(t *testing.T) {
+	for _, mode := range []Mode{ModeVSync, ModeDVSync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			first := faultedReplayDigest(t, mode)
+			for run := 2; run <= 3; run++ {
+				if got := faultedReplayDigest(t, mode); got != first {
 					t.Fatalf("run %d diverged from run 1: %x != %x", run, got, first)
 				}
 			}

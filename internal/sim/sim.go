@@ -11,6 +11,8 @@ import (
 	"dvsync/internal/core"
 	"dvsync/internal/display"
 	"dvsync/internal/event"
+	"dvsync/internal/fault"
+	"dvsync/internal/health"
 	"dvsync/internal/ltpo"
 	"dvsync/internal/metrics"
 	"dvsync/internal/pipeline"
@@ -114,6 +116,35 @@ type Config struct {
 	// LTPOVelocity reports the content velocity (e.g. scroll px/s) at an
 	// instant. Required when LTPOPolicy is set.
 	LTPOVelocity func(simtime.Time) float64
+	// Faults optionally injects seeded deterministic faults (stall episodes,
+	// VSync jitter and misses, clock drift, allocation failures) through the
+	// hooks each subsystem exposes. Nil or an empty config runs fault-free.
+	Faults *fault.Config
+	// FPEOverloadAfter enables FPE accumulation backoff after this many
+	// consecutive over-period frames (zero keeps the seed behaviour).
+	FPEOverloadAfter int
+	// FPERecoverAfter ends the backoff after this many consecutive
+	// under-period frames; zero defaults to FPEOverloadAfter.
+	FPERecoverAfter int
+	// EnableFallback supervises a D-VSync run with a health monitor that
+	// drives the §4.5 runtime switch back to the VSync channel when the
+	// system degrades, and back once it recovers (with hysteresis).
+	EnableFallback bool
+	// Health tunes the fallback monitor; required when EnableFallback is
+	// set (MaxFDPS must be positive).
+	Health health.Config
+}
+
+// FallbackRecord is one supervised runtime-switch transition.
+type FallbackRecord struct {
+	// At is the transition instant.
+	At simtime.Time
+	// To is the channel switched to (ModeVSync on a trip, ModeDVSync on a
+	// recovery).
+	To Mode
+	// Reason is the health check behind the transition (ReasonNone on
+	// recoveries).
+	Reason health.Reason
 }
 
 // JankRecord is one repeated-frame edge.
@@ -164,6 +195,22 @@ type Result struct {
 	Completed bool
 	// EdgesInWindow counts refresh edges in (FirstLatch, LastLatch].
 	EdgesInWindow int
+	// Fallbacks lists supervised runtime-switch transitions in time order.
+	Fallbacks []FallbackRecord
+	// FaultCounters aggregates injected-fault activity (zero when no
+	// injector is configured).
+	FaultCounters fault.Counters
+	// MissedEdges counts panel refreshes skipped by injected faults.
+	MissedEdges int
+	// AllocFailed counts dequeues refused by injected allocation faults.
+	AllocFailed int
+	// DTVReAnchors / DTVMissedEdges are the DTV hardening counters.
+	DTVReAnchors, DTVMissedEdges int
+	// FPEBackoffs / FPEStartFailures are the FPE hardening counters.
+	FPEBackoffs, FPEStartFailures int
+	// WatchdogTripped carries the engine watchdog error of a stalled run
+	// (empty on healthy runs).
+	WatchdogTripped string
 }
 
 // Jank converts the run into the FDPS report.
@@ -212,13 +259,17 @@ type System struct {
 	fpe      *core.FPE
 	ctl      *core.Controller
 	ltpo     *ltpo.Coordinator
+	inj      *fault.Injector
+	monitor  *health.Monitor
 
 	res Result
 
 	// driver state
-	nextIdx int  // next trace index to start
-	started bool // stream has begun (first VSync-app seen)
-	ticks   int  // VSync-app ticks since stream start
+	nextIdx        int  // next trace index to start
+	started        bool // stream has begun (first VSync-app seen)
+	ticks          int  // VSync-app ticks since stream start
+	appSwitch      bool // the application's §4.5 switch position
+	fallbackActive bool // the supervisor is holding the system on VSync
 }
 
 // Validate reports configuration errors: everything a caller could get
@@ -240,6 +291,23 @@ func Validate(cfg Config) error {
 		return fmt.Errorf("sim: negative VSync pipeline depth %d", cfg.VSyncPipelineDepth)
 	case cfg.LTPOPolicy != nil && cfg.LTPOVelocity == nil:
 		return fmt.Errorf("sim: LTPOPolicy requires LTPOVelocity")
+	case cfg.FPEOverloadAfter < 0:
+		return fmt.Errorf("sim: negative FPE overload threshold %d", cfg.FPEOverloadAfter)
+	case cfg.FPERecoverAfter < 0:
+		return fmt.Errorf("sim: negative FPE recovery threshold %d", cfg.FPERecoverAfter)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	if cfg.EnableFallback {
+		if cfg.Mode != ModeDVSync {
+			return fmt.Errorf("sim: fallback supervision requires D-VSync mode")
+		}
+		if err := cfg.Health.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	return nil
 }
@@ -267,7 +335,15 @@ func New(cfg Config) *System {
 	}
 
 	s := &System{cfg: cfg, engine: event.NewEngine()}
-	s.panel = display.NewPanel(s.engine, cfg.Panel)
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		s.inj = fault.NewInjector(*cfg.Faults)
+	}
+	panelCfg := cfg.Panel
+	if s.inj != nil {
+		panelCfg.EdgeDelay = s.inj.EdgeDelay
+		panelCfg.EdgeMiss = s.inj.EdgeMiss
+	}
+	s.panel = display.NewPanel(s.engine, panelCfg)
 	s.dist = signal.NewDistributor(s.engine, map[signal.Kind]simtime.Duration{
 		signal.VSyncApp: cfg.AppOffset,
 	})
@@ -277,6 +353,14 @@ func New(cfg Config) *System {
 		Height:  cfg.Panel.Height,
 	})
 	s.producer = pipeline.NewProducer(s.engine, s.queue, cfg.Trace)
+	if s.inj != nil {
+		s.dist.SetDelay(func(_ signal.Kind, at simtime.Time) simtime.Duration {
+			return s.inj.SignalDelay(at)
+		})
+		s.queue.SetAllocFault(func() bool { return s.inj.AllocFails(s.engine.Now()) })
+		s.producer.CostScale = s.inj.CostScale
+		s.panel.OnMissedEdge(s.onMissedEdge)
+	}
 
 	period := simtime.PeriodForHz(cfg.Panel.RefreshHz)
 	s.res.Mode = cfg.Mode
@@ -289,10 +373,16 @@ func New(cfg Config) *System {
 		if cfg.Predictor != nil {
 			s.ctl.RegisterPredictor(cfg.Predictor)
 		}
-		if cfg.DisableDVSync {
-			s.ctl.SetEnabled(false)
+		s.appSwitch = !cfg.DisableDVSync
+		if cfg.EnableFallback {
+			s.monitor = health.NewMonitor(cfg.Health)
 		}
-		s.fpe = core.NewFPE(core.FPEConfig{MaxAhead: cfg.PreRenderLimit}, (*fpeView)(s))
+		s.applyEnabled()
+		s.fpe = core.NewFPE(core.FPEConfig{
+			MaxAhead:      cfg.PreRenderLimit,
+			OverloadAfter: cfg.FPEOverloadAfter,
+			RecoverAfter:  cfg.FPERecoverAfter,
+		}, (*fpeView)(s))
 		s.producer.PerFrameOverhead = cfg.PerFrameOverhead
 		// DTV observes edges before the consumer latches at the same edge.
 		s.panel.OnEdge(func(now simtime.Time, seq uint64, p simtime.Duration) {
@@ -312,13 +402,73 @@ func New(cfg Config) *System {
 	if cfg.LTPOPolicy != nil {
 		s.ltpo = ltpo.NewCoordinator(cfg.LTPOPolicy, s.panel, (*pendingRates)(s))
 	}
-	if cfg.Recorder != nil {
-		s.producer.OnQueued = func(now simtime.Time, f *buffer.Frame) {
+	s.producer.OnQueued = func(now simtime.Time, f *buffer.Frame) {
+		if s.monitor != nil {
+			s.monitor.ObserveProgress(now)
+		}
+		if cfg.Recorder != nil {
 			cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameQueued, Frame: f.Seq,
 				Decoupled: f.Decoupled})
 		}
 	}
 	return s
+}
+
+// applyEnabled resolves the §4.5 switch position: the application's wish
+// gated by the fallback supervisor.
+func (s *System) applyEnabled() {
+	if s.ctl != nil {
+		s.ctl.SetEnabled(s.appSwitch && !s.fallbackActive)
+	}
+}
+
+// supervise evaluates the health monitor at a display edge and drives the
+// runtime switch on trip/recovery transitions.
+func (s *System) supervise(now simtime.Time) {
+	if s.monitor == nil {
+		return
+	}
+	busy := len(s.producer.Inflight()) > 0
+	tripped := s.monitor.Evaluate(now, busy)
+	if tripped == s.fallbackActive {
+		return
+	}
+	s.fallbackActive = tripped
+	s.applyEnabled()
+	to := ModeDVSync
+	if tripped {
+		to = ModeVSync
+	}
+	reason := s.monitor.LastReason()
+	s.res.Fallbacks = append(s.res.Fallbacks, FallbackRecord{At: now, To: to, Reason: reason})
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Fallback, Frame: -1,
+			Detail: fmt.Sprintf("to=%s reason=%s", to, reason)})
+	}
+}
+
+// onMissedEdge accounts a refresh the panel skipped under an injected fault:
+// the screen repeats the old frame, which is a jank whenever an update was
+// due, and the supervisor still evaluates (skipped refreshes are exactly
+// when degradation must be noticed).
+func (s *System) onMissedEdge(now simtime.Time, seq uint64, period simtime.Duration) {
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.EdgeMissed, Frame: -1, EdgeSeq: seq})
+	}
+	if s.queue.Front() != nil && !s.streamDone() {
+		key := false
+		if inflight := s.producer.OldestInflight(); inflight != nil {
+			key = inflight.UICost+inflight.RSCost > period
+		}
+		s.res.Janks = append(s.res.Janks, JankRecord{At: now, EdgeSeq: seq, KeyFrame: key})
+		if s.monitor != nil {
+			s.monitor.ObserveJank(now)
+		}
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
+		}
+	}
+	s.supervise(now)
 }
 
 // pendingRates adapts the queue and in-flight frames to ltpo.QueueView:
@@ -364,11 +514,11 @@ func (v *fpeView) HasPendingRequest() bool {
 }
 
 // StartFrame implements core.PipelineView.
-func (v *fpeView) StartFrame(now simtime.Time) {
+func (v *fpeView) StartFrame(now simtime.Time) bool {
 	s := (*System)(v)
 	ahead := s.producer.Ahead()
 	dts := s.dtv.DTimestamp(now, ahead)
-	s.startFrame(now, pipeline.StartRequest{
+	return s.startFrame(now, pipeline.StartRequest{
 		Index:       s.nextIdx,
 		ContentTime: dts,
 		DTimestamp:  dts,
@@ -377,8 +527,17 @@ func (v *fpeView) StartFrame(now simtime.Time) {
 	})
 }
 
-func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) {
-	f := s.producer.Start(now, req)
+// startFrame starts one frame, reporting false when the queue refused the
+// buffer (a transient allocation fault); the request stays pending and the
+// driver retries at its next trigger.
+func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) bool {
+	f := s.producer.TryStart(now, req)
+	if f == nil {
+		return false
+	}
+	if s.fpe != nil {
+		s.fpe.ObserveFrameCost(f.UICost+f.RSCost, s.res.Period)
+	}
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameStart, Frame: f.Seq,
 			Decoupled: f.Decoupled, DTimestamp: f.DTimestamp})
@@ -392,6 +551,7 @@ func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) {
 	} else {
 		s.res.VSyncPathFrames++
 	}
+	return true
 }
 
 // onAppTick is the VSync-app software signal handler: the classic trigger
@@ -406,11 +566,20 @@ func (s *System) onAppTick(ev signal.Event) {
 	}
 	if s.fpe != nil {
 		if s.cfg.RuntimeSwitch != nil {
-			s.ctl.SetEnabled(s.cfg.RuntimeSwitch(ev.At))
+			s.appSwitch = s.cfg.RuntimeSwitch(ev.At)
+			s.applyEnabled()
 		}
 		// D-VSync: decoupled frames are pumped; if the next frame is
 		// routed to the VSync path, trigger it on this tick.
 		s.fpe.Pump(ev.At)
+		if s.fallbackActive {
+			// Supervised fallback (§4.5): the app is back on classic VSync
+			// triggering, where the animation is time-based — under
+			// sustained overload missed slots are skipped exactly like the
+			// VSync baseline, instead of falling ever further behind.
+			s.vsyncTick(ev.At, n)
+			return
+		}
 		if s.nextIdx < n && !s.ctl.Decoupled(s.cfg.Trace.Costs[s.nextIdx].Class) &&
 			s.producer.UIFree(ev.At) && s.queue.CanDequeue() &&
 			s.producer.Ahead() < s.cfg.VSyncPipelineDepth {
@@ -422,28 +591,34 @@ func (s *System) onAppTick(ev signal.Event) {
 		}
 		return
 	}
+	s.vsyncTick(ev.At, n)
+}
 
-	// VSync baseline: the animation is time-based; the content slot for
-	// this tick is s.ticks. If production fell behind, the indices in
-	// between are skipped (the animation jumps), exactly like a real app
-	// missing Choreographer callbacks.
+// vsyncTick is the VSync-baseline production step: the animation is
+// time-based; the content slot for this tick is s.ticks. If production fell
+// behind, the indices in between are skipped (the animation jumps), exactly
+// like a real app missing Choreographer callbacks.
+func (s *System) vsyncTick(at simtime.Time, n int) {
 	target := s.ticks
 	if target >= n {
 		target = n - 1
 	}
 	if target < s.nextIdx {
-		return // already produced this slot (cannot happen: 1 start/tick)
+		return // already produced this slot (or decoupled production ran ahead)
 	}
-	if !s.producer.UIFree(ev.At) || !s.queue.CanDequeue() ||
+	if !s.producer.UIFree(at) || !s.queue.CanDequeue() ||
 		s.producer.Ahead() >= s.cfg.VSyncPipelineDepth {
 		return // blocked: this slot's content will be skipped
 	}
-	s.res.Skipped += target - s.nextIdx
-	s.startFrame(ev.At, pipeline.StartRequest{
+	skipped := target - s.nextIdx
+	if !s.startFrame(at, pipeline.StartRequest{
 		Index:       target,
-		ContentTime: ev.At,
+		ContentTime: at,
 		RateHz:      s.frameRate(),
-	})
+	}) {
+		return // allocation fault: retry at the next tick
+	}
+	s.res.Skipped += skipped
 }
 
 // frameRate is the rate new frames are produced for: the LTPO render rate
@@ -497,6 +672,13 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		if s.fpe != nil {
 			if f.Decoupled {
 				s.dtv.RecordPresent(f.DTimestamp, f.PresentAt)
+				if s.monitor != nil {
+					errAbs := f.PresentAt.Sub(f.DTimestamp)
+					if errAbs < 0 {
+						errAbs = -errAbs
+					}
+					s.monitor.ObserveCalibError(now, errAbs.Milliseconds())
+				}
 			}
 			// The latch freed the previous front buffer: a slot opened.
 			s.fpe.Pump(now)
@@ -507,10 +689,14 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 			key = inflight.UICost+inflight.RSCost > period
 		}
 		s.res.Janks = append(s.res.Janks, JankRecord{At: now, EdgeSeq: seq, KeyFrame: key})
+		if s.monitor != nil {
+			s.monitor.ObserveJank(now)
+		}
 		if s.cfg.Recorder != nil {
 			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
 		}
 	}
+	s.supervise(now)
 
 	if s.ltpo != nil {
 		prev := s.panel.RefreshHz()
@@ -588,6 +774,20 @@ func (s *System) Run() *Result {
 		s.res.FPEStarts = s.fpe.Starts()
 		s.res.FPEPreStarts = s.fpe.PreStarts()
 		s.res.FPESyncBlocks = s.fpe.SyncBlocks()
+		s.res.FPEBackoffs = s.fpe.Backoffs()
+		s.res.FPEStartFailures = s.fpe.StartFailures()
+	}
+	if s.dtv != nil {
+		s.res.DTVReAnchors = s.dtv.ReAnchors()
+		s.res.DTVMissedEdges = s.dtv.MissedEdges()
+	}
+	if s.inj != nil {
+		s.res.FaultCounters = s.inj.Counters()
+	}
+	s.res.MissedEdges = int(s.panel.Missed())
+	s.res.AllocFailed = st.AllocFailed
+	if err := s.engine.Err(); err != nil {
+		s.res.WatchdogTripped = err.Error()
 	}
 	if s.res.LastLatch > s.res.FirstLatch {
 		s.res.EdgesInWindow = len(s.res.Presented) - 1 + len(s.res.Janks)

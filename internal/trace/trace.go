@@ -33,6 +33,12 @@ const (
 	Jank EventKind = "jank"
 	// RateChange marks an LTPO refresh-rate switch.
 	RateChange EventKind = "rate-change"
+	// Fallback marks a supervised runtime switch between D-VSync and VSync
+	// (the §4.5 channel driven by the health monitor).
+	Fallback EventKind = "fallback"
+	// EdgeMissed marks a refresh the panel skipped under an injected
+	// missed-VSync fault.
+	EdgeMissed EventKind = "edge-missed"
 )
 
 // Event is one trace record. Fields are denormalised for easy filtering.
@@ -51,6 +57,8 @@ type Event struct {
 	EdgeSeq uint64 `json:"edge,omitempty"`
 	// Hz is the refresh rate for RateChange events.
 	Hz int `json:"hz,omitempty"`
+	// Detail carries event-specific context (fallback direction and reason).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Recorder accumulates events in timestamp order (append order must be

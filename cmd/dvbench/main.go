@@ -6,8 +6,13 @@
 //	dvbench                 # run every experiment
 //	dvbench -exp fig11      # run one experiment
 //	dvbench -quick          # reduced configurations where available (CI smoke)
+//	dvbench -workers 4      # bound the parallel runner (1 = serial legacy path)
 //	dvbench -list           # list experiment IDs
 //	dvbench -csv results/   # also export every table as CSV
+//
+// Experiments fan replica simulations out over a deterministic worker pool
+// (internal/par); the output is byte-identical at any -workers value, only
+// the wall-clock changes.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strconv"
 
 	"dvsync"
+	"dvsync/internal/par"
 )
 
 func main() {
@@ -25,7 +31,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	quick := flag.Bool("quick", false, "use reduced experiment configurations where available")
 	csvDir := flag.String("csv", "", "directory to export tables as CSV files")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	par.SetWorkers(*workers)
 
 	if *list {
 		for _, e := range dvsync.Experiments() {

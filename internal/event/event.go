@@ -126,6 +126,16 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 
+	// free recycles dispatched agenda items: a simulation schedules one
+	// event per pipeline hop per frame, and without the free list every
+	// hop is a fresh allocation. Items enter after dispatch or canceled
+	// removal and are reused by At.
+	free []*item
+	// ncanceled counts canceled items still sitting in the heap; when they
+	// dominate, Cancel compacts the agenda instead of waiting for the pops
+	// to wash them out (tickers under Reschedule churn generate many).
+	ncanceled int
+
 	instantLimit int
 	instantAt    simtime.Time
 	instantFired int
@@ -175,10 +185,28 @@ func (e *Engine) At(at simtime.Time, prio Priority, fn Handler) ID {
 	}
 	e.nextID++
 	e.seq++
-	it := &item{at: at, prio: prio, seq: e.seq, id: e.nextID, fn: fn}
+	var it *item
+	if n := len(e.free); n > 0 {
+		it = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*it = item{at: at, prio: prio, seq: e.seq, id: e.nextID, fn: fn}
+	} else {
+		it = &item{at: at, prio: prio, seq: e.seq, id: e.nextID, fn: fn}
+	}
 	heap.Push(&e.events, it)
 	e.byID[it.id] = it
 	return it.id
+}
+
+// recycle returns an item to the free list. The caller guarantees it has
+// been removed from both the heap and byID. The handler reference is
+// dropped so the closure (and whatever it captures) is not kept alive by
+// the pool.
+func (e *Engine) recycle(it *item) {
+	it.fn = nil
+	it.canceled = false
+	e.free = append(e.free, it)
 }
 
 // After schedules fn to run d after the current time.
@@ -198,7 +226,39 @@ func (e *Engine) Cancel(id ID) bool {
 	}
 	it.canceled = true
 	delete(e.byID, id)
+	e.ncanceled++
+	// Lazy compaction: canceled items normally wash out as the heap pops
+	// them, but workloads that cancel far ahead of the clock (LTPO tickers
+	// under Reschedule) can let tombstones dominate the agenda. Rebuilding
+	// only removes items the comparator would have skipped anyway — the
+	// (at, prio, seq) order of live items is total, so dispatch order is
+	// unchanged.
+	if e.ncanceled > 64 && e.ncanceled*2 > len(e.events) {
+		e.compact()
+	}
 	return true
+}
+
+// compact removes canceled tombstones from the agenda and restores the
+// heap invariant over the survivors.
+func (e *Engine) compact() {
+	kept := e.events[:0]
+	for _, it := range e.events {
+		if it.canceled {
+			e.recycle(it)
+			continue
+		}
+		kept = append(kept, it)
+	}
+	for i := len(kept); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = kept
+	for i, it := range e.events {
+		it.index = i
+	}
+	heap.Init(&e.events)
+	e.ncanceled = 0
 }
 
 // Stop makes the current Run call return once the in-flight event handler
@@ -211,6 +271,8 @@ func (e *Engine) step() bool {
 	for len(e.events) > 0 {
 		it := heap.Pop(&e.events).(*item)
 		if it.canceled {
+			e.ncanceled--
+			e.recycle(it)
 			continue
 		}
 		delete(e.byID, it.id)
@@ -221,16 +283,21 @@ func (e *Engine) step() bool {
 			e.instantAt, e.instantFired = it.at, 1
 		}
 		e.fired++
-		it.fn(it.at)
+		fn, at, prio, seq, id := it.fn, it.at, it.prio, it.seq, it.id
+		// Recycle before dispatch: the handler may schedule new events, and
+		// letting it reuse this slot keeps the steady-state agenda footprint
+		// at the live-event count. All fields needed afterwards were copied.
+		e.recycle(it)
+		fn(at)
 		if e.instantFired >= e.instantLimit && e.wderr == nil {
 			// The clock has not advanced for instantLimit dispatches: a
 			// zero-delay scheduling loop. Record the offender and halt.
 			e.wderr = &WatchdogError{
-				At:           it.at,
+				At:           at,
 				Dispatched:   e.instantFired,
-				LastPriority: it.prio,
-				LastSeq:      it.seq,
-				LastID:       it.id,
+				LastPriority: prio,
+				LastSeq:      seq,
+				LastID:       id,
 			}
 			e.stopped = true
 		}
@@ -268,7 +335,8 @@ func (e *Engine) RunAll() { e.Run(simtime.Never) }
 func (e *Engine) peekTime() (simtime.Time, bool) {
 	for len(e.events) > 0 {
 		if e.events[0].canceled {
-			heap.Pop(&e.events)
+			e.ncanceled--
+			e.recycle(heap.Pop(&e.events).(*item))
 			continue
 		}
 		return e.events[0].at, true
@@ -286,6 +354,7 @@ type Ticker struct {
 	period  simtime.Duration
 	prio    Priority
 	fn      Handler
+	tick    Handler // the reusable per-tick handler; one allocation per ticker
 	pending ID
 	active  bool
 	ticks   uint64
@@ -296,7 +365,18 @@ func NewTicker(e *Engine, period simtime.Duration, prio Priority, fn Handler) *T
 	if period <= 0 {
 		panic("event: non-positive ticker period")
 	}
-	return &Ticker{engine: e, period: period, prio: prio, fn: fn}
+	t := &Ticker{engine: e, period: period, prio: prio, fn: fn}
+	t.tick = func(now simtime.Time) {
+		if !t.active {
+			return
+		}
+		t.ticks++
+		// Schedule the successor before running the handler so the handler
+		// may adjust the period (LTPO) and see a consistent "next" slot.
+		t.schedule(now.Add(t.period))
+		t.fn(now)
+	}
+	return t
 }
 
 // Start schedules the first tick at the given instant. Starting an active
@@ -310,16 +390,7 @@ func (t *Ticker) Start(first simtime.Time) {
 }
 
 func (t *Ticker) schedule(at simtime.Time) {
-	t.pending = t.engine.At(at, t.prio, func(now simtime.Time) {
-		if !t.active {
-			return
-		}
-		t.ticks++
-		// Schedule the successor before running the handler so the handler
-		// may adjust the period (LTPO) and see a consistent "next" slot.
-		t.schedule(now.Add(t.period))
-		t.fn(now)
-	})
+	t.pending = t.engine.At(at, t.prio, t.tick)
 }
 
 // Stop cancels any pending tick.

@@ -9,6 +9,7 @@ import (
 	"dvsync/internal/core"
 	"dvsync/internal/input"
 	"dvsync/internal/ipl"
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -46,11 +47,14 @@ func AblatePreRenderLimit() *PreRenderLimitResult {
 	dev := scenarios.Pixel5
 	p := scenarios.BaseProfile("ablate-limit", dev, scenarios.Moderate, workload.Deterministic)
 	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
-	for limit := 1; limit <= 4; limit++ {
-		r := sim.Run(sim.Config{
+	runs := par.Map(4, func(i int) *sim.Result {
+		return sim.Run(sim.Config{
 			Mode: sim.ModeDVSync, Panel: dev.Panel(), Buffers: 5,
-			PreRenderLimit: limit, Trace: tr,
+			PreRenderLimit: i + 1, Trace: tr,
 		})
+	})
+	for i, r := range runs {
+		limit := i + 1
 		res.FDPS[limit] = r.FDPS()
 		res.LatencyMs[limit] = r.LatencySummary().Mean
 		res.Table.AddRow(strconv.Itoa(limit), r.FDPS(), r.LatencySummary().Mean,
@@ -86,14 +90,18 @@ func AblateDTVCalibration() *DTVCalibrationResult {
 	panel.JitterStdDev = simtime.FromMicros(80)
 	panel.JitterSeed = 11
 	panel.PeriodSkewPPM = 300
-	for _, every := range []int{2, 4, 16, 64, 0} {
-		cfg := core.DTVConfig{CalibrateEvery: every, PeriodSmoothing: 0.25}
-		if every == 0 {
+	intervals := []int{2, 4, 16, 64, 0}
+	runs := par.Map(len(intervals), func(i int) *sim.Result {
+		cfg := core.DTVConfig{CalibrateEvery: intervals[i], PeriodSmoothing: 0.25}
+		if intervals[i] == 0 {
 			cfg.CalibrateEvery = 1 << 30 // effectively never
 		}
-		r := sim.Run(sim.Config{
+		return sim.Run(sim.Config{
 			Mode: sim.ModeDVSync, Panel: panel, Buffers: 5, Trace: tr, DTV: cfg,
 		})
+	})
+	for i, r := range runs {
+		every := intervals[i]
 		res.MeanAbsErrMs[every] = r.DTVMeanAbsErrMs
 		label := strconv.Itoa(every)
 		if every == 0 {
@@ -191,11 +199,14 @@ func AblateVSyncPipelineDepth() *PipelineDepthResult {
 	dev := scenarios.Pixel5
 	p := scenarios.BaseProfile("ablate-depth", dev, scenarios.Moderate, workload.Deterministic)
 	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
-	for depth := 1; depth <= 4; depth++ {
-		r := sim.Run(sim.Config{
+	runs := par.Map(4, func(i int) *sim.Result {
+		return sim.Run(sim.Config{
 			Mode: sim.ModeVSync, Panel: dev.Panel(), Buffers: 5,
-			VSyncPipelineDepth: depth, Trace: tr,
+			VSyncPipelineDepth: i + 1, Trace: tr,
 		})
+	})
+	for i, r := range runs {
+		depth := i + 1
 		res.FDPS[depth] = r.FDPS()
 		res.LatencyMs[depth] = r.LatencySummary().Mean
 		res.Table.AddRow(strconv.Itoa(depth), r.FDPS(), r.LatencySummary().Mean)
@@ -248,8 +259,8 @@ func AblateDTVPacing() *PacingResult {
 		}
 		return a.Pacing(at, vals)
 	}
-	dtv := run(true)
-	naive := run(false)
+	reports := par.Map(2, func(i int) anim.PacingReport { return run(i == 0) })
+	dtv, naive := reports[0], reports[1]
 	res.WithDTV, res.WithExecTime = dtv.MaxAbsError, naive.MaxAbsError
 	res.Table.AddRow("D-Timestamp (DTV)", dtv.MaxAbsError, dtv.RMSError)
 	res.Table.AddRow("execution time (naive)", naive.MaxAbsError, naive.RMSError)
@@ -279,25 +290,36 @@ func AblateConsumerPolicy() *ConsumerPolicyResult {
 	dev := scenarios.Pixel5
 	p := scenarios.BaseProfile("ablate-consumer", dev, scenarios.Moderate, workload.Deterministic)
 	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
+	type combo struct {
+		mode sim.Mode
+		drop bool
+	}
+	var combos []combo
 	for _, mode := range []sim.Mode{sim.ModeVSync, sim.ModeDVSync} {
 		for _, drop := range []bool{false, true} {
-			buffers := 3
-			if mode == sim.ModeDVSync {
-				buffers = 4
-			}
-			r := sim.Run(sim.Config{
-				Mode: mode, Panel: dev.Panel(), Buffers: buffers,
-				Trace: tr, DropStaleBuffers: drop,
-			})
-			policy := "FIFO"
-			if drop {
-				policy = "drop-stale"
-			}
-			key := mode.String() + "/" + policy
-			res.Rows[key] = [3]float64{r.FDPS(), r.LatencySummary().Mean, float64(r.StaleDropped)}
-			res.Table.AddRow(mode.String(), policy, r.FDPS(), r.LatencySummary().Mean,
-				strconv.Itoa(r.StaleDropped))
+			combos = append(combos, combo{mode, drop})
 		}
+	}
+	runs := par.Map(len(combos), func(i int) *sim.Result {
+		buffers := 3
+		if combos[i].mode == sim.ModeDVSync {
+			buffers = 4
+		}
+		return sim.Run(sim.Config{
+			Mode: combos[i].mode, Panel: dev.Panel(), Buffers: buffers,
+			Trace: tr, DropStaleBuffers: combos[i].drop,
+		})
+	})
+	for i, r := range runs {
+		mode, drop := combos[i].mode, combos[i].drop
+		policy := "FIFO"
+		if drop {
+			policy = "drop-stale"
+		}
+		key := mode.String() + "/" + policy
+		res.Rows[key] = [3]float64{r.FDPS(), r.LatencySummary().Mean, float64(r.StaleDropped)}
+		res.Table.AddRow(mode.String(), policy, r.FDPS(), r.LatencySummary().Mean,
+			strconv.Itoa(r.StaleDropped))
 	}
 	return res
 }
@@ -329,12 +351,16 @@ func AblateAppOffset() *AppOffsetResult {
 	period := dev.Period()
 	p := scenarios.BaseProfile("ablate-offset", dev, scenarios.Moderate, workload.Deterministic)
 	tr := CalibrateFDPS(p, 1000, dev, dev.Buffers, 2.0, Seed)
-	for _, pct := range []int{0, 20, 40, 60} {
-		off := simtime.Duration(int64(period) * int64(pct) / 100)
-		r := sim.Run(sim.Config{
+	pcts := []int{0, 20, 40, 60}
+	runs := par.Map(len(pcts), func(i int) *sim.Result {
+		off := simtime.Duration(int64(period) * int64(pcts[i]) / 100)
+		return sim.Run(sim.Config{
 			Mode: sim.ModeVSync, Panel: dev.Panel(), Buffers: dev.Buffers,
 			Trace: tr, AppOffset: off,
 		})
+	})
+	for i, r := range runs {
+		pct := pcts[i]
 		// Input age = present − trigger: triggering later in the period
 		// trims the age by the offset.
 		var age float64

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"dvsync/internal/autotest"
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -22,8 +23,16 @@ type CensusResult struct {
 // cases compiled to operation scripts and executed under both
 // architectures on Mate 60 Pro — the §3.2 methodology made runnable.
 func Census() *CensusResult {
-	v := autotest.RunCensus(scenarios.Mate60Pro, sim.ModeVSync, Seed)
-	d := autotest.RunCensus(scenarios.Mate60Pro, sim.ModeDVSync, Seed)
+	// The two architectures are independent replays of the same catalog;
+	// each inner RunCensus additionally fans its 75 cases out through par.
+	runs := par.Map(2, func(i int) *autotest.Census {
+		mode := sim.ModeVSync
+		if i == 1 {
+			mode = sim.ModeDVSync
+		}
+		return autotest.RunCensus(scenarios.Mate60Pro, mode, Seed)
+	})
+	v, d := runs[0], runs[1]
 	res := &CensusResult{
 		Table: &report.Table{
 			Title: "Appendix A census — all 75 OS use cases on Mate 60 Pro (5 runs each)",

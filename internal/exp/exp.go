@@ -13,8 +13,9 @@ package exp
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
+	"dvsync/internal/par"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
 	"dvsync/internal/workload"
@@ -62,9 +63,33 @@ type calibration struct {
 	scale float64 // cost multiplier (1 unless the rate ceiling was hit)
 }
 
+// calibMap is the memoised (scenario, device, buffers) → calibration view.
+type calibMap map[string]calibration
+
 // calibCache memoises calibrations: several experiments (Figures 5, 6, 15,
 // §6.7) reuse the same scenario sets, and calibration dominates their cost.
-var calibCache sync.Map // string → calibration
+// It is a mutex-free copy-on-write map: lookups are one atomic load, and a
+// miss publishes by CAS-swapping a copied map. Concurrent par.Map jobs may
+// race to compute the same entry, but calibration is deterministic, so
+// whichever copy publishes first is identical to the losers' — the cache
+// never affects results, only how often the search runs.
+var calibCache atomic.Pointer[calibMap]
+
+// calibSearches counts full (uncached) calibration searches — the test
+// hook asserting the memoisation contract.
+var calibSearches atomic.Int64
+
+func init() {
+	m := calibMap{}
+	calibCache.Store(&m)
+}
+
+// resetCalibCache empties the cache and search counter (tests only).
+func resetCalibCache() {
+	m := calibMap{}
+	calibCache.Store(&m)
+	calibSearches.Store(0)
+}
 
 func calibKey(p workload.Profile, frames int, dev scenarios.Device, buffers int,
 	target float64, seed int64) string {
@@ -86,25 +111,43 @@ func calibrateParams(p workload.Profile, frames int, dev scenarios.Device, buffe
 		return calibration{ratio: 0.01, scale: 1}
 	}
 	key := calibKey(p, frames, dev, buffers, target, seed)
-	if c, ok := calibCache.Load(key); ok {
-		return c.(calibration)
+	if c, ok := (*calibCache.Load())[key]; ok {
+		return c
 	}
 	c := calibrateParamsUncached(p, frames, dev, buffers, target, seed)
-	calibCache.Store(key, c)
-	return c
+	for {
+		old := calibCache.Load()
+		if prev, ok := (*old)[key]; ok {
+			return prev // a concurrent job published first; values agree
+		}
+		next := make(calibMap, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+		next[key] = c
+		if calibCache.CompareAndSwap(old, &next) {
+			return c
+		}
+	}
 }
 
 func calibrateParamsUncached(p workload.Profile, frames int, dev scenarios.Device, buffers int,
 	target float64, seed int64) calibration {
+	calibSearches.Add(1)
 	const maxRatio = 0.30
 	// The search matches the *replica mean* — the quantity the experiments
-	// report — so the five-run averages land on the measured baselines.
+	// report — so the five-run averages land on the measured baselines. The
+	// replicas fan out through par.Map; summing the returned slice in index
+	// order keeps the mean bit-identical to the serial loop.
 	measureRatio := func(ratio float64) float64 {
 		q := p
 		q.LongRatio = ratio
+		vals := par.Map(Replicas, func(i int) float64 {
+			return VSyncRun(q.Generate(frames, seed+int64(i)), dev, buffers).FDPS()
+		})
 		var sum float64
-		for i := int64(0); i < Replicas; i++ {
-			sum += VSyncRun(q.Generate(frames, seed+i), dev, buffers).FDPS()
+		for _, v := range vals {
+			sum += v
 		}
 		return sum / Replicas
 	}
@@ -120,9 +163,12 @@ func calibrateParamsUncached(p workload.Profile, frames int, dev scenarios.Devic
 		bases[i] = q.Generate(frames, seed+int64(i))
 	}
 	measureScale := func(s float64) float64 {
+		vals := par.Map(len(bases), func(i int) float64 {
+			return VSyncRun(bases[i].Scale(s), dev, buffers).FDPS()
+		})
 		var sum float64
-		for _, b := range bases {
-			sum += VSyncRun(b.Scale(s), dev, buffers).FDPS()
+		for _, v := range vals {
+			sum += v
 		}
 		return sum / Replicas
 	}
@@ -158,11 +204,16 @@ func CalibrateReplicas(p workload.Profile, frames int, dev scenarios.Device, buf
 	return out
 }
 
-// avgFDPS measures mean FDPS across replica traces.
+// avgFDPS measures mean FDPS across replica traces. Replicas run through
+// par.Map and are summed serially in index order, so the mean matches the
+// legacy serial loop exactly at any worker count.
 func avgFDPS(traces []*workload.Trace, run func(*workload.Trace) *sim.Result) float64 {
+	vals := par.Map(len(traces), func(i int) float64 {
+		return run(traces[i]).FDPS()
+	})
 	var sum float64
-	for _, tr := range traces {
-		sum += run(tr).FDPS()
+	for _, v := range vals {
+		sum += v
 	}
 	return sum / float64(len(traces))
 }

@@ -14,6 +14,7 @@ import (
 	"dvsync/internal/health"
 	"dvsync/internal/input"
 	"dvsync/internal/ipl"
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -107,38 +108,53 @@ func Faults(quick bool) *FaultsResult {
 	fStart := simtime.Time(simtime.Second)
 	fEnd := simtime.Time(60 * simtime.Second)
 
+	// One par.Map job per (class, severity) cell. The replica loop inside
+	// each job keeps its serial accumulation order, so every cell's
+	// floating-point arithmetic is identical to the legacy nested loops and
+	// the rendered matrix is byte-identical at any worker count.
+	type cell struct {
+		cls string
+		sev float64
+	}
+	var cells []cell
 	for _, cls := range SimFaultClasses() {
 		for _, sev := range sevs {
-			pt := FaultsPoint{Class: cls, Severity: sev}
-			for r := 0; r < replicas; r++ {
-				tr := faultsWorkload(frames, 1234+int64(r))
-				fcfg, err := fault.Scenario(cls, sev, fStart, fEnd, 7000+int64(r))
-				if err != nil {
-					panic(err) // classes and severities are from our own grids
-				}
-				v := sim.Run(sim.Config{Mode: sim.ModeVSync, Panel: faultPanel(),
-					Buffers: 3, Trace: tr, Faults: fcfg})
-				d := sim.Run(sim.Config{Mode: sim.ModeDVSync, Panel: faultPanel(),
-					Buffers: 5, Trace: tr, Faults: fcfg})
-				fb := sim.Run(hardenedConfig(tr, fcfg))
-				pt.VSyncFDPS += v.FDPS() / float64(replicas)
-				pt.DVSyncFDPS += d.FDPS() / float64(replicas)
-				pt.FallbackFDPS += fb.FDPS() / float64(replicas)
-				pt.VSyncLatMs += v.LatencySummary().Mean / float64(replicas)
-				pt.DVSyncLatMs += d.LatencySummary().Mean / float64(replicas)
-				pt.FallbackLatMs += fb.LatencySummary().Mean / float64(replicas)
-				pt.FallbackTransitions += len(fb.Fallbacks)
-			}
-			res.Points = append(res.Points, pt)
-			res.Table.AddRow(pt.Class, fmt.Sprintf("%.2f", pt.Severity),
-				fmt.Sprintf("%.2f", pt.VSyncFDPS),
-				fmt.Sprintf("%.2f", pt.DVSyncFDPS),
-				fmt.Sprintf("%.2f", pt.FallbackFDPS),
-				fmt.Sprintf("%.1f", pt.VSyncLatMs),
-				fmt.Sprintf("%.1f", pt.DVSyncLatMs),
-				fmt.Sprintf("%.1f", pt.FallbackLatMs),
-				pt.FallbackTransitions)
+			cells = append(cells, cell{cls, sev})
 		}
+	}
+	pts := par.Map(len(cells), func(ci int) FaultsPoint {
+		pt := FaultsPoint{Class: cells[ci].cls, Severity: cells[ci].sev}
+		for r := 0; r < replicas; r++ {
+			tr := faultsWorkload(frames, 1234+int64(r))
+			fcfg, err := fault.Scenario(pt.Class, pt.Severity, fStart, fEnd, 7000+int64(r))
+			if err != nil {
+				panic(err) // classes and severities are from our own grids
+			}
+			v := sim.Run(sim.Config{Mode: sim.ModeVSync, Panel: faultPanel(),
+				Buffers: 3, Trace: tr, Faults: fcfg})
+			d := sim.Run(sim.Config{Mode: sim.ModeDVSync, Panel: faultPanel(),
+				Buffers: 5, Trace: tr, Faults: fcfg})
+			fb := sim.Run(hardenedConfig(tr, fcfg))
+			pt.VSyncFDPS += v.FDPS() / float64(replicas)
+			pt.DVSyncFDPS += d.FDPS() / float64(replicas)
+			pt.FallbackFDPS += fb.FDPS() / float64(replicas)
+			pt.VSyncLatMs += v.LatencySummary().Mean / float64(replicas)
+			pt.DVSyncLatMs += d.LatencySummary().Mean / float64(replicas)
+			pt.FallbackLatMs += fb.LatencySummary().Mean / float64(replicas)
+			pt.FallbackTransitions += len(fb.Fallbacks)
+		}
+		return pt
+	})
+	for _, pt := range pts {
+		res.Points = append(res.Points, pt)
+		res.Table.AddRow(pt.Class, fmt.Sprintf("%.2f", pt.Severity),
+			fmt.Sprintf("%.2f", pt.VSyncFDPS),
+			fmt.Sprintf("%.2f", pt.DVSyncFDPS),
+			fmt.Sprintf("%.2f", pt.FallbackFDPS),
+			fmt.Sprintf("%.1f", pt.VSyncLatMs),
+			fmt.Sprintf("%.1f", pt.DVSyncLatMs),
+			fmt.Sprintf("%.1f", pt.FallbackLatMs),
+			pt.FallbackTransitions)
 	}
 	res.InputTable = inputFaultTable(sevs)
 	return res
@@ -175,24 +191,32 @@ func inputFaultTable(sevs []float64) *report.Table {
 		Settle: 900 * simtime.Millisecond}
 	samples := input.Digitizer{RateHz: 120}.Samples(traj)
 	period := simtime.PeriodForHz(60)
+	type icell struct {
+		cls string
+		sev float64
+	}
+	var cells []icell
 	for _, cls := range []string{"input-drop", "input-burst"} {
 		for _, sev := range sevs {
-			fcfg, err := fault.Scenario(cls, sev, 0, traj.End()+1, 31)
-			if err != nil {
-				panic(err)
-			}
-			var perturbed []input.Sample
-			if fcfg.Enabled() {
-				perturbed = input.Perturb(samples, fault.NewInjector(*fcfg))
-			} else {
-				perturbed = samples
-			}
-			hist := coreSamples(perturbed)
-			kal := meanPredErr(ipl.Kalman{}, hist, traj, period)
-			last := meanPredErr(ipl.LastValue{}, hist, traj, period)
-			tbl.AddRow(cls, fmt.Sprintf("%.2f", sev),
-				fmt.Sprintf("%.1f", kal), fmt.Sprintf("%.1f", last))
+			cells = append(cells, icell{cls, sev})
 		}
+	}
+	errs := par.Map(len(cells), func(i int) [2]float64 {
+		fcfg, err := fault.Scenario(cells[i].cls, cells[i].sev, 0, traj.End()+1, 31)
+		if err != nil {
+			panic(err)
+		}
+		perturbed := samples
+		if fcfg.Enabled() {
+			perturbed = input.Perturb(samples, fault.NewInjector(*fcfg))
+		}
+		hist := coreSamples(perturbed)
+		return [2]float64{meanPredErr(ipl.Kalman{}, hist, traj, period),
+			meanPredErr(ipl.LastValue{}, hist, traj, period)}
+	})
+	for i, e := range errs {
+		tbl.AddRow(cells[i].cls, fmt.Sprintf("%.2f", cells[i].sev),
+			fmt.Sprintf("%.1f", e[0]), fmt.Sprintf("%.1f", e[1]))
 	}
 	return tbl
 }

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"dvsync/internal/ipl"
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -52,7 +53,11 @@ func Fig11() *FDPSResult {
 		AvgDVSync: map[int]float64{},
 	}
 	dev := scenarios.Pixel5
-	for _, app := range scenarios.Apps() {
+	apps := scenarios.Apps()
+	// One par.Map job per app: each job calibrates and measures its own
+	// scenario, the table is assembled serially in catalog order below.
+	rows := par.Map(len(apps), func(i int) FDPSRow {
+		app := apps[i]
 		reps := CalibrateReplicas(app.Profile(), scenarios.AppFrames, dev, dev.Buffers,
 			app.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: app.Name, DVSync: map[int]float64{}}
@@ -65,8 +70,11 @@ func Fig11() *FDPSResult {
 				return DVSyncRun(tr, dev, b)
 			})
 		}
+		return row
+	})
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
-		res.Table.AddRow(app.Name, row.Baseline, row.DVSync[4], row.DVSync[5], row.DVSync[7])
+		res.Table.AddRow(row.Name, row.Baseline, row.DVSync[4], row.DVSync[5], row.DVSync[7])
 	}
 	res.finishAverages(scenarios.AppBufferSweep)
 	res.Table.AddRow("average", res.AvgBaseline, res.AvgDVSync[4], res.AvgDVSync[5], res.AvgDVSync[7])
@@ -103,7 +111,8 @@ func caseFigure(title string, dev scenarios.Device, cases []scenarios.CaseRun) *
 		},
 		AvgDVSync: map[int]float64{},
 	}
-	for _, c := range cases {
+	rows := par.Map(len(cases), func(i int) FDPSRow {
+		c := cases[i]
 		reps := CalibrateReplicas(c.Profile(dev), scenarios.UseCaseFrames, dev, dev.Buffers,
 			c.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: c.Case.Abbrev, DVSync: map[int]float64{}}
@@ -113,8 +122,11 @@ func caseFigure(title string, dev scenarios.Device, cases []scenarios.CaseRun) *
 		row.DVSync[dev.Buffers] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
 			return DVSyncRun(tr, dev, dev.Buffers)
 		})
+		return row
+	})
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
-		res.Table.AddRow(c.Case.Abbrev, row.Baseline, row.DVSync[dev.Buffers])
+		res.Table.AddRow(row.Name, row.Baseline, row.DVSync[dev.Buffers])
 	}
 	res.finishAverages([]int{dev.Buffers})
 	res.Table.AddRow("average", res.AvgBaseline, res.AvgDVSync[dev.Buffers])
@@ -153,7 +165,9 @@ func Fig14() *FDPSResult {
 		},
 		AvgDVSync: map[int]float64{},
 	}
-	for _, g := range scenarios.Games() {
+	games := scenarios.Games()
+	rows := par.Map(len(games), func(i int) FDPSRow {
+		g := games[i]
 		dev := scenarios.Mate60Pro
 		dev.RefreshHz = g.RateHz
 		reps := CalibrateReplicas(g.Profile(), scenarios.GameFrames, dev, 3, g.PaperVSyncFDPS, Seed)
@@ -168,8 +182,11 @@ func Fig14() *FDPSResult {
 				return DVSyncRun(tr, dev, b, aware)
 			})
 		}
+		return row
+	})
+	for i, row := range rows {
 		res.Rows = append(res.Rows, row)
-		res.Table.AddRow(g.Name, strconv.Itoa(g.RateHz)+" Hz", row.Baseline, row.DVSync[4], row.DVSync[5])
+		res.Table.AddRow(row.Name, strconv.Itoa(games[i].RateHz)+" Hz", row.Baseline, row.DVSync[4], row.DVSync[5])
 	}
 	res.finishAverages([]int{4, 5})
 	res.Table.AddRow("average", "", res.AvgBaseline, res.AvgDVSync[4], res.AvgDVSync[5])
@@ -188,7 +205,9 @@ func Chromium() *FDPSResult {
 		AvgDVSync: map[int]float64{},
 	}
 	dev := scenarios.Mate60Pro
-	for _, p := range scenarios.BrowserPages() {
+	pages := scenarios.BrowserPages()
+	rows := par.Map(len(pages), func(i int) FDPSRow {
+		p := pages[i]
 		reps := CalibrateReplicas(p.Profile(), scenarios.BrowserFrames, dev, dev.Buffers,
 			p.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: p.Name, DVSync: map[int]float64{}}
@@ -199,8 +218,11 @@ func Chromium() *FDPSResult {
 			return DVSyncRun(tr, dev, dev.Buffers,
 				func(c *sim.Config) { c.Predictor = ipl.Linear{} })
 		})
+		return row
+	})
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
-		res.Table.AddRow(p.Name, row.Baseline, row.DVSync[dev.Buffers])
+		res.Table.AddRow(row.Name, row.Baseline, row.DVSync[dev.Buffers])
 	}
 	res.finishAverages([]int{dev.Buffers})
 	res.Table.AddRow("average", res.AvgBaseline, res.AvgDVSync[dev.Buffers])

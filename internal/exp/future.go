@@ -3,6 +3,7 @@ package exp
 import (
 	"strconv"
 
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -44,15 +45,19 @@ func Future() *FutureResult {
 	for _, hz := range []int{90, 120, 144, 165} {
 		dev := scenarios.Mate60Pro
 		dev.RefreshHz = hz
-		var vSum, dSum, vPct, dPct float64
-		for i := int64(0); i < Replicas; i++ {
-			tr := base.Generate(900, Seed+i)
+		type rep struct{ v, d, vPct, dPct float64 }
+		reps := par.Map(Replicas, func(i int) rep {
+			tr := base.Generate(900, Seed+int64(i))
 			v := VSyncRun(tr, dev, 4)
 			d := sim.Run(sim.Config{Mode: sim.ModeDVSync, Panel: dev.Panel(), Buffers: 5, Trace: tr})
-			vSum += v.FDPS()
-			dSum += d.FDPS()
-			vPct += v.Jank().DropPercent()
-			dPct += d.Jank().DropPercent()
+			return rep{v.FDPS(), d.FDPS(), v.Jank().DropPercent(), d.Jank().DropPercent()}
+		})
+		var vSum, dSum, vPct, dPct float64
+		for _, r := range reps {
+			vSum += r.v
+			dSum += r.d
+			vPct += r.vPct
+			dPct += r.dPct
 		}
 		n := float64(Replicas)
 		res.BaselineFDPS[hz] = vSum / n

@@ -8,6 +8,7 @@ import (
 	"dvsync/internal/core"
 	"dvsync/internal/input"
 	"dvsync/internal/ipl"
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -23,27 +24,30 @@ type LatencyResult struct {
 }
 
 // deviceWorkloads returns the calibrated traces of a device's scenario set
-// (the runtime traces §6.3 aggregates over).
+// (the runtime traces §6.3 aggregates over). Each scenario calibrates in
+// its own par.Map job; par.Map returns them in catalog order.
 func deviceWorkloads(dev scenarios.Device) []*workload.Trace {
-	var out []*workload.Trace
 	switch dev.Name {
 	case scenarios.Pixel5.Name:
-		for _, a := range scenarios.Apps() {
-			out = append(out, CalibrateFDPS(a.Profile(), scenarios.AppFrames, dev,
-				dev.Buffers, a.PaperVSyncFDPS, Seed))
-		}
+		apps := scenarios.Apps()
+		return par.Map(len(apps), func(i int) *workload.Trace {
+			return CalibrateFDPS(apps[i].Profile(), scenarios.AppFrames, dev,
+				dev.Buffers, apps[i].PaperVSyncFDPS, Seed)
+		})
 	case scenarios.Mate40Pro.Name:
-		for _, c := range scenarios.Mate40GLESCases() {
-			out = append(out, CalibrateFDPS(c.Profile(dev), scenarios.UseCaseFrames, dev,
-				dev.Buffers, c.PaperVSyncFDPS, Seed))
-		}
+		cases := scenarios.Mate40GLESCases()
+		return par.Map(len(cases), func(i int) *workload.Trace {
+			return CalibrateFDPS(cases[i].Profile(dev), scenarios.UseCaseFrames, dev,
+				dev.Buffers, cases[i].PaperVSyncFDPS, Seed)
+		})
 	case scenarios.Mate60Pro.Name:
-		for _, c := range scenarios.Mate60GLESCases() {
-			out = append(out, CalibrateFDPS(c.Profile(dev), scenarios.UseCaseFrames, dev,
-				dev.Buffers, c.PaperVSyncFDPS, Seed))
-		}
+		cases := scenarios.Mate60GLESCases()
+		return par.Map(len(cases), func(i int) *workload.Trace {
+			return CalibrateFDPS(cases[i].Profile(dev), scenarios.UseCaseFrames, dev,
+				dev.Buffers, cases[i].PaperVSyncFDPS, Seed)
+		})
 	}
-	return out
+	return nil
 }
 
 // Fig15 regenerates Figure 15: average rendering latency per device under
@@ -63,10 +67,18 @@ func Fig15() *LatencyResult {
 		if dev.Name == scenarios.Pixel5.Name {
 			dvBuffers = 4 // Android D-VSync default (§6.4)
 		}
+		trs := deviceWorkloads(dev)
+		type latencies struct{ v, d []float64 }
+		per := par.Map(len(trs), func(i int) latencies {
+			return latencies{
+				v: VSyncRun(trs[i], dev, dev.Buffers).LatencyMs,
+				d: DVSyncRun(trs[i], dev, dvBuffers).LatencyMs,
+			}
+		})
 		var v, d []float64
-		for _, tr := range deviceWorkloads(dev) {
-			v = append(v, VSyncRun(tr, dev, dev.Buffers).LatencyMs...)
-			d = append(d, DVSyncRun(tr, dev, dvBuffers).LatencyMs...)
+		for _, l := range per {
+			v = append(v, l.v...)
+			d = append(d, l.d...)
 		}
 		vm, dm := Average(v), Average(d)
 		res.Rows[dev.Name] = [2]float64{vm, dm}
@@ -93,10 +105,12 @@ func Fig5() *Fig5Result {
 		AvgPercent: map[string]float64{},
 	}
 	addSet := func(label string, dev scenarios.Device, traces []*workload.Trace) {
+		pcts := par.Map(len(traces), func(i int) float64 {
+			return VSyncRun(traces[i], dev, dev.Buffers).Jank().DropPercent()
+		})
 		var avg []float64
 		max := 0.0
-		for _, tr := range traces {
-			p := VSyncRun(tr, dev, dev.Buffers).Jank().DropPercent()
+		for _, p := range pcts {
 			avg = append(avg, p)
 			if p > max {
 				max = p
@@ -109,12 +123,12 @@ func Fig5() *Fig5Result {
 	addSet("Google Pixel 5 (AOSP 60Hz, GLES)", scenarios.Pixel5, deviceWorkloads(scenarios.Pixel5))
 	addSet("Mate 40 Pro (OH 90Hz, GLES)", scenarios.Mate40Pro, deviceWorkloads(scenarios.Mate40Pro))
 	addSet("Mate 60 Pro (OH 120Hz, GLES)", scenarios.Mate60Pro, deviceWorkloads(scenarios.Mate60Pro))
-	var vkTraces []*workload.Trace
-	for _, c := range scenarios.Mate60VulkanCases() {
-		vkTraces = append(vkTraces, CalibrateFDPS(c.Profile(scenarios.Mate60Pro),
+	vkCases := scenarios.Mate60VulkanCases()
+	vkTraces := par.Map(len(vkCases), func(i int) *workload.Trace {
+		return CalibrateFDPS(vkCases[i].Profile(scenarios.Mate60Pro),
 			scenarios.UseCaseFrames, scenarios.Mate60Pro, scenarios.Mate60Pro.Buffers,
-			c.PaperVSyncFDPS, Seed))
-	}
+			vkCases[i].PaperVSyncFDPS, Seed)
+	})
 	addSet("Mate 60 Pro (OH 120Hz, Vulkan)", scenarios.Mate60Pro, vkTraces)
 	return res
 }
@@ -136,18 +150,29 @@ func Fig6() *Fig6Result {
 		},
 	}
 	dev := scenarios.Pixel5
-	totStuff, tot := 0, 0
-	for _, app := range scenarios.Apps() {
-		tr := CalibrateFDPS(app.Profile(), scenarios.AppFrames, dev, dev.Buffers,
-			app.PaperVSyncFDPS, Seed)
+	apps := scenarios.Apps()
+	type fig6Row struct {
+		drop, stuff, direct float64
+		stuffed, total      int
+	}
+	rows := par.Map(len(apps), func(i int) fig6Row {
+		tr := CalibrateFDPS(apps[i].Profile(), scenarios.AppFrames, dev, dev.Buffers,
+			apps[i].PaperVSyncFDPS, Seed)
 		r := VSyncRun(tr, dev, dev.Buffers)
 		total := len(r.Presented) + len(r.Janks)
-		res.Table.AddRow(app.Name,
-			100*float64(len(r.Janks))/float64(total),
-			100*float64(r.Stuffed)/float64(total),
-			100*float64(r.Direct)/float64(total))
-		totStuff += r.Stuffed
-		tot += total
+		return fig6Row{
+			drop:    100 * float64(len(r.Janks)) / float64(total),
+			stuff:   100 * float64(r.Stuffed) / float64(total),
+			direct:  100 * float64(r.Direct) / float64(total),
+			stuffed: r.Stuffed,
+			total:   total,
+		}
+	})
+	totStuff, tot := 0, 0
+	for i, row := range rows {
+		res.Table.AddRow(apps[i].Name, row.drop, row.stuff, row.direct)
+		totStuff += row.stuffed
+		tot += row.total
 	}
 	res.StuffedShare = float64(totStuff) / float64(tot)
 	return res

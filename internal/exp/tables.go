@@ -6,6 +6,7 @@ import (
 
 	"dvsync/internal/ipl"
 	"dvsync/internal/metrics"
+	"dvsync/internal/par"
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
@@ -77,17 +78,21 @@ func Table2() *Table2Result {
 	}
 	dev := scenarios.Mate60Pro
 	cfg := metrics.DefaultStutterConfig()
-	var reds []float64
-	for _, task := range scenarios.UXTasks() {
-		tr := calibrateStutters(task, dev)
+	tasks := scenarios.UXTasks()
+	counts := par.Map(len(tasks), func(i int) [2]int {
+		tr := calibrateStutters(tasks[i], dev)
 		v := VSyncRun(tr, dev, dev.Buffers)
 		d := DVSyncRun(tr, dev, dev.Buffers)
-		vs := metrics.CountStutters(v.JankEvents(), cfg)
-		ds := metrics.CountStutters(d.JankEvents(), cfg)
-		res.Rows[task.Name] = [2]int{vs, ds}
+		return [2]int{metrics.CountStutters(v.JankEvents(), cfg),
+			metrics.CountStutters(d.JankEvents(), cfg)}
+	})
+	var reds []float64
+	for i, c := range counts {
+		vs, ds := c[0], c[1]
+		res.Rows[tasks[i].Name] = [2]int{vs, ds}
 		red := Reduction(float64(vs), float64(ds))
 		reds = append(reds, red)
-		res.Table.AddRow(task.Name, strconv.Itoa(vs), strconv.Itoa(ds), red)
+		res.Table.AddRow(tasks[i].Name, strconv.Itoa(vs), strconv.Itoa(ds), red)
 	}
 	res.AvgReductionPct = Average(reds)
 	res.Table.AddRow("average", "", "", res.AvgReductionPct)
@@ -182,19 +187,31 @@ func Power() *PowerResult {
 	res.Table.AddRow("  + ZDP on 10% of frames (J)", ev, edz, res.EnergyIncreaseZDPPct)
 
 	// Instruction proxy over the Mate 60 Pro GLES use cases.
-	var rsV, rsD, ovD float64
-	var framesV, framesD int
 	m60 := scenarios.Mate60Pro
-	for _, c := range scenarios.Mate60GLESCases() {
-		ctr := CalibrateFDPS(c.Profile(m60), scenarios.UseCaseFrames, m60, m60.Buffers,
-			c.PaperVSyncFDPS, Seed)
+	m60Cases := scenarios.Mate60GLESCases()
+	type workRow struct {
+		rsV, rsD, ovD    float64
+		framesV, framesD int
+	}
+	works := par.Map(len(m60Cases), func(i int) workRow {
+		ctr := CalibrateFDPS(m60Cases[i].Profile(m60), scenarios.UseCaseFrames, m60, m60.Buffers,
+			m60Cases[i].PaperVSyncFDPS, Seed)
 		rv := VSyncRun(ctr, m60, m60.Buffers)
 		rd := DVSyncRun(ctr, m60, m60.Buffers)
-		rsV += rv.ExecutedWork.Milliseconds()
-		framesV += len(rv.Presented)
-		rsD += rd.ExecutedWork.Milliseconds()
-		ovD += rd.OverheadWork.Milliseconds()
-		framesD += len(rd.Presented)
+		return workRow{
+			rsV: rv.ExecutedWork.Milliseconds(), framesV: len(rv.Presented),
+			rsD: rd.ExecutedWork.Milliseconds(), ovD: rd.OverheadWork.Milliseconds(),
+			framesD: len(rd.Presented),
+		}
+	})
+	var rsV, rsD, ovD float64
+	var framesV, framesD int
+	for _, wr := range works {
+		rsV += wr.rsV
+		framesV += wr.framesV
+		rsD += wr.rsD
+		ovD += wr.ovD
+		framesD += wr.framesD
 	}
 	// The §6.7 instruction comparison isolates the architectural overhead:
 	// the same rendering work per frame plus the FPE/DTV/API logic running

@@ -53,9 +53,10 @@ func wants(t *testing.T, filename string) map[int][]string {
 	return out
 }
 
-// fixtures maps each fixture to the import path it is checked under:
-// nogoroutine only applies inside the simulation core, so its fixture
-// masquerades as dvsync/internal/sim.
+// fixtures maps each fixture to the import path it is checked under: the
+// nogoroutine fixture masquerades as dvsync/internal/sim — any path other
+// than the internal/par carve-out would do (see
+// TestNoGoroutineParCarveOut for the skip side).
 var fixtures = []struct {
 	file   string
 	asPath string
@@ -105,6 +106,39 @@ func TestFixtures(t *testing.T) {
 				t.Fatalf("fixture %s has no // want markers", fx.file)
 			}
 		})
+	}
+}
+
+// TestNoGoroutineParCarveOut pins the one allowlist exception: the same
+// fixture that produces a page of diagnostics inside any other package
+// must produce none when checked as dvsync/internal/par, the sanctioned
+// worker pool.
+func TestNoGoroutineParCarveOut(t *testing.T) {
+	loader := newLoader(t)
+	filename := filepath.Join("testdata", "nogoroutine.go")
+
+	for _, tc := range []struct {
+		asPath string
+		clean  bool
+	}{
+		{"dvsync/internal/par", true},
+		{"dvsync/internal/exp", false},  // the harness is not exempt
+		{"dvsync/cmd/dvbench", false},   // nor are commands
+		{"dvsync/internal/sim", false},  // nor the core
+		{"dvsync/internal/part", false}, // prefix must not leak past the path boundary
+	} {
+		pkg, err := loader.CheckFile(tc.asPath, filename)
+		if err != nil {
+			t.Fatalf("CheckFile(%s): %v", tc.asPath, err)
+		}
+		diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.NoGoroutine})
+		if tc.clean && len(diags) != 0 {
+			t.Errorf("%s: nogoroutine fired %d diagnostics inside the carve-out, want 0 (first: %s)",
+				tc.asPath, len(diags), diags[0])
+		}
+		if !tc.clean && len(diags) == 0 {
+			t.Errorf("%s: nogoroutine reported nothing, want diagnostics", tc.asPath)
+		}
 	}
 }
 

@@ -6,30 +6,30 @@ import (
 	"go/types"
 )
 
-// corePkgs are the single-threaded simulation core: every simulated
-// decision flows through these packages, and replayability requires that
-// no goroutine interleaving can reorder them.
-var corePkgs = []string{
-	"dvsync/internal/sim",
-	"dvsync/internal/core",
-	"dvsync/internal/pipeline",
-	"dvsync/internal/buffer",
-	"dvsync/internal/display",
-	"dvsync/internal/event",
+// concurrencyPkgs are the packages sanctioned to spawn goroutines: only
+// internal/par, the deterministic fan-out runner. Everything else in the
+// module — the simulation core, the experiment harness, the commands —
+// must stay single-threaded and parallelise by submitting independent
+// jobs through par.Map.
+var concurrencyPkgs = []string{
+	"dvsync/internal/par",
 }
 
-// NoGoroutine forbids concurrency constructs inside the simulation core.
+// NoGoroutine forbids concurrency constructs everywhere except the
+// sanctioned worker pool (internal/par).
 //
 // The discrete-event engine serialises everything on the virtual clock; a
-// goroutine or channel in the core would reintroduce scheduler
-// nondeterminism that no seed can pin down. The rule bans go statements,
-// select, channel sends/receives, and channel types themselves (so channels
-// cannot even appear in signatures or struct fields).
+// goroutine or channel anywhere else would reintroduce scheduler
+// nondeterminism that no seed can pin down — in the core by reordering
+// simulated decisions, in the harness by reordering floating-point
+// aggregation. The rule bans go statements, select, channel
+// sends/receives, and channel types themselves (so channels cannot even
+// appear in signatures or struct fields).
 var NoGoroutine = &Analyzer{
 	Name: "nogoroutine",
-	Doc:  "forbid go statements and channel operations inside the simulation core",
+	Doc:  "forbid go statements and channel operations outside internal/par",
 	Skip: func(pkgPath string) bool {
-		return !pathMatchesAny(pkgPath, corePkgs...)
+		return pathMatchesAny(pkgPath, concurrencyPkgs...)
 	},
 	Run: runNoGoroutine,
 }
@@ -39,21 +39,21 @@ func runNoGoroutine(p *Pass) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				p.Reportf(n.Pos(), "go statement in simulation core; the core must stay single-threaded")
+				p.Reportf(n.Pos(), "go statement outside internal/par; fan out through par.Map instead")
 			case *ast.SelectStmt:
-				p.Reportf(n.Pos(), "select statement in simulation core; the core must stay single-threaded")
+				p.Reportf(n.Pos(), "select statement outside internal/par; fan out through par.Map instead")
 			case *ast.SendStmt:
-				p.Reportf(n.Pos(), "channel send in simulation core; the core must stay single-threaded")
+				p.Reportf(n.Pos(), "channel send outside internal/par; fan out through par.Map instead")
 			case *ast.UnaryExpr:
 				if n.Op == token.ARROW {
-					p.Reportf(n.Pos(), "channel receive in simulation core; the core must stay single-threaded")
+					p.Reportf(n.Pos(), "channel receive outside internal/par; fan out through par.Map instead")
 				}
 			case *ast.ChanType:
-				p.Reportf(n.Pos(), "channel type in simulation core; the core must stay single-threaded")
+				p.Reportf(n.Pos(), "channel type outside internal/par; fan out through par.Map instead")
 			case *ast.RangeStmt:
 				if tv, ok := p.Pkg.Info.Types[n.X]; ok {
 					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-						p.Reportf(n.Pos(), "range over channel in simulation core; the core must stay single-threaded")
+						p.Reportf(n.Pos(), "range over channel outside internal/par; fan out through par.Map instead")
 					}
 				}
 			}

@@ -1,0 +1,185 @@
+// Package par is the repository's single sanctioned concurrency point: a
+// deterministic fan-out runner for independent simulation jobs.
+//
+// Everything else in this module is single-threaded by decree — dvlint's
+// nogoroutine rule fails the build if any other package spawns a goroutine
+// or touches a channel (DESIGN.md §6, §8). Experiments parallelise by
+// submitting independent, seeded jobs through Map and folding the returned
+// slice serially in index order, so the floating-point arithmetic — and
+// therefore every golden table and replay digest — is byte-identical
+// whether the pool runs one worker or sixteen.
+//
+// The determinism rules Map relies on:
+//
+//   - jobs share no mutable state: each builds its own sim.System, engine
+//     and recorder (workload traces and profiles are read-only and may be
+//     shared);
+//   - randomness inside a job comes only from a seed the job owns — a
+//     deterministic function of the job index such as seed+i or SplitSeed,
+//     mirroring the fault injector's split-RNG discipline — never from a
+//     shared stream whose draw order would depend on scheduling;
+//   - callers aggregate the result slice serially in index order after Map
+//     returns (floating-point addition is not associative, so a reduction
+//     inside the workers would make the sum depend on completion order).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the process-wide worker budget. tokens holds workers−1 slots:
+// every Map call also runs jobs on its calling goroutine, so the slots
+// bound how many helper goroutines exist across all concurrent and nested
+// Map calls. A nested Map that finds the bucket empty simply runs its jobs
+// inline on the caller — fan-out composes without goroutine explosion.
+type pool struct {
+	workers int
+	tokens  chan struct{}
+}
+
+// cur is swapped atomically by SetWorkers; in-flight Map calls keep the
+// pool they loaded (helpers return their token to the bucket they took it
+// from), so resizing never loses or double-counts a slot.
+var cur atomic.Pointer[pool]
+
+func init() { SetWorkers(0) }
+
+// SetWorkers sets the process-wide worker budget. n <= 0 resets to
+// runtime.GOMAXPROCS(0), the default. n == 1 forces the legacy serial
+// path: Map degenerates to a plain loop on the calling goroutine and no
+// goroutine is ever spawned.
+func SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{workers: n}
+	if n > 1 {
+		p.tokens = make(chan struct{}, n-1)
+		for i := 0; i < n-1; i++ {
+			p.tokens <- struct{}{}
+		}
+	}
+	cur.Store(p)
+}
+
+// Workers returns the current worker budget.
+func Workers() int { return cur.Load().workers }
+
+// JobPanic is the value Map re-panics with after a job panics: the run is
+// poisoned and the failure carries the lowest panicking job index, so a
+// crash inside a 125-cell sweep is attributable from the panic value alone.
+type JobPanic struct {
+	// Index is the lowest job index whose function panicked.
+	Index int
+	// Value is that job's original panic value.
+	Value any
+}
+
+// Error implements error so recovered JobPanics read well in test output.
+func (p JobPanic) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v", p.Index, p.Value)
+}
+
+// Map runs fn(0) … fn(n−1) and returns the results in index order. Jobs
+// are claimed from an atomic counter in ascending order by the calling
+// goroutine plus up to Workers()−1 token-bounded helpers; with a budget of
+// one (or a single job) it is a plain serial loop. If any job panics, the
+// remaining unclaimed jobs are abandoned and Map re-panics with a JobPanic
+// once all in-flight jobs have finished.
+func Map[T any](n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p := cur.Load()
+	if p.workers <= 1 || n == 1 {
+		for i := range out {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(JobPanic{Index: i, Value: r})
+					}
+				}()
+				out[i] = fn(i)
+			}()
+		}
+		return out
+	}
+
+	var (
+		next  atomic.Int64
+		mu    sync.Mutex
+		first *JobPanic
+	)
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						next.Store(int64(n)) // poison: abandon unclaimed jobs
+						mu.Lock()
+						if first == nil || i < first.Index {
+							first = &JobPanic{Index: i, Value: r}
+						}
+						mu.Unlock()
+					}
+				}()
+				out[i] = fn(i)
+			}()
+		}
+	}
+
+	var wg sync.WaitGroup
+spawn:
+	for h := 0; h < p.workers-1 && h < n-1; h++ {
+		select {
+		case <-p.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { p.tokens <- struct{}{} }()
+				run()
+			}()
+		default:
+			break spawn // budget exhausted (nested Map): run inline only
+		}
+	}
+	run()
+	wg.Wait()
+	if first != nil {
+		panic(*first)
+	}
+	return out
+}
+
+// SplitSeed derives the seed for one job from a parent seed and a stream
+// label — the same FNV-1a splitting discipline dist.RNG.Split gives the
+// fault injector, extended with the job index. Jobs that draw randomness
+// must own a stream derived deterministically from their index; SplitSeed
+// is the canonical way to mint one when plain seed+i arithmetic would
+// collide across streams.
+func SplitSeed(parent int64, label string, job int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	u := uint64(job)
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		u >>= 8
+		h *= prime64
+	}
+	return int64(h&(1<<63-1)) ^ parent
+}

@@ -753,6 +753,15 @@ func (s *System) Run() *Result {
 	if horizon <= 0 {
 		horizon = simtime.Duration(n+64)*period*8 + simtime.Second
 	}
+	// Size the result and trace buffers from the frame count up front: at
+	// most one presented frame and latency sample per trace entry, and
+	// roughly five trace records per frame (start, queued, vsync, latched,
+	// present). Saves the append doubling churn on the hot path.
+	s.res.Presented = make([]*buffer.Frame, 0, n)
+	s.res.LatencyMs = make([]float64, 0, n)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Reserve(5*n + 64)
+	}
 	s.panel.Start(0)
 	s.engine.Run(simtime.Time(0).Add(horizon))
 	if s.cfg.Recorder != nil {

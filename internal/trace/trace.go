@@ -78,6 +78,22 @@ func (r *Recorder) Add(ev Event) {
 	r.events = append(r.events, ev)
 }
 
+// Reserve grows the recorder's capacity so the next n Add calls do not
+// reallocate. Simulations know their frame count up front, so they can
+// size the buffer once instead of letting append double it repeatedly.
+func (r *Recorder) Reserve(n int) {
+	if free := cap(r.events) - len(r.events); free >= n {
+		return
+	}
+	grown := make([]Event, len(r.events), len(r.events)+n)
+	copy(grown, r.events)
+	r.events = grown
+}
+
+// Reset discards recorded events while keeping the allocated buffer, so a
+// recorder can be reused across runs without reallocating.
+func (r *Recorder) Reset() { r.events = r.events[:0] }
+
 // Events returns the recorded events.
 func (r *Recorder) Events() []Event { return r.events }
 

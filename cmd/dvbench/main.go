@@ -9,6 +9,7 @@
 //	dvbench -workers 4      # bound the parallel runner (1 = serial legacy path)
 //	dvbench -list           # list experiment IDs
 //	dvbench -csv results/   # also export every table as CSV
+//	dvbench -trace-dir traces/  # dump one Perfetto export per experiment cell
 //
 // Experiments fan replica simulations out over a deterministic worker pool
 // (internal/par); the output is byte-identical at any -workers value, only
@@ -23,6 +24,8 @@ import (
 	"strconv"
 
 	"dvsync"
+	"dvsync/internal/exp"
+	"dvsync/internal/obs"
 	"dvsync/internal/par"
 )
 
@@ -31,6 +34,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	quick := flag.Bool("quick", false, "use reduced experiment configurations where available")
 	csvDir := flag.String("csv", "", "directory to export tables as CSV files")
+	traceDir := flag.String("trace-dir", "", "directory to dump one Perfetto export per experiment cell")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
@@ -52,8 +56,15 @@ func main() {
 		run = []dvsync.Experiment{e}
 	}
 	for i, e := range run {
-		if i > 0 {
+		if i > 0 && *csvDir == "" && *traceDir == "" {
 			fmt.Println()
+		}
+		if *traceDir != "" {
+			if err := exportTraces(*traceDir, e); err != nil {
+				fmt.Fprintln(os.Stderr, "dvbench:", err)
+				os.Exit(1)
+			}
+			continue
 		}
 		if *csvDir != "" {
 			if err := exportCSV(*csvDir, e); err != nil {
@@ -71,6 +82,31 @@ func main() {
 	if *csvDir != "" {
 		fmt.Printf("wrote CSV tables for %d experiments to %s\n", len(run), *csvDir)
 	}
+	if *traceDir != "" {
+		fmt.Printf("wrote Perfetto exports for %d experiments to %s\n", len(run), *traceDir)
+	}
+}
+
+// exportTraces dumps one Perfetto export per canonical cell of the
+// experiment into dir.
+func exportTraces(dir string, e dvsync.Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, cell := range exp.TraceCells(e.ID) {
+		f, err := os.Create(filepath.Join(dir, cell.Name+".perfetto.json"))
+		if err != nil {
+			return err
+		}
+		if err := obs.ExportPerfetto(cell.Recorder, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func exportCSV(dir string, e dvsync.Experiment) error {

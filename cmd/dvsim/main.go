@@ -59,6 +59,16 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate -mode before any work: an unknown mode used to slip through
+	// unnoticed on code paths that only consult it late (or never, like
+	// -dump-trace), silently behaving like the default.
+	switch *mode {
+	case "vsync", "dvsync", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "dvsim: unknown mode %q (want vsync, dvsync, or both)\n", *mode)
+		os.Exit(2)
+	}
+
 	if *faultList {
 		for _, c := range dvsync.FaultClasses() {
 			fmt.Println(c)

@@ -1,82 +1,155 @@
-// Command dvtrace records a simulation as a structured event trace (JSONL)
-// or summarises a previously recorded trace — the workflow graphics
-// engineers use with Perfetto, on the simulated stack.
+// Command dvtrace records a simulation as a structured event trace (JSONL),
+// summarises a previously recorded trace, or exports it as Chrome
+// trace-event JSON loadable in Perfetto — the workflow graphics engineers
+// use on real devices, on the simulated stack.
 //
 // Usage:
 //
-//	dvtrace -record -mode dvsync -o run.jsonl   # simulate and dump
-//	dvtrace run.jsonl                           # analyse a dump
+//	dvtrace -record -mode dvsync -o run.jsonl      # simulate and dump JSONL
+//	dvtrace -record -mode dvsync -perfetto out.json # simulate and export
+//	dvtrace run.jsonl                              # analyse a dump
+//	dvtrace -timeline run.jsonl                    # ASCII timeline
+//	dvtrace -spans run.jsonl                       # per-frame stage table
+//	dvtrace -perfetto out.json run.jsonl           # convert JSONL → Perfetto
+//	dvtrace -check out.json                        # validate an export
+//
+// Open exports at https://ui.perfetto.dev (or chrome://tracing): per-frame
+// spans land on ui/render/queue/display tracks, counters and markers below.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"dvsync"
+	"dvsync/internal/obs"
 	"dvsync/internal/trace"
+	"dvsync/internal/workload"
 )
 
 func main() {
-	var (
-		record   = flag.Bool("record", false, "run a simulation and dump its trace")
-		mode     = flag.String("mode", "dvsync", "vsync or dvsync (with -record)")
-		hz       = flag.Int("hz", 60, "panel refresh rate (with -record)")
-		buffers  = flag.Int("buffers", 4, "buffer count (with -record)")
-		frames   = flag.Int("frames", 240, "workload frames (with -record)")
-		seed     = flag.Int64("seed", 1, "workload seed (with -record)")
-		out      = flag.String("o", "", "output path (default stdout)")
-		timeline = flag.Bool("timeline", false, "render an ASCII timeline instead of a summary")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	switch {
-	case *record:
-		if err := doRecord(*mode, *hz, *buffers, *frames, *seed, *out); err != nil {
-			fmt.Fprintln(os.Stderr, "dvtrace:", err)
-			os.Exit(1)
-		}
-	case flag.NArg() == 1:
-		if err := doSummarize(flag.Arg(0), timeline); err != nil {
-			fmt.Fprintln(os.Stderr, "dvtrace:", err)
-			os.Exit(1)
-		}
+// usageError marks command-line misuse (exit 2, like flag parsing errors).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// run is the testable entry point: it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dvtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		record   = fs.Bool("record", false, "run a simulation and dump its trace")
+		mode     = fs.String("mode", "dvsync", "vsync or dvsync (with -record)")
+		hz       = fs.Int("hz", 60, "panel refresh rate (with -record)")
+		buffers  = fs.Int("buffers", 4, "buffer count (with -record)")
+		frames   = fs.Int("frames", 240, "workload frames (with -record)")
+		seed     = fs.Int64("seed", 1, "workload seed (with -record)")
+		out      = fs.String("o", "", "JSONL output path (default stdout)")
+		perfetto = fs.String("perfetto", "", "write a Perfetto (Chrome trace-event JSON) export to this path")
+		timeline = fs.Bool("timeline", false, "render an ASCII timeline instead of a summary")
+		spans    = fs.Bool("spans", false, "render the per-frame stage table instead of a summary")
+		check    = fs.Bool("check", false, "validate a Perfetto export file and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	err := dispatch(fs, *record, *mode, *hz, *buffers, *frames, *seed,
+		*out, *perfetto, *timeline, *spans, *check, stdout)
+	switch err.(type) {
+	case nil:
+		return 0
+	case usageError:
+		fmt.Fprintln(stderr, "dvtrace:", err)
+		fs.Usage()
+		return 2
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dvtrace:", err)
+		return 1
 	}
 }
 
-func doRecord(mode string, hz, buffers, frames int, seed int64, out string) error {
-	m := dvsync.DVSync
-	if mode == "vsync" {
-		m = dvsync.VSync
+// dispatch validates the flag combination and runs the selected action.
+// Meaningless combinations are rejected up front (exit 2) instead of being
+// silently ignored, so `-record -timeline` can never again look like it
+// produced a timeline.
+func dispatch(fs *flag.FlagSet, record bool, mode string, hz, buffers, frames int,
+	seed int64, out, perfetto string, timeline, spans, check bool, stdout io.Writer) error {
+	if timeline && spans {
+		return usageError{"-timeline and -spans are mutually exclusive"}
 	}
+	switch {
+	case check:
+		if record || timeline || spans || perfetto != "" {
+			return usageError{"-check takes only a Perfetto export file"}
+		}
+		if fs.NArg() != 1 {
+			return usageError{"-check requires exactly one export file"}
+		}
+		return doCheck(fs.Arg(0), stdout)
+	case record:
+		if timeline || spans {
+			return usageError{"-record does not analyse; rerun dvtrace on the recorded file for -timeline/-spans"}
+		}
+		if fs.NArg() != 0 {
+			return usageError{fmt.Sprintf("-record takes no input file (got %q)", fs.Arg(0))}
+		}
+		m, err := parseMode(mode)
+		if err != nil {
+			return err
+		}
+		return doRecord(m, hz, buffers, frames, seed, out, perfetto, stdout)
+	case fs.NArg() == 1:
+		return doAnalyse(fs.Arg(0), perfetto, timeline, spans, stdout)
+	default:
+		return usageError{"expected -record, -check, or one recorded trace file"}
+	}
+}
+
+// parseMode maps the -mode flag to an architecture; unknown strings are a
+// usage error (exit 2), never a silent dvsync default.
+func parseMode(mode string) (dvsync.Mode, error) {
+	switch mode {
+	case "vsync":
+		return dvsync.VSync, nil
+	case "dvsync":
+		return dvsync.DVSync, nil
+	default:
+		return 0, usageError{fmt.Sprintf("unknown mode %q (want vsync or dvsync)", mode)}
+	}
+}
+
+func doRecord(m dvsync.Mode, hz, buffers, frames int, seed int64,
+	out, perfetto string, stdout io.Writer) error {
 	period := dvsync.PeriodForHz(hz).Milliseconds()
-	p := dvsync.Profile{
-		Name: "dvtrace", ShortMeanMs: 0.4 * period, ShortSigmaMs: 0.13 * period,
-		LongRatio: 0.05, LongScaleMs: 1.5 * period, LongAlpha: 2.3,
-		Burstiness: 0.2, UIShare: 0.35,
-	}
+	p := workload.DefaultProfile("dvtrace", period)
 	rec := dvsync.NewRecorder()
 	dvsync.Run(dvsync.Config{
 		Mode: m, Panel: dvsync.PanelConfig{Name: "dvtrace", RefreshHz: hz},
 		Buffers: buffers, Trace: p.Generate(frames, seed), Recorder: rec,
 	})
-	w := os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
+	if perfetto != "" {
+		if err := writeFile(perfetto, func(w io.Writer) error {
+			return obs.ExportPerfetto(rec, w)
+		}); err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		if out == "" {
+			return nil // Perfetto-only recording: don't also spray JSONL at stdout.
+		}
 	}
-	return rec.WriteJSONL(w)
+	if out != "" {
+		return writeFile(out, rec.WriteJSONL)
+	}
+	return rec.WriteJSONL(stdout)
 }
 
-func doSummarize(path string, timeline *bool) error {
+func doAnalyse(path, perfetto string, timeline, spans bool, stdout io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -86,23 +159,62 @@ func doSummarize(path string, timeline *bool) error {
 	if err != nil {
 		return err
 	}
-	if *timeline {
-		fmt.Print(trace.RenderTimeline(rec, 120))
+	if perfetto != "" {
+		return writeFile(perfetto, func(w io.Writer) error {
+			return obs.ExportPerfetto(rec, w)
+		})
+	}
+	if timeline {
+		fmt.Fprint(stdout, trace.RenderTimeline(rec, 120))
+		return nil
+	}
+	if spans {
+		obs.Build(rec).WriteSpanTable(stdout)
 		return nil
 	}
 	s := trace.Summarize(rec)
-	fmt.Printf("events            %d over %s\n", rec.Len(), s.Span)
+	fmt.Fprintf(stdout, "events            %d over %s\n", rec.Len(), s.Span)
 	kinds := make([]string, 0, len(s.Events))
 	for kind := range s.Events {
 		kinds = append(kinds, string(kind))
 	}
 	sort.Strings(kinds)
 	for _, kind := range kinds {
-		fmt.Printf("  %-14s  %d\n", kind, s.Events[trace.EventKind(kind)])
+		fmt.Fprintf(stdout, "  %-14s  %d\n", kind, s.Events[trace.EventKind(kind)])
 	}
-	fmt.Printf("frames presented  %d\n", s.Frames)
-	fmt.Printf("janks             %d\n", s.Janks)
-	fmt.Printf("mean queue wait   %.2f ms\n", s.MeanQueueLatency)
-	fmt.Printf("decoupled share   %.0f%%\n", 100*s.DecoupledShare)
+	fmt.Fprintf(stdout, "frames presented  %d\n", s.Frames)
+	fmt.Fprintf(stdout, "janks             %d\n", s.Janks)
+	fmt.Fprintf(stdout, "mean queue wait   %.2f ms\n", s.MeanQueueLatency)
+	fmt.Fprintf(stdout, "decoupled share   %.0f%%\n", 100*s.DecoupledShare)
 	return nil
+}
+
+func doCheck(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tracks, err := obs.ValidatePerfetto(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s: valid Perfetto export, %d counter tracks", path, len(tracks))
+	for _, t := range tracks {
+		fmt.Fprintf(stdout, " %s", t)
+	}
+	fmt.Fprintln(stdout)
+	return nil
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

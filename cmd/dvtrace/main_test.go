@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the CLI entry point and returns exit code + streams.
+func runCLI(args ...string) (int, string, string) {
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestUnknownModeRejected: regression for the silent-dvsync-fallback bug —
+// an unrecognised -mode must exit 2 with a diagnostic, not record dvsync.
+func TestUnknownModeRejected(t *testing.T) {
+	for _, mode := range []string{"both", "VSYNC", "dvsymc", ""} {
+		code, _, stderr := runCLI("-record", "-mode", mode, "-o", os.DevNull)
+		if code != 2 {
+			t.Errorf("-mode %q: exit %d, want 2", mode, code)
+		}
+		if !strings.Contains(stderr, "unknown mode") {
+			t.Errorf("-mode %q: stderr %q lacks diagnostic", mode, stderr)
+		}
+	}
+	// The two valid spellings still work.
+	for _, mode := range []string{"vsync", "dvsync"} {
+		if code, _, stderr := runCLI("-record", "-mode", mode, "-frames", "5", "-o", os.DevNull); code != 0 {
+			t.Errorf("-mode %q: exit %d (stderr %q)", mode, code, stderr)
+		}
+	}
+}
+
+// TestRecordAnalyseConflict: regression for -record -timeline silently
+// recording JSONL while claiming nothing — now a usage error.
+func TestRecordAnalyseConflict(t *testing.T) {
+	cases := [][]string{
+		{"-record", "-timeline"},
+		{"-record", "-spans"},
+		{"-timeline", "-spans", "x.jsonl"},
+		{"-record", "stray-arg.jsonl"},
+		{"-check"},
+		{"-check", "-record", "x.json"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(args...); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRecordExportCheckPipeline: record → Perfetto export → -check, plus
+// JSONL re-analysis with -spans, end to end in a temp dir.
+func TestRecordExportCheckPipeline(t *testing.T) {
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "run.jsonl")
+	export := filepath.Join(dir, "run.perfetto.json")
+
+	if code, _, stderr := runCLI("-record", "-mode", "dvsync", "-frames", "30",
+		"-seed", "7", "-o", jsonl, "-perfetto", export); code != 0 {
+		t.Fatalf("record: exit %d (stderr %q)", code, stderr)
+	}
+	code, stdout, stderr := runCLI("-check", export)
+	if code != 0 {
+		t.Fatalf("check: exit %d (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "valid Perfetto export") {
+		t.Errorf("check output %q", stdout)
+	}
+	for _, track := range []string{"queue-depth", "fdps-windowed", "dtv-calib-error-ms"} {
+		if !strings.Contains(stdout, track) {
+			t.Errorf("check output lacks track %s: %q", track, stdout)
+		}
+	}
+
+	// Converting the JSONL must reproduce the recorded export exactly.
+	converted := filepath.Join(dir, "converted.json")
+	if code, _, stderr := runCLI("-perfetto", converted, jsonl); code != 0 {
+		t.Fatalf("convert: exit %d (stderr %q)", code, stderr)
+	}
+	a, err := os.ReadFile(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(converted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("JSONL→Perfetto conversion differs from the direct recording export")
+	}
+
+	code, stdout, stderr = runCLI("-spans", jsonl)
+	if code != 0 {
+		t.Fatalf("spans: exit %d (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, "frame") || !strings.Contains(stdout, "dvsync") {
+		t.Errorf("spans table %q", stdout)
+	}
+}
+
+// TestCheckRejectsCorruptExport: -check exits 1 on a malformed file.
+func TestCheckRejectsCorruptExport(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCLI("-check", bad); code != 1 || stderr == "" {
+		t.Errorf("check on corrupt export: exit %d stderr %q, want 1 + diagnostic", code, stderr)
+	}
+}
+
+// TestAnalyseMalformedJSONL: the line-numbered ReadJSONL diagnostic
+// surfaces through the CLI.
+func TestAnalyseMalformedJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.jsonl")
+	content := `{"at":0,"kind":"hw-vsync","frame":-1}` + "\n" + `{"at":1,` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "line 2") {
+		t.Errorf("stderr %q lacks the failing line number", stderr)
+	}
+}

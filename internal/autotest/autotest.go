@@ -268,7 +268,7 @@ func RunCase(uc scenarios.UseCase, dev scenarios.Device, mode sim.Mode, seed int
 		rep.Frames = tr.Len()
 		rep.FDPS += r.FDPS()
 		rep.Janks += float64(len(r.Janks))
-		rep.LatencyMs += r.LatencySummary().Mean
+		rep.LatencyMs += r.LatencySummary().MeanOrZero()
 	}
 	rep.FDPS /= Runs
 	rep.Janks /= Runs

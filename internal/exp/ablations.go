@@ -56,8 +56,8 @@ func AblatePreRenderLimit() *PreRenderLimitResult {
 	for i, r := range runs {
 		limit := i + 1
 		res.FDPS[limit] = r.FDPS()
-		res.LatencyMs[limit] = r.LatencySummary().Mean
-		res.Table.AddRow(strconv.Itoa(limit), r.FDPS(), r.LatencySummary().Mean,
+		res.LatencyMs[limit] = r.LatencySummary().MeanOrZero()
+		res.Table.AddRow(strconv.Itoa(limit), r.FDPS(), r.LatencySummary().MeanOrZero(),
 			strconv.Itoa(r.FPESyncBlocks))
 	}
 	return res
@@ -208,8 +208,8 @@ func AblateVSyncPipelineDepth() *PipelineDepthResult {
 	for i, r := range runs {
 		depth := i + 1
 		res.FDPS[depth] = r.FDPS()
-		res.LatencyMs[depth] = r.LatencySummary().Mean
-		res.Table.AddRow(strconv.Itoa(depth), r.FDPS(), r.LatencySummary().Mean)
+		res.LatencyMs[depth] = r.LatencySummary().MeanOrZero()
+		res.Table.AddRow(strconv.Itoa(depth), r.FDPS(), r.LatencySummary().MeanOrZero())
 	}
 	return res
 }
@@ -317,8 +317,8 @@ func AblateConsumerPolicy() *ConsumerPolicyResult {
 			policy = "drop-stale"
 		}
 		key := mode.String() + "/" + policy
-		res.Rows[key] = [3]float64{r.FDPS(), r.LatencySummary().Mean, float64(r.StaleDropped)}
-		res.Table.AddRow(mode.String(), policy, r.FDPS(), r.LatencySummary().Mean,
+		res.Rows[key] = [3]float64{r.FDPS(), r.LatencySummary().MeanOrZero(), float64(r.StaleDropped)}
+		res.Table.AddRow(mode.String(), policy, r.FDPS(), r.LatencySummary().MeanOrZero(),
 			strconv.Itoa(r.StaleDropped))
 	}
 	return res

@@ -138,9 +138,9 @@ func Faults(quick bool) *FaultsResult {
 			pt.VSyncFDPS += v.FDPS() / float64(replicas)
 			pt.DVSyncFDPS += d.FDPS() / float64(replicas)
 			pt.FallbackFDPS += fb.FDPS() / float64(replicas)
-			pt.VSyncLatMs += v.LatencySummary().Mean / float64(replicas)
-			pt.DVSyncLatMs += d.LatencySummary().Mean / float64(replicas)
-			pt.FallbackLatMs += fb.LatencySummary().Mean / float64(replicas)
+			pt.VSyncLatMs += v.LatencySummary().MeanOrZero() / float64(replicas)
+			pt.DVSyncLatMs += d.LatencySummary().MeanOrZero() / float64(replicas)
+			pt.FallbackLatMs += fb.LatencySummary().MeanOrZero() / float64(replicas)
 			pt.FallbackTransitions += len(fb.Fallbacks)
 		}
 		return pt

@@ -315,7 +315,7 @@ func Fig16() *Fig16Result {
 
 	res.BaselineFDPS = v.FDPS()
 	res.DVSyncFDPS = d.FDPS()
-	vl, dl := v.LatencySummary().Mean, d.LatencySummary().Mean
+	vl, dl := v.LatencySummary().MeanOrZero(), d.LatencySummary().MeanOrZero()
 	res.LatencyReductionPct = Reduction(vl, dl)
 	if zdpCalls > 0 {
 		res.ZDPMeanNs = float64(zdpTotal.Nanoseconds()) / float64(zdpCalls)

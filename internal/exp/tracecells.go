@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"dvsync/internal/display"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// CellTrace is one canonical recorded cell of an experiment: a
+// representative simulation of one architecture under the experiment's
+// panel rate, with the full structured event trace attached. dvbench's
+// -trace-dir flag exports one Perfetto file per cell so every table in a
+// report can be cross-examined frame by frame.
+type CellTrace struct {
+	// Name is the export file stem, "<experiment>-<mode>".
+	Name string
+	// Mode is the architecture the cell simulated.
+	Mode sim.Mode
+	// Recorder holds the cell's recorded events.
+	Recorder *trace.Recorder
+}
+
+// cellFrames is the canonical cell length: long enough to show steady
+// state, janks and queue dynamics, short enough that a full -trace-dir
+// sweep stays cheap.
+const cellFrames = 240
+
+// cellHz returns the panel rate a cell records at: experiments built on
+// high-refresh panels trace at 120 Hz, everything else at the 60 Hz
+// baseline.
+func cellHz(id string) int {
+	switch id {
+	case "fig14", "future", "fig12", "fig13":
+		return 120
+	default:
+		return 60
+	}
+}
+
+// TraceCells records the canonical cells of one experiment — a VSync and a
+// D-VSync run over the identical exp.Seed workload. The recording is a
+// pure function of the experiment ID, so exports are byte-identical across
+// runs and -workers widths.
+func TraceCells(id string) []CellTrace {
+	hz := cellHz(id)
+	p := workload.DefaultProfile(id, simtime.PeriodForHz(hz).Milliseconds())
+	tr := p.Generate(cellFrames, Seed)
+	cells := []struct {
+		name    string
+		mode    sim.Mode
+		buffers int
+	}{
+		{id + "-vsync", sim.ModeVSync, 3},
+		{id + "-dvsync", sim.ModeDVSync, 4},
+	}
+	out := make([]CellTrace, 0, len(cells))
+	for _, c := range cells {
+		rec := trace.NewRecorder()
+		sim.Run(sim.Config{
+			Mode:     c.mode,
+			Panel:    display.Config{Name: id, RefreshHz: hz},
+			Buffers:  c.buffers,
+			Trace:    tr,
+			Recorder: rec,
+		})
+		out = append(out, CellTrace{Name: c.name, Mode: c.mode, Recorder: rec})
+	}
+	return out
+}

@@ -56,19 +56,43 @@ func (w *Welford) Min() float64 { return w.min }
 // Max returns the largest observation (0 when empty).
 func (w *Welford) Max() float64 { return w.max }
 
-// Summary is a five-number-style description of a sample.
+// Summary is a five-number-style description of a sample. On an empty
+// sample (N == 0) every statistic is NaN — check Valid before formatting.
 type Summary struct {
 	N                   int
 	Mean, Std, Min, Max float64
 	P50, P90, P95, P99  float64
 }
 
-// Summarize computes a Summary of xs (xs is not modified).
-func Summarize(xs []float64) Summary {
-	s := Summary{N: len(xs)}
-	if len(xs) == 0 {
-		return s
+// Valid reports whether the summary describes a non-empty sample; an
+// invalid summary's statistics are all NaN.
+func (s Summary) Valid() bool { return s.N > 0 }
+
+// MeanOrZero returns the mean, or 0 for an empty sample — the guard for
+// report columns where an absent sample should render as zero rather than
+// NaN.
+func (s Summary) MeanOrZero() float64 {
+	if !s.Valid() {
+		return 0
 	}
+	return s.Mean
+}
+
+// Summarize computes a Summary of xs (xs is not modified).
+//
+// Empty-input contract: a zero-length sample has no mean, extrema or
+// quantiles, so every statistic is NaN (never a misleading 0 — a 0 ms
+// latency summary reads as "instant", not "absent"). N stays 0 so callers
+// can branch with Valid.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return Summary{
+			Mean: nan, Std: nan, Min: nan, Max: nan,
+			P50: nan, P90: nan, P95: nan, P99: nan,
+		}
+	}
+	s := Summary{N: len(xs)}
 	var w Welford
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
@@ -84,11 +108,15 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile interpolates the p-quantile (p ∈ [0,1]) of an ascending-sorted
-// sample.
+// sample. p ≤ 0 returns the minimum and p ≥ 1 the maximum.
+//
+// Empty-input contract: the quantile of an empty sample does not exist, so
+// the result is NaN (the old silent 0 masqueraded as a real observation in
+// latency tables).
 func Percentile(sorted []float64, p float64) float64 {
 	n := len(sorted)
 	if n == 0 {
-		return 0
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

@@ -58,18 +58,36 @@ func TestWelfordMatchesNaive(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
-	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := Percentile(xs, 0); got != 1 {
-		t.Errorf("P0 = %v", got)
+	// Table over the boundary cases of the documented contract: NaN on an
+	// empty sample, clamping at p ≤ 0 / p ≥ 1, and the n = 1 degeneracy.
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"p0-min", ten, 0, 1},
+		{"p-negative-clamps", ten, -0.5, 1},
+		{"p1-max", ten, 1, 10},
+		{"p-over-one-clamps", ten, 1.5, 10},
+		{"p50-interpolates", ten, 0.5, 5.5},
+		{"n1-p0", []float64{7}, 0, 7},
+		{"n1-p50", []float64{7}, 0.5, 7},
+		{"n1-p1", []float64{7}, 1, 7},
+		{"n2-p25", []float64{2, 4}, 0.25, 2.5},
 	}
-	if got := Percentile(xs, 1); got != 10 {
-		t.Errorf("P100 = %v", got)
+	for _, tc := range cases {
+		if got := Percentile(tc.sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", tc.name, tc.sorted, tc.p, got, tc.want)
+		}
 	}
-	if got := Percentile(xs, 0.5); math.Abs(got-5.5) > 1e-12 {
-		t.Errorf("P50 = %v", got)
-	}
-	if Percentile(nil, 0.5) != 0 {
-		t.Error("empty percentile should be 0")
+	// Regression for the original defect: the empty-sample quantile used to
+	// be a silent 0, indistinguishable from a real zero-latency sample.
+	for _, p := range []float64{0, 0.5, 1} {
+		if got := Percentile(nil, p); !math.IsNaN(got) {
+			t.Errorf("Percentile(nil, %v) = %v, want NaN", p, got)
+		}
 	}
 }
 
@@ -81,9 +99,40 @@ func TestSummarize(t *testing.T) {
 	if s.P50 != 25 {
 		t.Errorf("P50 = %v", s.P50)
 	}
+	if !s.Valid() || s.MeanOrZero() != 25 {
+		t.Errorf("non-empty summary should be valid: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.Std != 0 {
+		t.Errorf("singleton summary %+v", s)
+	}
+	for name, q := range map[string]float64{"P50": s.P50, "P90": s.P90, "P95": s.P95, "P99": s.P99} {
+		if q != 3.5 {
+			t.Errorf("singleton %s = %v, want 3.5", name, q)
+		}
+	}
+}
+
+func TestSummarizeEmptyContract(t *testing.T) {
 	empty := Summarize(nil)
-	if empty.N != 0 {
-		t.Error("empty summary should be zero")
+	if empty.N != 0 || empty.Valid() {
+		t.Errorf("empty summary should be invalid: %+v", empty)
+	}
+	// Regression for the original defect: every statistic of an empty
+	// sample used to read as a plausible 0.
+	for name, v := range map[string]float64{
+		"Mean": empty.Mean, "Std": empty.Std, "Min": empty.Min, "Max": empty.Max,
+		"P50": empty.P50, "P90": empty.P90, "P95": empty.P95, "P99": empty.P99,
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty %s = %v, want NaN", name, v)
+		}
+	}
+	if empty.MeanOrZero() != 0 {
+		t.Errorf("MeanOrZero on empty = %v, want 0", empty.MeanOrZero())
 	}
 }
 

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dvsync/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden Perfetto exports")
+
+// TestGoldenPerfetto pins the full export bytes for one VSync and one
+// D-VSync run of the canonical dvtrace recording (60 frames, 60 Hz,
+// seed 3). The same fixture is what CI reproduces through the CLI:
+//
+//	go run ./cmd/dvtrace -record -mode dvsync -frames 60 -seed 3 -perfetto out.json
+//	cmp out.json internal/obs/testdata/dvsync.perfetto.json
+//
+// Any diff here means the export format or the simulation timing moved;
+// regenerate deliberately with `go test ./internal/obs -run Golden -update`.
+func TestGoldenPerfetto(t *testing.T) {
+	cases := []struct {
+		file string
+		mode sim.Mode
+	}{
+		{"vsync.perfetto.json", sim.ModeVSync},
+		{"dvsync.perfetto.json", sim.ModeDVSync},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := ExportPerfetto(record(t, tc.mode), &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("export differs from %s (%d vs %d bytes); regenerate with -update if intended",
+					path, buf.Len(), len(want))
+			}
+			if tracks, err := ValidatePerfetto(want); err != nil {
+				t.Errorf("golden fails validation: %v", err)
+			} else if tc.mode == sim.ModeDVSync && len(tracks) < 3 {
+				t.Errorf("dvsync golden has %d counter tracks %v, want ≥ 3", len(tracks), tracks)
+			}
+		})
+	}
+}

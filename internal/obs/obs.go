@@ -1,0 +1,317 @@
+// Package obs is the observability layer over internal/trace: it
+// reconstructs per-frame spans (UI → render → queue wait → display, with
+// drop and fallback annotations), counter timelines (buffer-queue depth,
+// windowed FDPS, DTV calibration error, health-watchdog state) and instant
+// markers (janks, missed edges, fallback trips, rate changes) from a
+// recorded event stream, and exports them as Chrome trace-event JSON
+// loadable in Perfetto (DESIGN.md §9).
+//
+// The mapping contract is total: every recorded event is consumed by
+// exactly one of the three views — lifecycle events
+// (frame-start/ui-done/queued/latched/present) become span boundaries,
+// HWVSync edges become counter samples, and everything else becomes an
+// instant. Build records the classification per event so tests can assert
+// nothing is silently dropped.
+//
+// Everything here is a pure function of the recorded events: no wall
+// clock, no randomness, no map-order dependence. The same trace produces
+// byte-identical exports on every run and at every -workers width.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+)
+
+// FDPSWindow is the sliding window of the exported frame-drop counter,
+// matching the health monitor's default evaluation window.
+const FDPSWindow = 500 * simtime.Millisecond
+
+// Counter track names in the Perfetto export.
+const (
+	TrackQueueDepth = "queue-depth"
+	TrackFDPS       = "fdps-windowed"
+	TrackCalibErr   = "dtv-calib-error-ms"
+	TrackFallback   = "fallback-tripped"
+)
+
+// Role classifies how Build consumed one recorded event.
+type Role int
+
+// Event roles.
+const (
+	// RoleUnmatched marks events of kinds unknown to this schema version.
+	RoleUnmatched Role = iota
+	// RoleSpan marks frame-lifecycle events consumed as span boundaries.
+	RoleSpan
+	// RoleCounter marks events consumed as counter samples (HWVSync edges
+	// drive the windowed-FDPS track).
+	RoleCounter
+	// RoleInstant marks events exported as instant markers.
+	RoleInstant
+)
+
+// FrameSpan is one frame's reconstructed lifecycle. Stage boundaries that
+// never appeared in the trace leave their Has flag false; a frame that was
+// rendered but never latched (stale-dropped, or still queued when the
+// trace ended) is marked Dropped.
+type FrameSpan struct {
+	// Frame is the frame sequence number.
+	Frame int
+	// Decoupled marks FPE-triggered frames.
+	Decoupled bool
+	// DTimestamp is the issued display prediction (0 on the VSync path).
+	DTimestamp simtime.Time
+	// Start/UIDone/Queued/Latched/Present are the stage boundaries.
+	Start, UIDone, Queued, Latched, Present simtime.Time
+	// HasUIDone is false on schema-v1 traces (no UI/render split).
+	HasUIDone bool
+	// HasQueued/HasLatched/HasPresent report which boundaries were seen.
+	HasQueued, HasLatched, HasPresent bool
+	// Dropped marks frames queued but never latched.
+	Dropped bool
+}
+
+// CalibErrMs returns |present − D-Timestamp| in ms for presented decoupled
+// frames, and (0, false) otherwise.
+func (f *FrameSpan) CalibErrMs() (float64, bool) {
+	if !f.Decoupled || !f.HasPresent || f.DTimestamp == 0 {
+		return 0, false
+	}
+	err := f.Present.Sub(f.DTimestamp)
+	if err < 0 {
+		err = -err
+	}
+	return err.Milliseconds(), true
+}
+
+// CounterSample is one point on a counter track.
+type CounterSample struct {
+	// At is the sample instant.
+	At simtime.Time
+	// Track names the counter.
+	Track string
+	// Value is the sampled value.
+	Value float64
+}
+
+// Instant is one point marker.
+type Instant struct {
+	// At is the marker instant.
+	At simtime.Time
+	// Name is the marker kind (jank, edge-missed, fallback, rate-change).
+	Name string
+	// EdgeSeq is the panel edge index where applicable.
+	EdgeSeq uint64
+	// Hz is the refresh rate for rate changes.
+	Hz int
+	// Detail carries event context (fallback direction and reason).
+	Detail string
+}
+
+// Model is the reconstructed observability view of one trace.
+type Model struct {
+	// SchemaVersion is the vocabulary version the trace was read under.
+	SchemaVersion int
+	// Spans lists per-frame lifecycles in frame-start order.
+	Spans []FrameSpan
+	// Counters lists counter samples in emission (time) order.
+	Counters []CounterSample
+	// Instants lists point markers in time order.
+	Instants []Instant
+	// Roles classifies each recorded event, parallel to the input trace.
+	Roles []Role
+	// Start/End bound the trace.
+	Start, End simtime.Time
+}
+
+// Build reconstructs the observability model from a recorded trace in one
+// deterministic forward pass.
+func Build(rec *trace.Recorder) *Model {
+	events := rec.Events()
+	m := &Model{SchemaVersion: trace.SchemaVersion, Roles: make([]Role, len(events))}
+	if len(events) == 0 {
+		return m
+	}
+	m.Start, m.End = events[0].At, events[len(events)-1].At
+
+	// byFrame indexes the span under construction for each frame id; spans
+	// themselves live in the slice, appended in frame-start order, so no
+	// map iteration ever happens.
+	byFrame := map[int]int{}
+	span := func(frame int) *FrameSpan {
+		i, ok := byFrame[frame]
+		if !ok {
+			return nil
+		}
+		return &m.Spans[i]
+	}
+
+	depth := 0
+	tripped := false
+	emittedState := false
+	var jankTimes []simtime.Time
+
+	for i, ev := range events {
+		switch ev.Kind {
+		case trace.FrameStart:
+			m.Roles[i] = RoleSpan
+			byFrame[ev.Frame] = len(m.Spans)
+			m.Spans = append(m.Spans, FrameSpan{
+				Frame: ev.Frame, Decoupled: ev.Decoupled,
+				DTimestamp: ev.DTimestamp, Start: ev.At,
+			})
+		case trace.FrameUIDone:
+			m.Roles[i] = RoleSpan
+			if f := span(ev.Frame); f != nil {
+				f.UIDone, f.HasUIDone = ev.At, true
+			}
+		case trace.FrameQueued:
+			m.Roles[i] = RoleSpan
+			if f := span(ev.Frame); f != nil {
+				f.Queued, f.HasQueued = ev.At, true
+			}
+			depth++
+			m.Counters = append(m.Counters, CounterSample{At: ev.At, Track: TrackQueueDepth, Value: float64(depth)})
+		case trace.FrameLatched:
+			m.Roles[i] = RoleSpan
+			if f := span(ev.Frame); f != nil {
+				f.Latched, f.HasLatched = ev.At, true
+			}
+			if depth > 0 {
+				depth--
+			}
+			m.Counters = append(m.Counters, CounterSample{At: ev.At, Track: TrackQueueDepth, Value: float64(depth)})
+		case trace.FramePresent:
+			m.Roles[i] = RoleSpan
+			if f := span(ev.Frame); f != nil {
+				f.Present, f.HasPresent = ev.At, true
+				if errMs, ok := f.CalibErrMs(); ok {
+					m.Counters = append(m.Counters, CounterSample{At: ev.At, Track: TrackCalibErr, Value: errMs})
+				}
+			}
+		case trace.HWVSync:
+			m.Roles[i] = RoleCounter
+			m.Counters = append(m.Counters, CounterSample{
+				At: ev.At, Track: TrackFDPS, Value: windowedFDPS(jankTimes, ev.At),
+			})
+		case trace.Jank:
+			m.Roles[i] = RoleInstant
+			jankTimes = append(jankTimes, ev.At)
+			m.Instants = append(m.Instants, Instant{At: ev.At, Name: "jank", EdgeSeq: ev.EdgeSeq})
+		case trace.EdgeMissed:
+			m.Roles[i] = RoleInstant
+			m.Instants = append(m.Instants, Instant{At: ev.At, Name: "edge-missed", EdgeSeq: ev.EdgeSeq})
+		case trace.RateChange:
+			m.Roles[i] = RoleInstant
+			m.Instants = append(m.Instants, Instant{At: ev.At, Name: "rate-change", EdgeSeq: ev.EdgeSeq, Hz: ev.Hz})
+		case trace.Fallback:
+			m.Roles[i] = RoleInstant
+			m.Instants = append(m.Instants, Instant{At: ev.At, Name: "fallback", Detail: ev.Detail})
+			if !emittedState {
+				// Anchor the state track at the trace start so the step is
+				// visible even when the first transition is late.
+				m.Counters = append(m.Counters, CounterSample{At: m.Start, Track: TrackFallback, Value: 0})
+				emittedState = true
+			}
+			tripped = strings.HasPrefix(ev.Detail, "to=VSync")
+			v := 0.0
+			if tripped {
+				v = 1
+			}
+			m.Counters = append(m.Counters, CounterSample{At: ev.At, Track: TrackFallback, Value: v})
+		default:
+			m.Roles[i] = RoleUnmatched
+		}
+	}
+
+	// Frames queued but never latched were discarded (stale-dropping
+	// consumer) or stranded when the trace ended: annotate them.
+	for i := range m.Spans {
+		f := &m.Spans[i]
+		if f.HasQueued && !f.HasLatched {
+			f.Dropped = true
+		}
+	}
+	return m
+}
+
+// windowedFDPS counts janks inside the trailing window ending at now,
+// divided by the (start-truncated) window length.
+func windowedFDPS(janks []simtime.Time, now simtime.Time) float64 {
+	win := simtime.Duration(FDPSWindow)
+	if simtime.Duration(now) < win {
+		win = simtime.Duration(now)
+	}
+	if win <= 0 {
+		return 0
+	}
+	cut := now.Add(-win)
+	n := 0
+	for i := len(janks) - 1; i >= 0; i-- {
+		if janks[i] < cut {
+			break
+		}
+		n++
+	}
+	return float64(n) / win.Seconds()
+}
+
+// Unmatched returns the indices of recorded events no view consumed
+// (always empty for traces written by this schema version).
+func (m *Model) Unmatched() []int {
+	var out []int
+	for i, r := range m.Roles {
+		if r == RoleUnmatched {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WriteSpanTable renders the per-frame stage breakdown as an aligned text
+// table: the `dvtrace -spans` view.
+func (m *Model) WriteSpanTable(w io.Writer) {
+	fmt.Fprintf(w, "%d frames, %d counters, %d instants (schema v%d)\n",
+		len(m.Spans), len(m.Counters), len(m.Instants), m.SchemaVersion)
+	fmt.Fprintf(w, "%6s  %-6s  %10s  %8s  %8s  %8s  %8s  %s\n",
+		"frame", "chan", "start ms", "ui ms", "rend ms", "queue ms", "disp ms", "flags")
+	for i := range m.Spans {
+		f := &m.Spans[i]
+		ch := "vsync"
+		if f.Decoupled {
+			ch = "dvsync"
+		}
+		ui, rend := "-", "-"
+		if f.HasUIDone {
+			ui = fmt.Sprintf("%.3f", f.UIDone.Sub(f.Start).Milliseconds())
+			if f.HasQueued {
+				rend = fmt.Sprintf("%.3f", f.Queued.Sub(f.UIDone).Milliseconds())
+			}
+		} else if f.HasQueued {
+			// Schema-v1 trace: UI and render are indistinguishable.
+			ui = fmt.Sprintf("%.3f", f.Queued.Sub(f.Start).Milliseconds())
+		}
+		queue, disp := "-", "-"
+		if f.HasQueued && f.HasLatched {
+			queue = fmt.Sprintf("%.3f", f.Latched.Sub(f.Queued).Milliseconds())
+		}
+		if f.HasLatched && f.HasPresent {
+			disp = fmt.Sprintf("%.3f", f.Present.Sub(f.Latched).Milliseconds())
+		}
+		var flags []string
+		if f.Dropped {
+			flags = append(flags, "dropped")
+		}
+		if !f.HasQueued {
+			flags = append(flags, "unfinished")
+		}
+		fmt.Fprintf(w, "%6d  %-6s  %10.3f  %8s  %8s  %8s  %8s  %s\n",
+			f.Frame, ch, f.Start.Milliseconds(), ui, rend, queue, disp,
+			strings.Join(flags, ","))
+	}
+}

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dvsync/internal/display"
+	"dvsync/internal/health"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// record runs the canonical dvtrace recording: the same workload, panel
+// and buffer count `dvtrace -record -hz 60 -frames 60 -seed 3` uses, so
+// the goldens here and the CI cross-check against the CLI agree byte for
+// byte.
+func record(t *testing.T, mode sim.Mode) *trace.Recorder {
+	t.Helper()
+	p := workload.DefaultProfile("dvtrace", simtime.PeriodForHz(60).Milliseconds())
+	rec := trace.NewRecorder()
+	sim.Run(sim.Config{
+		Mode:     mode,
+		Panel:    display.Config{Name: "dvtrace", RefreshHz: 60},
+		Buffers:  4,
+		Trace:    p.Generate(60, 3),
+		Recorder: rec,
+	})
+	return rec
+}
+
+// TestCoverageContract: every recorded event lands in exactly one of the
+// three views — span boundary, counter sample, or instant — for both
+// architectures and for a supervised faulted run that trips the fallback
+// (exercising the jank/edge-missed/fallback instant kinds).
+func TestCoverageContract(t *testing.T) {
+	recs := map[string]*trace.Recorder{
+		"vsync":  record(t, sim.ModeVSync),
+		"dvsync": record(t, sim.ModeDVSync),
+		"fallback": func() *trace.Recorder {
+			// Healthy lead-in, sustained overload burst that trips the FDPS
+			// watchdog, long healthy tail for the hysteresis recovery — the
+			// same shape the sim package's golden fallback test pins.
+			tr := &workload.Trace{Name: "obs-fallback"}
+			addCost := func(ms float64, n int) {
+				for i := 0; i < n; i++ {
+					total := simtime.FromMillis(ms)
+					ui := simtime.Duration(float64(total) * 0.35)
+					tr.Costs = append(tr.Costs, workload.Cost{UI: ui, RS: total - ui, Class: workload.Deterministic})
+				}
+			}
+			addCost(5, 30)
+			addCost(35, 25)
+			addCost(5, 60)
+			rec := trace.NewRecorder()
+			sim.Run(sim.Config{
+				Mode:           sim.ModeDVSync,
+				Panel:          display.Config{Name: "obs-fallback", RefreshHz: 60},
+				Buffers:        5,
+				Trace:          tr,
+				EnableFallback: true,
+				Health: health.Config{
+					Window:       200 * simtime.Millisecond,
+					MaxFDPS:      10,
+					RecoverAfter: 300 * simtime.Millisecond,
+				},
+				Recorder: rec,
+			})
+			return rec
+		}(),
+	}
+	for name, rec := range recs {
+		m := Build(rec)
+		if un := m.Unmatched(); len(un) != 0 {
+			t.Errorf("%s: %d events unclassified (first at index %d: %+v)",
+				name, len(un), un[0], rec.Events()[un[0]])
+		}
+		if len(m.Roles) != rec.Len() {
+			t.Fatalf("%s: %d roles for %d events", name, len(m.Roles), rec.Len())
+		}
+		// Cross-count every kind against the view that must consume it.
+		counts := map[trace.EventKind]int{}
+		for _, ev := range rec.Events() {
+			counts[ev.Kind]++
+		}
+		spanEvents := counts[trace.FrameStart] + counts[trace.FrameUIDone] +
+			counts[trace.FrameQueued] + counts[trace.FrameLatched] + counts[trace.FramePresent]
+		instantEvents := counts[trace.Jank] + counts[trace.EdgeMissed] +
+			counts[trace.RateChange] + counts[trace.Fallback]
+		var gotSpan, gotCounter, gotInstant int
+		for _, r := range m.Roles {
+			switch r {
+			case RoleSpan:
+				gotSpan++
+			case RoleCounter:
+				gotCounter++
+			case RoleInstant:
+				gotInstant++
+			}
+		}
+		if gotSpan != spanEvents {
+			t.Errorf("%s: %d span-role events, want %d", name, gotSpan, spanEvents)
+		}
+		if gotCounter != counts[trace.HWVSync] {
+			t.Errorf("%s: %d counter-role events, want %d edges", name, gotCounter, counts[trace.HWVSync])
+		}
+		if gotInstant != instantEvents {
+			t.Errorf("%s: %d instant-role events, want %d", name, gotInstant, instantEvents)
+		}
+		if gotSpan+gotCounter+gotInstant != rec.Len() {
+			t.Errorf("%s: roles sum to %d, want %d", name,
+				gotSpan+gotCounter+gotInstant, rec.Len())
+		}
+		if len(m.Spans) != counts[trace.FrameStart] {
+			t.Errorf("%s: %d spans for %d frame starts", name, len(m.Spans), counts[trace.FrameStart])
+		}
+		if name == "fallback" && counts[trace.Fallback] == 0 {
+			t.Errorf("fallback scenario recorded no fallback events")
+		}
+	}
+}
+
+// TestSpanStageOrdering: reconstructed stage boundaries are monotone and
+// the UI/render split is present on schema-v2 traces.
+func TestSpanStageOrdering(t *testing.T) {
+	m := Build(record(t, sim.ModeDVSync))
+	if len(m.Spans) == 0 {
+		t.Fatal("no spans")
+	}
+	for _, f := range m.Spans {
+		if !f.HasUIDone {
+			t.Fatalf("frame %d: schema-v2 trace without ui-done", f.Frame)
+		}
+		if f.UIDone < f.Start || (f.HasQueued && f.Queued < f.UIDone) {
+			t.Errorf("frame %d: ui/render boundaries out of order: %+v", f.Frame, f)
+		}
+		if f.HasLatched && f.Latched < f.Queued {
+			t.Errorf("frame %d: latched before queued", f.Frame)
+		}
+		if f.HasPresent && f.Present < f.Latched {
+			t.Errorf("frame %d: present before latch", f.Frame)
+		}
+		if !f.Decoupled {
+			t.Errorf("frame %d: dvsync steady-state frame not decoupled", f.Frame)
+		}
+	}
+}
+
+// TestSchemaV1Fallback: a trace without ui-done events (schema v1) still
+// reconstructs, with the UI/render stages merged.
+func TestSchemaV1Fallback(t *testing.T) {
+	rec := trace.NewRecorder()
+	rec.Add(trace.Event{At: 0, Kind: trace.HWVSync, Frame: -1, Hz: 60})
+	rec.Add(trace.Event{At: 100, Kind: trace.FrameStart, Frame: 0})
+	rec.Add(trace.Event{At: 900, Kind: trace.FrameQueued, Frame: 0})
+	rec.Add(trace.Event{At: 1000, Kind: trace.FrameLatched, Frame: 0, EdgeSeq: 1})
+	rec.Add(trace.Event{At: 2000, Kind: trace.FramePresent, Frame: 0})
+	m := Build(rec)
+	if len(m.Spans) != 1 || m.Spans[0].HasUIDone {
+		t.Fatalf("v1 spans = %+v", m.Spans)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ui+render") {
+		t.Error("v1 export should merge the ui and render stages")
+	}
+	if _, err := ValidatePerfetto(buf.Bytes()); err != nil {
+		t.Errorf("v1 export invalid: %v", err)
+	}
+}
+
+// TestDroppedFrameAnnotation: a queued-but-never-latched frame is marked
+// dropped and its queue span is annotated in the export.
+func TestDroppedFrameAnnotation(t *testing.T) {
+	rec := trace.NewRecorder()
+	rec.Add(trace.Event{At: 0, Kind: trace.FrameStart, Frame: 0})
+	rec.Add(trace.Event{At: 500, Kind: trace.FrameQueued, Frame: 0})
+	rec.Add(trace.Event{At: 1000, Kind: trace.Jank, Frame: -1, EdgeSeq: 1})
+	m := Build(rec)
+	if len(m.Spans) != 1 || !m.Spans[0].Dropped {
+		t.Fatalf("spans = %+v, want one dropped frame", m.Spans)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"dropped\": true") {
+		t.Error("export should annotate the dropped frame")
+	}
+}
+
+// TestCounterTracks: the dvsync export carries at least the three
+// pipeline counters, and the windowed-FDPS track rises after janks.
+func TestCounterTracks(t *testing.T) {
+	m := Build(record(t, sim.ModeDVSync))
+	var buf bytes.Buffer
+	if err := m.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := ValidatePerfetto(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) < 3 {
+		t.Fatalf("counter tracks = %v, want ≥ 3", tracks)
+	}
+	want := map[string]bool{TrackQueueDepth: false, TrackFDPS: false, TrackCalibErr: false}
+	for _, tr := range tracks {
+		if _, ok := want[tr]; ok {
+			want[tr] = true
+		}
+	}
+	for _, name := range []string{TrackQueueDepth, TrackFDPS, TrackCalibErr} {
+		if !want[name] {
+			t.Errorf("track %s missing from export (got %v)", name, tracks)
+		}
+	}
+}
+
+// TestWindowedFDPS: the counter divides trailing-window janks by the
+// (start-truncated) window length.
+func TestWindowedFDPS(t *testing.T) {
+	win := simtime.Duration(FDPSWindow)
+	janks := []simtime.Time{
+		simtime.Time(win / 2),
+		simtime.Time(win),
+	}
+	now := simtime.Time(win + win/4)
+	// Both janks inside [now-win, now]: 2 / 0.5 s = 4.
+	if got := windowedFDPS(janks, now); got != 2/win.Seconds() {
+		t.Errorf("windowedFDPS = %v, want %v", got, 2/win.Seconds())
+	}
+	// Early in the run the window truncates at t=0.
+	if got := windowedFDPS([]simtime.Time{0}, simtime.Time(win/5)); got != 1/(win/5).Seconds() {
+		t.Errorf("truncated windowedFDPS = %v", got)
+	}
+	if got := windowedFDPS(nil, 0); got != 0 {
+		t.Errorf("empty windowedFDPS = %v", got)
+	}
+}
+
+// TestValidateRejectsMalformed: the minimal schema check catches the
+// obvious corruption classes.
+func TestValidateRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportPerfetto(record(t, sim.ModeVSync), &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	cases := map[string]string{
+		"not-json":        "[1,2,3",
+		"no-events":       `{"traceEvents":[],"otherData":{"schema":"dvsync-trace","schemaVersion":2}}`,
+		"no-schema-stamp": `{"traceEvents":[{"name":"x","ph":"i","ts":1,"pid":1,"tid":1}]}`,
+		"bad-phase":       strings.Replace(good, `"ph": "X"`, `"ph": "Z"`, 1),
+		"negative-dur":    strings.Replace(good, `"dur": `, `"dur": -`, 1),
+	}
+	for name, doc := range cases {
+		if _, err := ValidatePerfetto([]byte(doc)); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+	if _, err := ValidatePerfetto([]byte(good)); err != nil {
+		t.Errorf("good export rejected: %v", err)
+	}
+}
+
+// TestExportDeterminism: repeated exports of the same recording are
+// byte-identical.
+func TestExportDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := ExportPerfetto(record(t, sim.ModeDVSync), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportPerfetto(record(t, sim.ModeDVSync), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same recording differ")
+	}
+}
+
+// TestEmptyTrace: a model over no events exports a valid (if dull)
+// document and renders an empty table.
+func TestEmptyTrace(t *testing.T) {
+	m := Build(trace.NewRecorder())
+	if len(m.Spans)+len(m.Counters)+len(m.Instants) != 0 {
+		t.Fatalf("empty model: %+v", m)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Only metadata events: still structurally valid.
+	if _, err := ValidatePerfetto(buf.Bytes()); err != nil {
+		t.Errorf("empty export invalid: %v", err)
+	}
+	var tbl strings.Builder
+	m.WriteSpanTable(&tbl)
+	if !strings.Contains(tbl.String(), "0 frames") {
+		t.Errorf("span table = %q", tbl.String())
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dvsync/internal/simtime"
+	"dvsync/internal/trace"
+)
+
+// Perfetto track layout: one process, one thread per pipeline stage plus a
+// marker lane. Counter tracks attach to the process.
+const (
+	pidSim      = 1
+	tidUI       = 1
+	tidRender   = 2
+	tidQueue    = 3
+	tidDisplay  = 4
+	tidMarkers  = 5
+	processName = "dvsync-sim"
+)
+
+// traceEvent is one Chrome trace-event record. Field order is the JSON key
+// order, and args maps marshal with sorted keys, so the export is
+// byte-deterministic.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the JSON-object form of the Chrome trace-event format.
+type traceDoc struct {
+	TraceEvents     []traceEvent  `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       traceDocOther `json:"otherData"`
+}
+
+// traceDocOther stamps provenance into the export.
+type traceDocOther struct {
+	Schema        string `json:"schema"`
+	SchemaVersion int    `json:"schemaVersion"`
+}
+
+// usOf converts a simulation instant to Chrome's microsecond timebase.
+func usOf(t simtime.Time) float64 { return float64(t) / float64(simtime.Microsecond) }
+
+// usDur converts a simulated duration to microseconds.
+func usDur(d simtime.Duration) *float64 {
+	v := float64(d) / float64(simtime.Microsecond)
+	return &v
+}
+
+// Perfetto assembles the Chrome trace-event document for the model.
+func (m *Model) perfettoDoc() traceDoc {
+	evs := make([]traceEvent, 0, 2*len(m.Spans)+len(m.Counters)+len(m.Instants)+8)
+
+	meta := func(name string, tid int, value string) {
+		evs = append(evs, traceEvent{
+			Name: name, Ph: "M", Pid: pidSim, Tid: tid,
+			Args: map[string]any{"name": value},
+		})
+	}
+	meta("process_name", 0, processName)
+	meta("thread_name", tidUI, "ui")
+	meta("thread_name", tidRender, "render")
+	meta("thread_name", tidQueue, "queue")
+	meta("thread_name", tidDisplay, "display")
+	meta("thread_name", tidMarkers, "markers")
+
+	var body []traceEvent
+	spanArgs := func(f *FrameSpan, extra map[string]any) map[string]any {
+		args := map[string]any{"frame": f.Frame, "decoupled": f.Decoupled}
+		if f.DTimestamp != 0 {
+			args["dtsMs"] = f.DTimestamp.Milliseconds()
+		}
+		for k, v := range extra {
+			args[k] = v
+		}
+		return args
+	}
+	x := func(name string, tid int, f *FrameSpan, from, to simtime.Time, extra map[string]any) {
+		body = append(body, traceEvent{
+			Name: name, Cat: "frame", Ph: "X", Ts: usOf(from), Dur: usDur(to.Sub(from)),
+			Pid: pidSim, Tid: tid, Args: spanArgs(f, extra),
+		})
+	}
+	for i := range m.Spans {
+		f := &m.Spans[i]
+		label := fmt.Sprintf("frame %d", f.Frame)
+		switch {
+		case f.HasUIDone:
+			x(label+" ui", tidUI, f, f.Start, f.UIDone, nil)
+			if f.HasQueued {
+				x(label+" render", tidRender, f, f.UIDone, f.Queued, nil)
+			}
+		case f.HasQueued:
+			// Schema-v1 trace: the UI/render split is unknown.
+			x(label+" ui+render", tidUI, f, f.Start, f.Queued, nil)
+		}
+		switch {
+		case f.HasQueued && f.HasLatched:
+			x(label+" queued", tidQueue, f, f.Queued, f.Latched, nil)
+		case f.Dropped:
+			x(label+" queued", tidQueue, f, f.Queued, m.End,
+				map[string]any{"dropped": true})
+		}
+		if f.HasLatched && f.HasPresent {
+			x(label+" display", tidDisplay, f, f.Latched, f.Present, nil)
+		}
+	}
+	for _, c := range m.Counters {
+		body = append(body, traceEvent{
+			Name: c.Track, Cat: "counter", Ph: "C", Ts: usOf(c.At),
+			Pid: pidSim, Tid: 0, Args: map[string]any{"value": c.Value},
+		})
+	}
+	for _, in := range m.Instants {
+		args := map[string]any{}
+		if in.EdgeSeq != 0 || in.Name == "jank" || in.Name == "edge-missed" {
+			args["edge"] = in.EdgeSeq
+		}
+		if in.Hz != 0 {
+			args["hz"] = in.Hz
+		}
+		if in.Detail != "" {
+			args["detail"] = in.Detail
+		}
+		body = append(body, traceEvent{
+			Name: in.Name, Cat: "marker", Ph: "i", Ts: usOf(in.At),
+			Pid: pidSim, Tid: tidMarkers, S: "p", Args: args,
+		})
+	}
+	// Chronological body after the metadata header; the pre-sort order is
+	// itself deterministic, so the stable sort yields identical bytes on
+	// every run.
+	sort.SliceStable(body, func(i, j int) bool { return body[i].Ts < body[j].Ts })
+	evs = append(evs, body...)
+
+	return traceDoc{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData:       traceDocOther{Schema: "dvsync-trace", SchemaVersion: m.SchemaVersion},
+	}
+}
+
+// WritePerfetto encodes the model as Chrome trace-event JSON, the format
+// Perfetto's UI (ui.perfetto.dev) and chrome://tracing load directly. The
+// output is byte-identical for identical traces.
+func (m *Model) WritePerfetto(w io.Writer) error {
+	data, err := json.MarshalIndent(m.perfettoDoc(), "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: encode perfetto: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("obs: write perfetto: %w", err)
+	}
+	return nil
+}
+
+// ExportPerfetto is the one-call path from a recorded trace to Perfetto
+// JSON.
+func ExportPerfetto(rec *trace.Recorder, w io.Writer) error {
+	return Build(rec).WritePerfetto(w)
+}
+
+// ValidatePerfetto checks an export against the minimal schema contract:
+// a JSON object with a non-empty traceEvents array whose records carry a
+// name, a known phase, and the per-phase required fields; duration events
+// must not run backwards; the document must stamp the trace schema
+// version. On success it returns the sorted counter track names, so
+// callers (tests, the CI gate behind `dvtrace -check`) can assert the
+// expected tracks are present.
+func ValidatePerfetto(data []byte) ([]string, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+			Pid  *int           `json:"pid"`
+		} `json:"traceEvents"`
+		OtherData struct {
+			Schema        string `json:"schema"`
+			SchemaVersion int    `json:"schemaVersion"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: not a trace-event JSON object: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return nil, fmt.Errorf("obs: empty traceEvents array")
+	}
+	if doc.OtherData.Schema != "dvsync-trace" || doc.OtherData.SchemaVersion < 1 {
+		return nil, fmt.Errorf("obs: missing schema stamp (got %q v%d)",
+			doc.OtherData.Schema, doc.OtherData.SchemaVersion)
+	}
+	counters := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return nil, fmt.Errorf("obs: event %d: empty name", i)
+		}
+		if ev.Pid == nil {
+			return nil, fmt.Errorf("obs: event %d (%s): missing pid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			if _, ok := ev.Args["name"]; !ok {
+				return nil, fmt.Errorf("obs: event %d (%s): metadata without args.name", i, ev.Name)
+			}
+		case "X":
+			if ev.Ts == nil || ev.Dur == nil {
+				return nil, fmt.Errorf("obs: event %d (%s): duration event without ts/dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return nil, fmt.Errorf("obs: event %d (%s): negative duration %v", i, ev.Name, *ev.Dur)
+			}
+		case "C":
+			if ev.Ts == nil {
+				return nil, fmt.Errorf("obs: event %d (%s): counter without ts", i, ev.Name)
+			}
+			if _, ok := ev.Args["value"].(float64); !ok {
+				return nil, fmt.Errorf("obs: event %d (%s): counter without numeric args.value", i, ev.Name)
+			}
+			counters[ev.Name] = true
+		case "i":
+			if ev.Ts == nil {
+				return nil, fmt.Errorf("obs: event %d (%s): instant without ts", i, ev.Name)
+			}
+		default:
+			return nil, fmt.Errorf("obs: event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	tracks := make([]string, 0, len(counters))
+	for t := range counters {
+		tracks = append(tracks, t)
+	}
+	sort.Strings(tracks)
+	return tracks, nil
+}

@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -42,8 +43,13 @@ func (t *Table) AddRow(cells ...any) {
 }
 
 // FormatFloat renders floats compactly: two decimals, trimming to a
-// sensible width for table cells.
+// sensible width for table cells. NaN — the metrics package's empty-sample
+// marker — renders as "n/a" so an absent measurement can never be read as
+// a real value.
 func FormatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
 	av := v
 	if av < 0 {
 		av = -av

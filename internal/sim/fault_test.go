@@ -196,7 +196,8 @@ func TestGoldenFallbackScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	sum := sha256.Sum256([]byte(sb.String()))
-	const wantDigest = "3c2507feefbc8fb9"
+	// Digest of the schema-v2 trace (v2 added frame-ui-done events).
+	const wantDigest = "2f4c882cba8e686d"
 	if got := hex.EncodeToString(sum[:8]); got != wantDigest {
 		t.Errorf("trace digest = %s, want %s", got, wantDigest)
 	}

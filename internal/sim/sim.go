@@ -394,7 +394,11 @@ func New(cfg Config) *System {
 	s.panel.OnEdge(s.dist.OnHWEdge)
 	s.dist.Subscribe(signal.VSyncApp, s.onAppTick)
 
-	s.producer.OnUIDone = func(now simtime.Time, _ *buffer.Frame) {
+	s.producer.OnUIDone = func(now simtime.Time, f *buffer.Frame) {
+		if cfg.Recorder != nil {
+			cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameUIDone, Frame: f.Seq,
+				Decoupled: f.Decoupled})
+		}
 		if s.fpe != nil {
 			s.fpe.Pump(now)
 		}
@@ -755,12 +759,12 @@ func (s *System) Run() *Result {
 	}
 	// Size the result and trace buffers from the frame count up front: at
 	// most one presented frame and latency sample per trace entry, and
-	// roughly five trace records per frame (start, queued, vsync, latched,
-	// present). Saves the append doubling churn on the hot path.
+	// roughly six trace records per frame (start, ui-done, queued, vsync,
+	// latched, present). Saves the append doubling churn on the hot path.
 	s.res.Presented = make([]*buffer.Frame, 0, n)
 	s.res.LatencyMs = make([]float64, 0, n)
 	if s.cfg.Recorder != nil {
-		s.cfg.Recorder.Reserve(5*n + 64)
+		s.cfg.Recorder.Reserve(6*n + 64)
 	}
 	s.panel.Start(0)
 	s.engine.Run(simtime.Time(0).Add(horizon))

@@ -335,6 +335,32 @@ func TestRecorderCapturesLifecycle(t *testing.T) {
 	if s.Events[trace.FrameStart] != 20 || s.Events[trace.FrameQueued] != 20 {
 		t.Errorf("lifecycle events missing: %v", s.Events)
 	}
+	// Schema v2: every frame also records the UI→render handoff, strictly
+	// between its start and queue boundaries.
+	if s.Events[trace.FrameUIDone] != 20 {
+		t.Errorf("ui-done events = %d, want 20", s.Events[trace.FrameUIDone])
+	}
+	bound := map[int][3]simtime.Time{}
+	for _, ev := range rec.Events() {
+		b := bound[ev.Frame]
+		switch ev.Kind {
+		case trace.FrameStart:
+			b[0] = ev.At
+		case trace.FrameUIDone:
+			b[1] = ev.At
+		case trace.FrameQueued:
+			b[2] = ev.At
+		}
+		bound[ev.Frame] = b
+	}
+	for frame, b := range bound {
+		if frame < 0 {
+			continue
+		}
+		if b[1] <= b[0] || b[2] < b[1] {
+			t.Errorf("frame %d: start %v, ui-done %v, queued %v out of order", frame, b[0], b[1], b[2])
+		}
+	}
 	if s.DecoupledShare != 1 {
 		t.Errorf("all frames decoupled, share = %v", s.DecoupledShare)
 	}

@@ -5,6 +5,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,15 +15,34 @@ import (
 	"dvsync/internal/simtime"
 )
 
+// SchemaVersion identifies the event vocabulary below. Version 1 is the
+// seed vocabulary; version 2 added FrameUIDone (the UI→render stage split
+// the observability layer reconstructs spans from). Consumers that persist
+// or exchange traces embed this number (internal/obs stamps it into every
+// Perfetto export) so a reader can tell which kinds it may encounter.
+const SchemaVersion = 2
+
 // EventKind classifies trace events.
 type EventKind string
 
-// Trace event kinds.
+// Trace event kinds — the schema-versioned vocabulary. Every simulation
+// event is one of these; internal/obs maps each recorded event into
+// exactly one Perfetto span boundary, counter sample, or instant:
+//
+//	FrameStart → FrameUIDone → FrameQueued → FrameLatched → FramePresent
+//
+// bound the per-frame UI / render / queue-wait / display spans, while
+// HWVSync, Jank, RateChange, Fallback and EdgeMissed describe the panel
+// and supervisor.
 const (
 	// HWVSync is a hardware VSync edge.
 	HWVSync EventKind = "hw-vsync"
 	// FrameStart marks a frame's UI-stage begin.
 	FrameStart EventKind = "frame-start"
+	// FrameUIDone marks the UI stage handing off to the render service
+	// (schema v2; absent from v1 traces, where the UI/render split is
+	// unknown and span reconstruction merges the two stages).
+	FrameUIDone EventKind = "frame-ui-done"
 	// FrameQueued marks a rendered buffer entering the queue.
 	FrameQueued EventKind = "frame-queued"
 	// FrameLatched marks the panel latching a buffer.
@@ -112,18 +132,35 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadJSONL decodes a JSONL trace.
+// ReadJSONL decodes a JSONL trace. Lines grow without bound (a bufio.Reader
+// reassembles fragments, so no fixed token limit applies — large traces and
+// future span payloads with long detail strings read fine), blank lines are
+// skipped, and a malformed record reports its 1-based line number.
 func ReadJSONL(rd io.Reader) (*Recorder, error) {
 	r := NewRecorder()
-	dec := json.NewDecoder(rd)
-	for {
-		var ev Event
-		if err := dec.Decode(&ev); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: decode: %w", err)
+	br := bufio.NewReader(rd)
+	var partial []byte
+	for line := 1; ; line++ {
+		chunk, err := br.ReadBytes('\n')
+		if len(chunk) > 0 {
+			partial = append(partial, chunk...)
 		}
-		r.events = append(r.events, ev)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("trace: line %d: read: %w", line, err)
+		}
+		done := err == io.EOF
+		raw := bytes.TrimSpace(partial)
+		if len(raw) > 0 {
+			var ev Event
+			if jerr := json.Unmarshal(raw, &ev); jerr != nil {
+				return nil, fmt.Errorf("trace: line %d: malformed event: %w", line, jerr)
+			}
+			r.events = append(r.events, ev)
+		}
+		partial = partial[:0]
+		if done {
+			break
+		}
 	}
 	sort.SliceStable(r.events, func(i, j int) bool { return r.events[i].At < r.events[j].At })
 	return r, nil

@@ -61,6 +61,58 @@ func TestReadJSONLGarbage(t *testing.T) {
 	}
 }
 
+// TestReadJSONLLongLine: regression for the bufio.Scanner token limit —
+// a single event line far beyond 64 KiB must round-trip, not error out.
+func TestReadJSONLLongLine(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{At: 1, Kind: Fallback, Frame: -1,
+		Detail: "to=VSync reason=" + strings.Repeat("x", 256<<10)})
+	r.Add(Event{At: 2, Kind: HWVSync, Frame: -1})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("long line rejected: %v", err)
+	}
+	if back.Len() != 2 || back.Events()[0] != r.Events()[0] {
+		t.Fatalf("long line mangled: %d events", back.Len())
+	}
+}
+
+// TestReadJSONLErrorLineNumber: malformed input names the failing line.
+func TestReadJSONLErrorLineNumber(t *testing.T) {
+	in := `{"at":1,"kind":"hw-vsync","frame":-1}
+{"at":2,"kind":"hw-vsync","frame":-1}
+{"at":3,"kind":`
+	_, err := ReadJSONL(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("expected decode error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+}
+
+// TestReadJSONLNoTrailingNewline: the final line parses even without a
+// terminating newline, and blank lines are skipped without shifting the
+// reported line numbers.
+func TestReadJSONLNoTrailingNewline(t *testing.T) {
+	in := "{\"at\":1,\"kind\":\"hw-vsync\",\"frame\":-1}\n\n{\"at\":2,\"kind\":\"hw-vsync\",\"frame\":-1}"
+	r, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("parsed %d events, want 2", r.Len())
+	}
+	_, err = ReadJSONL(strings.NewReader("{\"at\":1,\"kind\":\"hw-vsync\",\"frame\":-1}\n\nbogus"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not name line 3", err)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize(sample())
 	if s.Frames != 1 {

@@ -150,6 +150,24 @@ type Profile struct {
 	MaxFrameMs float64
 }
 
+// DefaultProfile is the canonical period-relative workload the CLIs (and
+// the observability goldens) share: a lognormal short-frame body at 40 %
+// of the refresh period with the paper's ≤5 % key-frame rate. Keeping it
+// in one place means `dvtrace -record`, `dvbench -trace-dir` and the
+// golden Perfetto fixtures all describe the same workload byte for byte.
+func DefaultProfile(name string, periodMs float64) Profile {
+	return Profile{
+		Name:         name,
+		ShortMeanMs:  0.4 * periodMs,
+		ShortSigmaMs: 0.13 * periodMs,
+		LongRatio:    0.05,
+		LongScaleMs:  1.5 * periodMs,
+		LongAlpha:    2.3,
+		Burstiness:   0.2,
+		UIShare:      0.35,
+	}
+}
+
 // Validate reports configuration errors.
 func (p *Profile) Validate() error {
 	switch {

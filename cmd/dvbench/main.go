@@ -10,6 +10,10 @@
 //	dvbench -list           # list experiment IDs
 //	dvbench -csv results/   # also export every table as CSV
 //	dvbench -trace-dir traces/  # dump one Perfetto export per experiment cell
+//	dvbench -metrics-dir metrics/  # dump telemetry snapshots per experiment cell
+//	dvbench -bench-json BENCH_pr.json [-bench-baseline BENCH_baseline.json]
+//	                        # run the pinned benchmarks; with a baseline,
+//	                        # exit 1 if any measure regresses past tolerance
 //
 // Experiments fan replica simulations out over a deterministic worker pool
 // (internal/par); the output is byte-identical at any -workers value, only
@@ -19,11 +23,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 
 	"dvsync"
+	"dvsync/internal/bench"
 	"dvsync/internal/exp"
 	"dvsync/internal/obs"
 	"dvsync/internal/par"
@@ -35,8 +41,23 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced experiment configurations where available")
 	csvDir := flag.String("csv", "", "directory to export tables as CSV files")
 	traceDir := flag.String("trace-dir", "", "directory to dump one Perfetto export per experiment cell")
+	metricsDir := flag.String("metrics-dir", "", "directory to dump one telemetry snapshot pair per experiment cell")
+	benchJSON := flag.String("bench-json", "", "run the pinned benchmarks and write a perf-trajectory snapshot to this file")
+	benchBase := flag.String("bench-baseline", "", "baseline to compare -bench-json results against; exit 1 on regression")
 	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	if *benchBase != "" && *benchJSON == "" {
+		fmt.Fprintln(os.Stderr, "dvbench: -bench-baseline requires -bench-json")
+		os.Exit(2)
+	}
+	if *benchJSON != "" {
+		if err := runBenchGate(*benchJSON, *benchBase); err != nil {
+			fmt.Fprintln(os.Stderr, "dvbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	par.SetWorkers(*workers)
 
@@ -66,6 +87,13 @@ func main() {
 			}
 			continue
 		}
+		if *metricsDir != "" {
+			if err := exportMetrics(*metricsDir, e); err != nil {
+				fmt.Fprintln(os.Stderr, "dvbench:", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		if *csvDir != "" {
 			if err := exportCSV(*csvDir, e); err != nil {
 				fmt.Fprintln(os.Stderr, "dvbench:", err)
@@ -85,6 +113,83 @@ func main() {
 	if *traceDir != "" {
 		fmt.Printf("wrote Perfetto exports for %d experiments to %s\n", len(run), *traceDir)
 	}
+	if *metricsDir != "" {
+		fmt.Printf("wrote telemetry snapshots for %d experiments to %s\n", len(run), *metricsDir)
+	}
+}
+
+// runBenchGate measures the pinned benchmark set, writes the trajectory
+// snapshot, and — when a baseline is given — fails on any regression past
+// the default tolerances.
+func runBenchGate(outPath, basePath string) error {
+	results := bench.Run()
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	werr := bench.WriteJSON(f, results,
+		"perf-trajectory snapshot written by dvbench -bench-json; gated against BENCH_baseline.json")
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	for _, p := range bench.Benchmarks() {
+		r := results[p.Name]
+		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			p.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if basePath == "" {
+		return nil
+	}
+	bf, err := os.Open(basePath)
+	if err != nil {
+		return err
+	}
+	base, err := bench.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		return err
+	}
+	if msgs := bench.Compare(results, base, bench.DefaultTolerance()); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintln(os.Stderr, "dvbench: bench regression:", m)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(msgs), basePath)
+	}
+	fmt.Printf("bench gate passed: %d benchmarks within tolerance of %s\n", len(base), basePath)
+	return nil
+}
+
+// exportMetrics dumps each canonical cell's telemetry as a Prometheus
+// exposition (<cell>.prom) and a JSON snapshot (<cell>.metrics.json).
+func exportMetrics(dir string, e dvsync.Experiment) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, cell := range exp.MetricsCells(e.ID) {
+		if err := writeFileWith(filepath.Join(dir, cell.Name+".prom"), cell.Registry.WritePrometheus); err != nil {
+			return err
+		}
+		if err := writeFileWith(filepath.Join(dir, cell.Name+".metrics.json"), cell.Registry.WriteJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileWith creates path and streams write(f) into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // exportTraces dumps one Perfetto export per canonical cell of the

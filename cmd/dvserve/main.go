@@ -1,0 +1,84 @@
+// Command dvserve serves live simulation telemetry over HTTP: it runs
+// deterministic scenarios on demand and exposes their metrics as a
+// Prometheus text exposition, a JSON snapshot, and a Server-Sent-Events
+// stream of sampled rows, plus net/http/pprof for host-side profiling of
+// the simulator itself.
+//
+// Usage:
+//
+//	dvserve                                   # listen on 127.0.0.1:8377
+//	dvserve -addr :9000 -mode vsync -hz 120
+//
+// Endpoints:
+//
+//	GET /metrics     Prometheus text exposition of one scenario run
+//	GET /snapshot    JSON snapshot (schema: internal/telemetry.Snapshot)
+//	GET /stream      SSE: one columns event, a sample event per sampled
+//	                 row as the virtual clock advances, a final snapshot
+//	GET /healthz     liveness probe
+//	GET /debug/pprof/  standard pprof handlers
+//
+// The flags select the default scenario; every request may override it
+// with query parameters (mode, hz, buffers, frames, seed), e.g.
+// /metrics?mode=vsync&hz=120. Runs are deterministic: identical
+// parameters produce byte-identical /metrics and /snapshot bodies on
+// every scrape, so diffs between scrapes are parameter changes, never
+// noise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// usageError marks command-line misuse (exit 2, like flag parsing errors).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+// run is the testable entry point: it returns the process exit code. All
+// flag validation happens before the listener is opened, so a bad
+// invocation can never bind a port first.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dvserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8377", "listen address")
+		mode    = fs.String("mode", "dvsync", "default scenario architecture: vsync or dvsync")
+		hz      = fs.Int("hz", 60, "default panel refresh rate")
+		buffers = fs.Int("buffers", 4, "default buffer count")
+		frames  = fs.Int("frames", 240, "default workload frames")
+		seed    = fs.Int64("seed", 1, "default workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	def, err := newParams(*mode, *hz, *buffers, *frames, *seed)
+	if err == nil && fs.NArg() != 0 {
+		err = usageError{fmt.Sprintf("unexpected argument %q", fs.Arg(0))}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "dvserve:", err)
+		fs.Usage()
+		return 2
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvserve:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "dvserve listening on %s\n", ln.Addr())
+	if err := http.Serve(ln, newServer(def)); err != nil {
+		fmt.Fprintln(stderr, "dvserve:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"net/url"
+	"sort"
+	"strconv"
+
+	"dvsync"
+	"dvsync/internal/workload"
+)
+
+// params selects one deterministic scenario run. mode is kept as its
+// validated spelling so query overrides re-validate through the same path
+// as the command line.
+type params struct {
+	mode    string
+	hz      int
+	buffers int
+	frames  int
+	seed    int64
+}
+
+// newParams validates one full parameter set. It is the single
+// gatekeeper: the command line and every query override pass through it,
+// so a parameter combination the simulator would reject is an exit-2 or
+// HTTP 400, never a panicking run behind a bound port.
+func newParams(mode string, hz, buffers, frames int, seed int64) (params, error) {
+	p := params{mode: mode, hz: hz, buffers: buffers, frames: frames, seed: seed}
+	switch {
+	case mode != "vsync" && mode != "dvsync":
+		return p, usageError{fmt.Sprintf("unknown mode %q (want vsync or dvsync)", mode)}
+	case hz <= 0 || hz > 1000:
+		return p, usageError{fmt.Sprintf("invalid refresh rate %d (want 1..1000)", hz)}
+	case buffers < 2:
+		return p, usageError{fmt.Sprintf("%d buffers cannot double-buffer", buffers)}
+	case frames <= 0 || frames > 100_000:
+		return p, usageError{fmt.Sprintf("invalid frame count %d (want 1..100000)", frames)}
+	}
+	return p, nil
+}
+
+// scenarioParams are the query parameters every endpoint accepts.
+var scenarioParams = map[string]bool{
+	"mode": true, "hz": true, "buffers": true, "frames": true, "seed": true,
+}
+
+// withQuery applies per-request overrides on top of the defaults.
+// Unknown parameters are rejected rather than ignored — a typo like
+// ?mod=vsync must not silently serve the default scenario.
+func (p params) withQuery(q url.Values) (params, error) {
+	var unknown []string
+	for name := range q {
+		if !scenarioParams[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return p, fmt.Errorf("unknown query parameter %q (want mode, hz, buffers, frames, seed)", unknown[0])
+	}
+	mode := p.mode
+	if v := q.Get("mode"); v != "" {
+		mode = v
+	}
+	hz, err := intParam(q, "hz", p.hz)
+	if err != nil {
+		return p, err
+	}
+	buffers, err := intParam(q, "buffers", p.buffers)
+	if err != nil {
+		return p, err
+	}
+	frames, err := intParam(q, "frames", p.frames)
+	if err != nil {
+		return p, err
+	}
+	seed := p.seed
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("query seed=%q: not an integer", v)
+		}
+		seed = n
+	}
+	return newParams(mode, hz, buffers, frames, seed)
+}
+
+func intParam(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("query %s=%q: not an integer", name, v)
+	}
+	return n, nil
+}
+
+// runScenario executes one simulation with a fresh registry attached.
+// The run is a pure function of p: repeated scrapes of the same
+// parameters return byte-identical exports.
+func runScenario(p params) *dvsync.TelemetryRegistry {
+	reg := dvsync.NewTelemetryRegistry()
+	runWithRegistry(p, reg)
+	return reg
+}
+
+func runWithRegistry(p params, reg *dvsync.TelemetryRegistry) {
+	mode := dvsync.DVSync
+	if p.mode == "vsync" {
+		mode = dvsync.VSync
+	}
+	prof := workload.DefaultProfile("dvserve", dvsync.PeriodForHz(p.hz).Milliseconds())
+	dvsync.Run(dvsync.Config{
+		Mode:    mode,
+		Panel:   dvsync.PanelConfig{Name: "dvserve", RefreshHz: p.hz},
+		Buffers: p.buffers,
+		Trace:   prof.Generate(p.frames, p.seed),
+		Metrics: reg,
+	})
+}
+
+// requestParams resolves the request's scenario or writes a 400.
+func requestParams(w http.ResponseWriter, r *http.Request, def params) (params, bool) {
+	p, err := def.withQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, "dvserve: "+err.Error(), http.StatusBadRequest)
+		return params{}, false
+	}
+	return p, true
+}
+
+// newServer builds the handler tree around the default scenario. pprof
+// handlers are registered explicitly on this mux — dvserve never touches
+// http.DefaultServeMux, so importing net/http/pprof for its side effect
+// alone would do nothing here.
+func newServer(def params) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := requestParams(w, r, def)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		runScenario(p).WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := requestParams(w, r, def)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		runScenario(p).WriteJSON(w)
+	})
+	mux.HandleFunc("/stream", streamHandler(def))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "dvsync telemetry server\n\n"+
+			"GET /metrics    Prometheus exposition of one scenario run\n"+
+			"GET /snapshot   JSON snapshot\n"+
+			"GET /stream     SSE live sample stream\n"+
+			"GET /healthz    liveness probe\n"+
+			"GET /debug/pprof/  profiling\n\n"+
+			"query overrides: mode, hz, buffers, frames, seed\n")
+	})
+	return mux
+}
+
+// sampleEvent is the SSE payload of one sampled row. at_ns is the exact
+// virtual-time instant, matching the JSON snapshot schema.
+type sampleEvent struct {
+	AtNs   int64     `json:"at_ns"`
+	Values []float64 `json:"values"`
+}
+
+// streamHandler runs the scenario synchronously inside the request
+// handler and emits one SSE event per sampled row as the virtual clock
+// advances — the stream is the run itself, not a poll of finished state.
+// Event order per stream: one `columns` event naming the series columns,
+// `sample` events in virtual-time order, and a final `snapshot` event
+// carrying the full export.
+func streamHandler(def params) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p, ok := requestParams(w, r, def)
+		if !ok {
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		fl, canFlush := w.(http.Flusher)
+		reg := dvsync.NewTelemetryRegistry()
+		sentColumns := false
+		reg.OnSample(func(row dvsync.TelemetrySample) {
+			if !sentColumns {
+				writeEvent(w, "columns", reg.Series().Columns)
+				sentColumns = true
+			}
+			writeEvent(w, "sample", sampleEvent{AtNs: int64(row.At), Values: row.Values})
+			if canFlush {
+				fl.Flush()
+			}
+		})
+		runWithRegistry(p, reg)
+		writeEvent(w, "snapshot", reg.Snapshot())
+		if canFlush {
+			fl.Flush()
+		}
+	}
+}
+
+// writeEvent emits one SSE event with a single-line JSON payload.
+func writeEvent(w io.Writer, event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}

@@ -59,7 +59,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	err := dispatch(fs, *record, *mode, *hz, *buffers, *frames, *seed,
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	err := dispatch(fs, set, *record, *mode, *hz, *buffers, *frames, *seed,
 		*out, *perfetto, *timeline, *spans, *check, stdout)
 	switch err.(type) {
 	case nil:
@@ -75,10 +77,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // dispatch validates the flag combination and runs the selected action.
-// Meaningless combinations are rejected up front (exit 2) instead of being
-// silently ignored, so `-record -timeline` can never again look like it
-// produced a timeline.
-func dispatch(fs *flag.FlagSet, record bool, mode string, hz, buffers, frames int,
+// All validation happens before any file is opened or written, and
+// meaningless combinations are rejected up front (exit 2) instead of being
+// silently ignored: `-record -timeline` can never look like it produced a
+// timeline, and `-check -seed 7` can never look like the seed mattered.
+// set holds the flags explicitly present on the command line (fs.Visit),
+// which distinguishes `-hz 60` (set to its default) from an untouched
+// default.
+func dispatch(fs *flag.FlagSet, set map[string]bool, record bool, mode string, hz, buffers, frames int,
 	seed int64, out, perfetto string, timeline, spans, check bool, stdout io.Writer) error {
 	if timeline && spans {
 		return usageError{"-timeline and -spans are mutually exclusive"}
@@ -87,6 +93,9 @@ func dispatch(fs *flag.FlagSet, record bool, mode string, hz, buffers, frames in
 	case check:
 		if record || timeline || spans || perfetto != "" {
 			return usageError{"-check takes only a Perfetto export file"}
+		}
+		if err := rejectSetFlags(set, "-check"); err != nil {
+			return err
 		}
 		if fs.NArg() != 1 {
 			return usageError{"-check requires exactly one export file"}
@@ -105,10 +114,28 @@ func dispatch(fs *flag.FlagSet, record bool, mode string, hz, buffers, frames in
 		}
 		return doRecord(m, hz, buffers, frames, seed, out, perfetto, stdout)
 	case fs.NArg() == 1:
+		if err := rejectSetFlags(set, "trace analysis"); err != nil {
+			return err
+		}
 		return doAnalyse(fs.Arg(0), perfetto, timeline, spans, stdout)
 	default:
 		return usageError{"expected -record, -check, or one recorded trace file"}
 	}
+}
+
+// recordOnlyFlags only affect `-record` runs; anywhere else their presence
+// means the user expected an effect they will not get.
+var recordOnlyFlags = []string{"mode", "hz", "buffers", "frames", "seed", "o"}
+
+// rejectSetFlags fails if any recording flag was explicitly set for an
+// action that would silently ignore it.
+func rejectSetFlags(set map[string]bool, action string) error {
+	for _, n := range recordOnlyFlags {
+		if set[n] {
+			return usageError{fmt.Sprintf("-%s is a recording flag; %s ignores it", n, action)}
+		}
+	}
+	return nil
 }
 
 // parseMode maps the -mode flag to an architecture; unknown strings are a

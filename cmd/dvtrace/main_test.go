@@ -53,6 +53,38 @@ func TestRecordAnalyseConflict(t *testing.T) {
 	}
 }
 
+// TestRecordOnlyFlagsRejectedOutsideRecord: regression for recording
+// parameters being silently ignored by -check and trace analysis — a set
+// -seed/-hz/-o etc. now exits 2 before any file is opened.
+func TestRecordOnlyFlagsRejectedOutsideRecord(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created.json")
+	cases := [][]string{
+		{"-check", "-seed", "7", missing},
+		{"-check", "-mode", "dvsync", missing},
+		{"-check", "-hz", "60", missing}, // default value, but explicitly set
+		{"-check", "-o", "out.jsonl", missing},
+		{"-frames", "240", missing},
+		{"-buffers", "4", missing},
+		{"-timeline", "-seed", "3", missing},
+	}
+	for _, args := range cases {
+		code, _, stderr := runCLI(args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr %q)", args, code, stderr)
+		}
+		if !strings.Contains(stderr, "recording flag") {
+			t.Errorf("%v: stderr %q lacks recording-flag diagnostic", args, stderr)
+		}
+	}
+	// Validation must run before the input file is touched: the exit-2
+	// cases above all name a nonexistent file, so any "no such file"
+	// leakage in stderr means a file open preceded flag validation.
+	code, _, stderr := runCLI("-check", "-seed", "7", missing)
+	if code != 2 || strings.Contains(stderr, "no such file") {
+		t.Errorf("flag validation did not precede file access: exit %d stderr %q", code, stderr)
+	}
+}
+
 // TestRecordExportCheckPipeline: record → Perfetto export → -check, plus
 // JSONL re-analysis with -spans, end to end in a temp dir.
 func TestRecordExportCheckPipeline(t *testing.T) {

@@ -51,6 +51,7 @@ import (
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
 	"dvsync/internal/simtime"
+	"dvsync/internal/telemetry"
 	"dvsync/internal/trace"
 	"dvsync/internal/workload"
 )
@@ -135,6 +136,24 @@ var ValidateConfig = sim.Validate
 
 // NewRecorder returns an empty trace recorder to attach to a Config.
 func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// Live telemetry (DESIGN.md §10).
+type (
+	// TelemetryRegistry is a per-run live metrics registry: counters,
+	// gauges and histograms updated from simulation hooks and sampled on
+	// virtual-time intervals.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time export of a registry —
+	// metric values plus the sampled time series.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetrySample is one sampled time-series row.
+	TelemetrySample = telemetry.SampleRow
+)
+
+// NewTelemetryRegistry returns an empty registry to attach to a Config's
+// Metrics field. Exports (WritePrometheus, WriteJSON, Snapshot) are
+// deterministic per seed and identical at any -workers width.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
 
 // Compare runs the same workload under both architectures and returns
 // (baseline, decoupled). The baseline uses the classic buffer count; the

@@ -1,0 +1,229 @@
+// Package bench pins the benchmark workloads behind the repo's
+// perf-trajectory gate. The benchmark *bodies* live here so that two
+// callers share one definition: `go test -bench` (via thin wrappers in
+// internal/event and internal/sim) and `dvbench -bench-json`, which runs
+// the same bodies through testing.Benchmark and writes a BENCH_pr*.json
+// snapshot that CI compares against BENCH_baseline.json. If the wrappers
+// and the JSON emitter measured different workloads, the trajectory file
+// would silently stop guarding the numbers developers actually see.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"testing"
+
+	"dvsync/internal/display"
+	"dvsync/internal/event"
+	"dvsync/internal/ipl"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/workload"
+)
+
+// EventEngine is the pinned scheduler benchmark: a panel ticker driving a
+// three-hop event chain per tick (the shape of one frame through the
+// pipeline), plus a schedule-then-cancel per tick to exercise tombstone
+// handling. With the free list the loop should run at a near-constant
+// handful of live allocations regardless of tick count.
+func EventEngine(b *testing.B) {
+	const (
+		period = 8 * simtime.Millisecond
+		ticks  = 1000
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := event.NewEngine()
+		fired := 0
+		hop3 := func(now simtime.Time) { fired++ }
+		hop2 := func(now simtime.Time) {
+			e.After(simtime.Millisecond, event.PriorityPipeline, hop3)
+		}
+		tk := event.NewTicker(e, period, event.PriorityHardware, func(now simtime.Time) {
+			e.After(2*simtime.Millisecond, event.PriorityPipeline, hop2)
+			// Schedule-then-cancel models a controller arming a timeout that
+			// the frame's completion races and wins.
+			id := e.After(6*simtime.Millisecond, event.PriorityControl, hop3)
+			e.Cancel(id)
+		})
+		tk.Start(0)
+		e.Run(simtime.Time(ticks) * simtime.Time(period))
+		tk.Stop()
+		if fired == 0 {
+			b.Fatal("no events fired")
+		}
+	}
+}
+
+// simTrace is the pinned end-to-end workload: 400 interactive frames,
+// seed 1234 — the unit of work every experiment replica fans out.
+func simTrace() *workload.Trace {
+	p := workload.Profile{
+		Name: "bench", ShortMeanMs: 5, ShortSigmaMs: 2,
+		LongRatio: 0.06, LongScaleMs: 20, LongAlpha: 1.8,
+		Burstiness: 0.3, UIShare: 0.4, Class: workload.Interactive,
+	}
+	return p.Generate(400, 1234)
+}
+
+// SimRun returns the pinned end-to-end simulation benchmark body for one
+// architecture. Allocation counts here are the target of the hot-path
+// cuts (event free list, preallocated result and trace buffers) and of
+// the no-registry telemetry guarantee; regressions show up as allocs/op
+// growth against BENCH_baseline.json.
+func SimRun(mode sim.Mode) func(*testing.B) {
+	tr := simTrace()
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sim.Run(sim.Config{
+				Mode:    mode,
+				Panel:   display.Config{Name: "test", RefreshHz: 60, Width: 1080, Height: 2340},
+				Buffers: 4, Trace: tr, Predictor: ipl.Kalman{},
+			})
+		}
+	}
+}
+
+// Pinned names one gated benchmark. Names match the keys of
+// BENCH_baseline.json and the names `go test -bench` reports.
+type Pinned struct {
+	Name string
+	Body func(*testing.B)
+}
+
+// Benchmarks returns the gated set in a fixed order.
+func Benchmarks() []Pinned {
+	return []Pinned{
+		{Name: "BenchmarkEventEngine", Body: EventEngine},
+		{Name: "BenchmarkSimRun/VSync", Body: SimRun(sim.ModeVSync)},
+		{Name: "BenchmarkSimRun/D-VSync", Body: SimRun(sim.ModeDVSync)},
+	}
+}
+
+// Result is one benchmark's measured cost per operation.
+type Result struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// Run executes every pinned benchmark through testing.Benchmark (default
+// 1s benchtime) and returns the measured results by name.
+func Run() map[string]Result {
+	out := make(map[string]Result, 3)
+	for _, p := range Benchmarks() {
+		r := testing.Benchmark(p.Body)
+		out[p.Name] = Result{
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	return out
+}
+
+// File is the on-disk shape of a trajectory snapshot (BENCH_pr*.json).
+type File struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// WriteJSON writes a trajectory snapshot. encoding/json sorts map keys,
+// so output is deterministic for a given result set.
+func WriteJSON(w io.Writer, results map[string]Result, note string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(File{Note: note, Benchmarks: results})
+}
+
+// ReadBaseline parses a trajectory file. Two per-benchmark shapes are
+// accepted: the flat Result shape WriteJSON emits, and the annotated
+// {"before": ..., "after": ...} shape of BENCH_baseline.json, where the
+// gated numbers are the "after" block.
+func ReadBaseline(r io.Reader) (map[string]Result, error) {
+	var raw struct {
+		Benchmarks map[string]json.RawMessage `json:"benchmarks"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("bench: parse baseline: %w", err)
+	}
+	if len(raw.Benchmarks) == 0 {
+		return nil, fmt.Errorf(`bench: baseline has no "benchmarks" entries`)
+	}
+	names := make([]string, 0, len(raw.Benchmarks))
+	for name := range raw.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]Result, len(names))
+	for _, name := range names {
+		var nested struct {
+			After *Result `json:"after"`
+		}
+		if err := json.Unmarshal(raw.Benchmarks[name], &nested); err == nil && nested.After != nil {
+			out[name] = *nested.After
+			continue
+		}
+		var flat Result
+		if err := json.Unmarshal(raw.Benchmarks[name], &flat); err != nil {
+			return nil, fmt.Errorf("bench: baseline entry %q: %w", name, err)
+		}
+		out[name] = flat
+	}
+	return out, nil
+}
+
+// Tolerance bounds acceptable growth of each measure as a ratio new/old.
+type Tolerance struct {
+	MaxNsRatio     float64
+	MaxBytesRatio  float64
+	MaxAllocsRatio float64
+}
+
+// DefaultTolerance is the CI gate. Allocation counts are deterministic
+// for a fixed workload, so they gate tightly (1.10×); bytes/op leaves
+// headroom for struct growth (1.25×); wall-clock differs between CI
+// hosts and the host that recorded the baseline, so ns/op is an
+// order-of-magnitude tripwire (10×), not a precision gate.
+func DefaultTolerance() Tolerance {
+	return Tolerance{MaxNsRatio: 10, MaxBytesRatio: 1.25, MaxAllocsRatio: 1.10}
+}
+
+// Compare returns one message per regression of cur against base under
+// tol, sorted by benchmark name; empty means the gate passes. Every
+// baseline benchmark must be present in cur. Benchmarks present only in
+// cur are ignored — new benchmarks enter the gate when the baseline is
+// next re-pinned.
+func Compare(cur, base map[string]Result, tol Tolerance) []string {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var msgs []string
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("%s: missing from current results", name))
+			continue
+		}
+		if lim := b.NsPerOp * tol.MaxNsRatio; c.NsPerOp > lim {
+			msgs = append(msgs, fmt.Sprintf("%s: ns/op %.0f exceeds %.0f (baseline %.0f x %g)",
+				name, c.NsPerOp, lim, b.NsPerOp, tol.MaxNsRatio))
+		}
+		if lim := float64(b.BytesPerOp) * tol.MaxBytesRatio; float64(c.BytesPerOp) > lim {
+			msgs = append(msgs, fmt.Sprintf("%s: bytes/op %d exceeds %.0f (baseline %d x %g)",
+				name, c.BytesPerOp, lim, b.BytesPerOp, tol.MaxBytesRatio))
+		}
+		if lim := float64(b.AllocsPerOp) * tol.MaxAllocsRatio; float64(c.AllocsPerOp) > lim {
+			msgs = append(msgs, fmt.Sprintf("%s: allocs/op %d exceeds %.0f (baseline %d x %g)",
+				name, c.AllocsPerOp, lim, b.AllocsPerOp, tol.MaxAllocsRatio))
+		}
+	}
+	return msgs
+}

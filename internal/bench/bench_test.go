@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestBaselineParsesAndCoversPinnedSet: the committed BENCH_baseline.json
+// must parse through the gate's own reader and name exactly the pinned
+// benchmark set — a renamed benchmark would otherwise silently fall out
+// of the gate.
+func TestBaselineParsesAndCoversPinnedSet(t *testing.T) {
+	f, err := os.Open("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	base, err := ReadBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := Benchmarks()
+	if len(base) != len(pinned) {
+		t.Fatalf("baseline has %d benchmarks, pinned set has %d", len(base), len(pinned))
+	}
+	for _, p := range pinned {
+		r, ok := base[p.Name]
+		if !ok {
+			t.Fatalf("baseline missing pinned benchmark %q", p.Name)
+		}
+		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 {
+			t.Errorf("%s: implausible baseline %+v", p.Name, r)
+		}
+	}
+}
+
+// TestReadBaselineFlatRoundTrip: WriteJSON output reads back unchanged,
+// so a BENCH_pr*.json from one PR can serve as the next baseline.
+func TestReadBaselineFlatRoundTrip(t *testing.T) {
+	in := map[string]Result{
+		"BenchmarkA":   {NsPerOp: 1234.5, BytesPerOp: 800, AllocsPerOp: 18},
+		"BenchmarkB/x": {NsPerOp: 9, BytesPerOp: 0, AllocsPerOp: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in, "round-trip"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d entries, want %d", len(out), len(in))
+	}
+	for name, want := range in {
+		if out[name] != want {
+			t.Errorf("%s: %+v, want %+v", name, out[name], want)
+		}
+	}
+}
+
+func TestReadBaselineRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{}", `{"benchmarks":{}}`, `{"benchmarks":{"X":"nope"}}`} {
+		if _, err := ReadBaseline(strings.NewReader(bad)); err == nil {
+			t.Errorf("ReadBaseline(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCompare exercises every gate axis plus the missing-benchmark case.
+func TestCompare(t *testing.T) {
+	base := map[string]Result{
+		"B": {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100},
+	}
+	tol := DefaultTolerance()
+	cases := []struct {
+		name string
+		cur  map[string]Result
+		want int
+		hint string
+	}{
+		{"equal", map[string]Result{"B": base["B"]}, 0, ""},
+		{"within", map[string]Result{"B": {NsPerOp: 9000, BytesPerOp: 1250, AllocsPerOp: 110}}, 0, ""},
+		{"ns-regression", map[string]Result{"B": {NsPerOp: 10001, BytesPerOp: 1000, AllocsPerOp: 100}}, 1, "ns/op"},
+		{"bytes-regression", map[string]Result{"B": {NsPerOp: 1000, BytesPerOp: 1251, AllocsPerOp: 100}}, 1, "bytes/op"},
+		{"allocs-regression", map[string]Result{"B": {NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 111}}, 1, "allocs/op"},
+		{"all-regress", map[string]Result{"B": {NsPerOp: 99999, BytesPerOp: 9999, AllocsPerOp: 999}}, 3, ""},
+		{"missing", map[string]Result{}, 1, "missing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			msgs := Compare(tc.cur, base, tol)
+			if len(msgs) != tc.want {
+				t.Fatalf("got %d messages %v, want %d", len(msgs), msgs, tc.want)
+			}
+			if tc.hint != "" && !strings.Contains(msgs[0], tc.hint) {
+				t.Errorf("message %q lacks %q", msgs[0], tc.hint)
+			}
+		})
+	}
+	// Extra benchmarks in cur are not regressions.
+	cur := map[string]Result{"B": base["B"], "New": {NsPerOp: 1}}
+	if msgs := Compare(cur, base, tol); len(msgs) != 0 {
+		t.Errorf("extra current-only benchmark flagged: %v", msgs)
+	}
+}
+
+// TestRunMeasuresPinnedSet runs the real bodies once through
+// testing.Benchmark (1 iteration via the benchmark's own calibration is
+// too slow for -short, so gate it).
+func TestRunMeasuresPinnedSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmark bodies")
+	}
+	res := Run()
+	for _, p := range Benchmarks() {
+		r, ok := res[p.Name]
+		if !ok {
+			t.Fatalf("Run() missing %q", p.Name)
+		}
+		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 {
+			t.Errorf("%s: implausible result %+v", p.Name, r)
+		}
+	}
+}

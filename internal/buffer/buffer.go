@@ -141,6 +141,7 @@ type Queue struct {
 	front  *Buffer   // currently displayed, nil before first latch
 
 	allocFault func() bool
+	onDepth    func(depth int)
 
 	stats Stats
 }
@@ -218,6 +219,18 @@ func (q *Queue) CanDequeue() bool { return len(q.free) > 0 }
 // never leaks or corrupts a buffer.
 func (q *Queue) SetAllocFault(fn func() bool) { q.allocFault = fn }
 
+// SetDepthObserver installs a hook invoked with the new queued-buffer
+// count after every enqueue and latch (a stale-dropping latch reports the
+// final depth once) — the telemetry layer's queue-depth feed. Nil-guarded
+// on the hot path: no cost when unset.
+func (q *Queue) SetDepthObserver(fn func(depth int)) { q.onDepth = fn }
+
+func (q *Queue) notifyDepth() {
+	if q.onDepth != nil {
+		q.onDepth(len(q.queued))
+	}
+}
+
 // Dequeue hands a free buffer to the producer. It returns nil when the pool
 // is exhausted (the producer must wait for OnRelease) or when an injected
 // allocation fault refuses the request.
@@ -249,6 +262,7 @@ func (q *Queue) Enqueue(b *Buffer) {
 	if d := len(q.queued); d > q.stats.MaxDepth {
 		q.stats.MaxDepth = d
 	}
+	q.notifyDepth()
 }
 
 // Latch is called by the display at a VSync edge. It takes the oldest
@@ -286,6 +300,7 @@ func (q *Queue) Latch(now simtime.Time, period simtime.Duration) *Buffer {
 	} else {
 		q.stats.Direct++
 	}
+	q.notifyDepth()
 	return b
 }
 

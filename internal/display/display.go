@@ -61,6 +61,7 @@ type Panel struct {
 	truePeriod simtime.Duration // actual oscillator period (skewed)
 	listeners  []EdgeListener
 	onMiss     []EdgeListener
+	onRate     []func(hz int)
 	rng        *dist.RNG
 	seq        uint64
 	running    bool
@@ -201,7 +202,15 @@ func (p *Panel) SetRefreshHz(hz int) {
 	}
 	p.period = simtime.PeriodForHz(hz)
 	p.truePeriod = skewed(p.period, p.cfg.PeriodSkewPPM)
+	for _, l := range p.onRate {
+		l(hz)
+	}
 }
+
+// OnRateChange registers a listener for SetRefreshHz retargets (the
+// telemetry layer's refresh-rate feed). Listeners fire in registration
+// order, synchronously inside SetRefreshHz.
+func (p *Panel) OnRateChange(l func(hz int)) { p.onRate = append(p.onRate, l) }
 
 // Name returns the configured device name.
 func (p *Panel) Name() string { return p.cfg.Name }

@@ -1,41 +1,18 @@
-package event
+package event_test
 
 import (
 	"testing"
 
-	"dvsync/internal/simtime"
+	"dvsync/internal/bench"
 )
 
 // BenchmarkEventEngine measures the scheduler's steady-state cost: a panel
 // ticker driving a three-hop event chain per tick (the shape of one frame
 // through the pipeline), plus a cancel per tick to exercise tombstone
-// handling. With the free list the loop should run at a near-constant
-// handful of live allocations regardless of tick count.
+// handling. The body lives in internal/bench so that `dvbench -bench-json`
+// measures exactly this workload for the perf-trajectory gate. With the
+// free list the loop should run at a near-constant handful of live
+// allocations regardless of tick count.
 func BenchmarkEventEngine(b *testing.B) {
-	const (
-		period = 8 * simtime.Millisecond
-		ticks  = 1000
-	)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		fired := 0
-		hop3 := func(now simtime.Time) { fired++ }
-		hop2 := func(now simtime.Time) {
-			e.After(simtime.Millisecond, PriorityPipeline, hop3)
-		}
-		tk := NewTicker(e, period, PriorityHardware, func(now simtime.Time) {
-			e.After(2*simtime.Millisecond, PriorityPipeline, hop2)
-			// Schedule-then-cancel models a controller arming a timeout that
-			// the frame's completion races and wins.
-			id := e.After(6*simtime.Millisecond, PriorityControl, hop3)
-			e.Cancel(id)
-		})
-		tk.Start(0)
-		e.Run(simtime.Time(ticks) * simtime.Time(period))
-		tk.Stop()
-		if fired == 0 {
-			b.Fatal("no events fired")
-		}
-	}
+	bench.EventEngine(b)
 }

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"dvsync/internal/display"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/telemetry"
+	"dvsync/internal/workload"
+)
+
+// CellMetrics is one canonical telemetry cell of an experiment: the same
+// representative simulation TraceCells records, run with a live metrics
+// registry instead of (or alongside) a trace recorder. dvbench's
+// -metrics-dir flag exports each cell's Prometheus exposition and JSON
+// snapshot so a report's numbers can be compared against what a live
+// scrape of the same scenario would have shown.
+type CellMetrics struct {
+	// Name is the export file stem, "<experiment>-<mode>".
+	Name string
+	// Mode is the architecture the cell simulated.
+	Mode sim.Mode
+	// Registry holds the cell's sampled instruments.
+	Registry *telemetry.Registry
+}
+
+// MetricsCells runs the canonical cells of one experiment — a VSync and a
+// D-VSync run over the identical exp.Seed workload — each with a fresh
+// telemetry registry sampled every panel period. Like TraceCells, the
+// result is a pure function of the experiment ID, so exported snapshots
+// are byte-identical across runs and -workers widths.
+func MetricsCells(id string) []CellMetrics {
+	hz := cellHz(id)
+	p := workload.DefaultProfile(id, simtime.PeriodForHz(hz).Milliseconds())
+	tr := p.Generate(cellFrames, Seed)
+	cells := []struct {
+		name    string
+		mode    sim.Mode
+		buffers int
+	}{
+		{id + "-vsync", sim.ModeVSync, 3},
+		{id + "-dvsync", sim.ModeDVSync, 4},
+	}
+	out := make([]CellMetrics, 0, len(cells))
+	for _, c := range cells {
+		reg := telemetry.NewRegistry()
+		sim.Run(sim.Config{
+			Mode:    c.mode,
+			Panel:   display.Config{Name: id, RefreshHz: hz},
+			Buffers: c.buffers,
+			Trace:   tr,
+			Metrics: reg,
+		})
+		out = append(out, CellMetrics{Name: c.name, Mode: c.mode, Registry: reg})
+	}
+	return out
+}

@@ -108,6 +108,8 @@ type Monitor struct {
 
 	lastProgress simtime.Time
 	haveProgress bool
+	watchStart   simtime.Time
+	haveWatch    bool
 
 	tripped      bool
 	healthySince simtime.Time
@@ -181,9 +183,19 @@ func (m *Monitor) violation(now simtime.Time, pipelineBusy bool) Reason {
 			return ReasonCalibration
 		}
 	}
-	if m.cfg.StallTimeout > 0 && pipelineBusy && m.haveProgress &&
-		now.Sub(m.lastProgress) > m.cfg.StallTimeout {
-		return ReasonStall
+	if m.cfg.StallTimeout > 0 && pipelineBusy {
+		// Measure from the last progress event, or — when nothing has ever
+		// been queued — from the first evaluation. Without the fallback a
+		// pipeline that wedges before its very first buffer reaches the
+		// queue is invisible to the stall check: no progress means no
+		// reference point, and no latched frame means no janks either.
+		ref, ok := m.lastProgress, m.haveProgress
+		if !ok {
+			ref, ok = m.watchStart, m.haveWatch
+		}
+		if ok && now.Sub(ref) > m.cfg.StallTimeout {
+			return ReasonStall
+		}
 	}
 	return ReasonNone
 }
@@ -194,6 +206,10 @@ func (m *Monitor) violation(now simtime.Time, pipelineBusy bool) Reason {
 // monitor trips on the first violation and recovers only after every check
 // has stayed clean for RecoverAfter.
 func (m *Monitor) Evaluate(now simtime.Time, pipelineBusy bool) bool {
+	if !m.haveWatch {
+		m.haveWatch = true
+		m.watchStart = now
+	}
 	r := m.violation(now, pipelineBusy)
 	if !m.tripped {
 		if r != ReasonNone {

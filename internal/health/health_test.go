@@ -175,3 +175,176 @@ func TestReasonString(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchdogEdgeCases is the table-driven pin of the window-boundary and
+// hysteresis semantics the telemetry sampler leans on: the degenerate
+// window at t=0, the inclusive window cut, the start-truncated rate, the
+// stall check before any progress (a regression: a pipeline wedged before
+// its first buffer ever queued used to be invisible), and the exact
+// trip/untrip sequence when a recovered monitor re-trips inside the same
+// window span.
+func TestWatchdogEdgeCases(t *testing.T) {
+	type op struct {
+		kind        string // "jank" | "progress" | "calib" | "eval"
+		atMs        float64
+		errMs       float64 // calib only
+		busy        bool    // eval only
+		wantTripped bool    // eval only
+		wantReason  Reason  // eval only, checked when checkReason
+		checkReason bool
+	}
+	cases := []struct {
+		name                      string
+		cfg                       Config
+		ops                       []op
+		wantTrips, wantRecoveries int
+	}{
+		{
+			name: "t0 degenerate window cannot trip",
+			cfg:  Config{MaxFDPS: 1},
+			ops: []op{
+				{kind: "jank", atMs: 0},
+				{kind: "eval", atMs: 0, busy: true, wantTripped: false},
+			},
+		},
+		{
+			name: "jank exactly on the window cut still counts",
+			cfg:  Config{Window: simtime.FromMillis(500), MaxFDPS: 5},
+			ops: []op{
+				{kind: "jank", atMs: 500},
+				{kind: "jank", atMs: 700},
+				{kind: "jank", atMs: 900},
+				// cut = 1000−500 = 500 inclusive: 3 janks / 0.5 s = 6 FDPS.
+				{kind: "eval", atMs: 1000, busy: true, wantTripped: true,
+					wantReason: ReasonFDPS, checkReason: true},
+			},
+			wantTrips: 1,
+		},
+		{
+			name: "jank just past the cut slides out",
+			cfg:  Config{Window: simtime.FromMillis(500), MaxFDPS: 5},
+			ops: []op{
+				{kind: "jank", atMs: 500},
+				{kind: "jank", atMs: 700},
+				{kind: "jank", atMs: 900},
+				// 1 µs later the t=500 jank is outside: 4 FDPS, clean.
+				{kind: "eval", atMs: 1000.001, busy: true, wantTripped: false},
+			},
+		},
+		{
+			name: "start-truncated window scales the rate up",
+			cfg:  Config{Window: simtime.FromMillis(500), MaxFDPS: 5},
+			ops: []op{
+				{kind: "jank", atMs: 50},
+				// Window truncated to 100 ms: 1 jank / 0.1 s = 10 FDPS.
+				{kind: "eval", atMs: 100, busy: true, wantTripped: true,
+					wantReason: ReasonFDPS, checkReason: true},
+			},
+			wantTrips: 1,
+		},
+		{
+			name: "stall before any progress trips from watch start",
+			cfg:  Config{MaxFDPS: 100, StallTimeout: simtime.FromMillis(300)},
+			ops: []op{
+				{kind: "eval", atMs: 0, busy: true, wantTripped: false},
+				{kind: "eval", atMs: 200, busy: true, wantTripped: false},
+				{kind: "eval", atMs: 400, busy: true, wantTripped: true,
+					wantReason: ReasonStall, checkReason: true},
+			},
+			wantTrips: 1,
+		},
+		{
+			name: "idle pipeline never counts as stalled",
+			cfg:  Config{MaxFDPS: 100, StallTimeout: simtime.FromMillis(300)},
+			ops: []op{
+				{kind: "eval", atMs: 0, busy: false, wantTripped: false},
+				{kind: "eval", atMs: 5000, busy: false, wantTripped: false},
+			},
+		},
+		{
+			name: "progress resets the stall reference",
+			cfg:  Config{MaxFDPS: 100, StallTimeout: simtime.FromMillis(300)},
+			ops: []op{
+				{kind: "eval", atMs: 0, busy: true, wantTripped: false},
+				{kind: "progress", atMs: 350},
+				{kind: "eval", atMs: 400, busy: true, wantTripped: false},
+				{kind: "eval", atMs: 700, busy: true, wantTripped: true,
+					wantReason: ReasonStall, checkReason: true},
+			},
+			wantTrips: 1,
+		},
+		{
+			name: "re-trip in the same window span after recovery",
+			cfg: Config{Window: simtime.FromMillis(500), MaxFDPS: 5,
+				RecoverAfter: simtime.FromMillis(100)},
+			ops: []op{
+				{kind: "jank", atMs: 600},
+				{kind: "jank", atMs: 800},
+				{kind: "jank", atMs: 950},
+				{kind: "eval", atMs: 1000, busy: true, wantTripped: true,
+					wantReason: ReasonFDPS, checkReason: true},
+				// Janks aged out: clean, but hysteresis holds the trip.
+				{kind: "eval", atMs: 1500, busy: true, wantTripped: true},
+				// Clean for RecoverAfter: recover.
+				{kind: "eval", atMs: 1600, busy: true, wantTripped: false,
+					wantReason: ReasonNone, checkReason: true},
+				// A fresh burst inside the same 500 ms span re-trips
+				// immediately — trips have no hysteresis, only recoveries.
+				{kind: "jank", atMs: 1610},
+				{kind: "jank", atMs: 1620},
+				{kind: "jank", atMs: 1630},
+				{kind: "eval", atMs: 1650, busy: true, wantTripped: true,
+					wantReason: ReasonFDPS, checkReason: true},
+			},
+			wantTrips:      2,
+			wantRecoveries: 1,
+		},
+		{
+			name: "run-end evaluation far past last activity recovers",
+			cfg: Config{Window: simtime.FromMillis(500), MaxFDPS: 5,
+				RecoverAfter: simtime.FromMillis(1000)},
+			ops: []op{
+				{kind: "jank", atMs: 600},
+				{kind: "jank", atMs: 700},
+				{kind: "jank", atMs: 800},
+				{kind: "eval", atMs: 900, busy: true, wantTripped: true},
+				{kind: "eval", atMs: 5000, busy: false, wantTripped: true},
+				{kind: "eval", atMs: 6001, busy: false, wantTripped: false},
+			},
+			wantTrips:      1,
+			wantRecoveries: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMonitor(tc.cfg)
+			for i, o := range tc.ops {
+				switch o.kind {
+				case "jank":
+					m.ObserveJank(ms(o.atMs))
+				case "progress":
+					m.ObserveProgress(ms(o.atMs))
+				case "calib":
+					m.ObserveCalibError(ms(o.atMs), o.errMs)
+				case "eval":
+					got := m.Evaluate(ms(o.atMs), o.busy)
+					if got != o.wantTripped {
+						t.Fatalf("op %d: Evaluate(%v) = %v, want %v",
+							i, o.atMs, got, o.wantTripped)
+					}
+					if o.checkReason && m.LastReason() != o.wantReason {
+						t.Fatalf("op %d: reason %v, want %v", i, m.LastReason(), o.wantReason)
+					}
+				default:
+					t.Fatalf("bad op kind %q", o.kind)
+				}
+			}
+			if m.Trips() != tc.wantTrips {
+				t.Errorf("trips = %d, want %d", m.Trips(), tc.wantTrips)
+			}
+			if m.Recoveries() != tc.wantRecoveries {
+				t.Errorf("recoveries = %d, want %d", m.Recoveries(), tc.wantRecoveries)
+			}
+		})
+	}
+}

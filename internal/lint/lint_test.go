@@ -122,10 +122,13 @@ func TestNoGoroutineParCarveOut(t *testing.T) {
 		clean  bool
 	}{
 		{"dvsync/internal/par", true},
+		{"dvsync/cmd/dvserve", true},    // the HTTP server serves via goroutines by design
 		{"dvsync/internal/exp", false},  // the harness is not exempt
-		{"dvsync/cmd/dvbench", false},   // nor are commands
+		{"dvsync/cmd/dvbench", false},   // nor are other commands
 		{"dvsync/internal/sim", false},  // nor the core
 		{"dvsync/internal/part", false}, // prefix must not leak past the path boundary
+		{"dvsync/cmd/dvserver", false},  // same for the dvserve carve-out
+		{"dvsync/cmd/dvserve/x", true},  // subpackages inherit the carve-out, like par's
 	} {
 		pkg, err := loader.CheckFile(tc.asPath, filename)
 		if err != nil {

@@ -6,13 +6,17 @@ import (
 	"go/types"
 )
 
-// concurrencyPkgs are the packages sanctioned to spawn goroutines: only
-// internal/par, the deterministic fan-out runner. Everything else in the
-// module — the simulation core, the experiment harness, the commands —
-// must stay single-threaded and parallelise by submitting independent
-// jobs through par.Map.
+// concurrencyPkgs are the packages sanctioned to use concurrency
+// constructs: internal/par, the deterministic fan-out runner, and
+// cmd/dvserve, whose net/http server hands each request to a goroutine by
+// design — its handlers run simulations that are themselves
+// single-threaded and deterministic. Everything else in the module — the
+// simulation core, the experiment harness, the other commands — must stay
+// single-threaded and parallelise by submitting independent jobs through
+// par.Map.
 var concurrencyPkgs = []string{
 	"dvsync/internal/par",
+	"dvsync/cmd/dvserve",
 }
 
 // NoGoroutine forbids concurrency constructs everywhere except the

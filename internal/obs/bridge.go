@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+
+	"dvsync/internal/simtime"
+	"dvsync/internal/telemetry"
+)
+
+// TracksFromSnapshot derives the windowed-FDPS and queue-depth counter
+// tracks from a live-telemetry snapshot's sampled series — the same tracks
+// Build reconstructs from a recorded event trace, so the two observability
+// layers can be cross-checked point for point (the equivalence test in
+// bridge_test.go does exactly that). Sample instants are exact virtual-
+// clock nanoseconds, so values can be matched against trace-reconstructed
+// samples without rounding.
+//
+// The FDPS column is refreshed by the simulator at each hardware edge
+// before that edge's jank enters the window; Build samples its FDPS track
+// from the HWVSync event, which precedes the Jank event at the same
+// instant. A telemetry row taken at an edge therefore carries exactly the
+// value obs reconstructs there.
+func TracksFromSnapshot(s *telemetry.Snapshot) (fdps, depth []CounterSample, err error) {
+	fi, di := -1, -1
+	for i, c := range s.Series.Columns {
+		switch c {
+		case telemetry.MetricFDPSWindow:
+			fi = i
+		case telemetry.MetricQueueDepth:
+			di = i
+		}
+	}
+	if fi < 0 {
+		return nil, nil, fmt.Errorf("obs: snapshot series lacks column %s", telemetry.MetricFDPSWindow)
+	}
+	if di < 0 {
+		return nil, nil, fmt.Errorf("obs: snapshot series lacks column %s", telemetry.MetricQueueDepth)
+	}
+	fdps = make([]CounterSample, 0, len(s.Series.Rows))
+	depth = make([]CounterSample, 0, len(s.Series.Rows))
+	for _, row := range s.Series.Rows {
+		at := simtime.Time(row.AtNs)
+		fdps = append(fdps, CounterSample{At: at, Track: TrackFDPS, Value: row.Values[fi]})
+		depth = append(depth, CounterSample{At: at, Track: TrackQueueDepth, Value: row.Values[di]})
+	}
+	return fdps, depth, nil
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"testing"
+
+	"dvsync/internal/display"
+	"dvsync/internal/fault"
+	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
+	"dvsync/internal/telemetry"
+	"dvsync/internal/trace"
+	"dvsync/internal/workload"
+)
+
+// TestFDPSWindowsAgree pins the obs track window to the telemetry layer's
+// constant: both derive the same windowed-FDPS quantity, and a drift here
+// would silently decouple the two observability layers.
+func TestFDPSWindowsAgree(t *testing.T) {
+	if FDPSWindow != telemetry.FDPSWindow {
+		t.Fatalf("obs.FDPSWindow %v != telemetry.FDPSWindow %v", FDPSWindow, telemetry.FDPSWindow)
+	}
+}
+
+// bridgeRun executes one D-VSync run with both observability layers
+// attached: the trace recorder for post-hoc reconstruction and a
+// telemetry registry sampled every panel period.
+func bridgeRun(t *testing.T, faults *fault.Config) (*Model, *telemetry.Snapshot) {
+	t.Helper()
+	p := workload.Profile{
+		Name: "bridge", ShortMeanMs: 7, ShortSigmaMs: 3,
+		LongRatio: 0.12, LongScaleMs: 26, LongAlpha: 1.7,
+		Burstiness: 0.4, UIShare: 0.4, Class: workload.Interactive,
+	}
+	rec := trace.NewRecorder()
+	reg := telemetry.NewRegistry()
+	sim.Run(sim.Config{
+		Mode:     sim.ModeDVSync,
+		Panel:    display.Config{Name: "bridge", RefreshHz: 60},
+		Buffers:  4,
+		Trace:    p.Generate(240, 4242),
+		Recorder: rec,
+		Metrics:  reg,
+		Faults:   faults,
+	})
+	return Build(rec), reg.Snapshot()
+}
+
+// TestBridgeEquivalence is the satellite gate: the windowed-FDPS and
+// queue-depth tracks derived from a telemetry snapshot must agree exactly
+// with the trace-reconstructed values, at every instant where both layers
+// sampled. FDPS is compared at hardware edges (obs's sampling points);
+// queue depth is compared by evaluating obs's event-driven track as a step
+// function at each telemetry sample instant.
+func TestBridgeEquivalence(t *testing.T) {
+	stall, err := fault.Scenario("stall", 0.5, 0, simtime.Time(4*simtime.Second), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		faults *fault.Config
+	}{
+		{"clean", nil},
+		{"stall-faulted", stall},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			model, snap := bridgeRun(t, tc.faults)
+			fdps, depth, err := TracksFromSnapshot(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Index the trace-reconstructed FDPS samples by instant. Edges
+			// are unique instants, so last-writer-wins is exact.
+			obsFDPS := map[simtime.Time]float64{}
+			var obsDepth []CounterSample
+			for _, c := range model.Counters {
+				switch c.Track {
+				case TrackFDPS:
+					obsFDPS[c.At] = c.Value
+				case TrackQueueDepth:
+					obsDepth = append(obsDepth, c)
+				}
+			}
+
+			matched := 0
+			for _, c := range fdps {
+				want, ok := obsFDPS[c.At]
+				if !ok {
+					continue // sampler tick between edges: obs has no point here
+				}
+				if c.Value != want {
+					t.Fatalf("FDPS at %v: telemetry %v, obs %v", c.At, c.Value, want)
+				}
+				matched++
+			}
+			if matched < 100 {
+				t.Fatalf("only %d FDPS instants matched; sampling grids diverged", matched)
+			}
+
+			// Evaluate obs's event-driven depth track as a step function at
+			// each telemetry sample instant. Depth events at instant T carry
+			// pipeline/hardware priority and therefore precede the control-
+			// band sampler tick at T: samples with At <= T are included.
+			j, cur := 0, 0.0
+			for _, c := range depth {
+				for j < len(obsDepth) && obsDepth[j].At <= c.At {
+					cur = obsDepth[j].Value
+					j++
+				}
+				if c.Value != cur {
+					t.Fatalf("queue depth at %v: telemetry %v, obs step %v", c.At, c.Value, cur)
+				}
+			}
+			if len(depth) < 100 {
+				t.Fatalf("only %d depth samples; series too short", len(depth))
+			}
+		})
+	}
+}

@@ -73,6 +73,10 @@ func NewProducer(e *event.Engine, q *buffer.Queue, t *workload.Trace) *Producer 
 // UIFree reports whether the UI thread is idle at now.
 func (p *Producer) UIFree(now simtime.Time) bool { return p.uiBusyUntil <= now }
 
+// RSFree reports whether the render-service stage is idle at now — the
+// second per-stage occupancy signal the telemetry sampler reads.
+func (p *Producer) RSFree(now simtime.Time) bool { return p.rsBusyUntil <= now }
+
 // Ahead returns the number of frames rendered or rendering but not yet
 // latched: the quantity the FPE limits and the DTV multiplies by the
 // period.

@@ -1,34 +1,21 @@
-package sim
+package sim_test
 
 import (
 	"testing"
 
-	"dvsync/internal/ipl"
-	"dvsync/internal/workload"
+	"dvsync/internal/bench"
+	"dvsync/internal/sim"
 )
 
 // BenchmarkSimRun measures an end-to-end simulation of a 400-frame
 // interactive workload under both architectures — the unit of work every
-// experiment replica fans out. Allocation counts here are the target of
-// the hot-path cuts (event free list, preallocated result and trace
-// buffers); regressions show up as allocs/op growth against
-// BENCH_baseline.json.
+// experiment replica fans out. The body lives in internal/bench so that
+// `dvbench -bench-json` measures exactly this workload when emitting the
+// perf-trajectory snapshot CI gates against BENCH_baseline.json.
+// Allocation counts here are the target of the hot-path cuts and of the
+// zero-cost-without-registry telemetry contract.
 func BenchmarkSimRun(b *testing.B) {
-	p := workload.Profile{
-		Name: "bench", ShortMeanMs: 5, ShortSigmaMs: 2,
-		LongRatio: 0.06, LongScaleMs: 20, LongAlpha: 1.8,
-		Burstiness: 0.3, UIShare: 0.4, Class: workload.Interactive,
-	}
-	tr := p.Generate(400, 1234)
-	for _, mode := range []Mode{ModeVSync, ModeDVSync} {
-		b.Run(mode.String(), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				Run(Config{
-					Mode: mode, Panel: panel60(), Buffers: 4,
-					Trace: tr, Predictor: ipl.Kalman{},
-				})
-			}
-		})
+	for _, mode := range []sim.Mode{sim.ModeVSync, sim.ModeDVSync} {
+		b.Run(mode.String(), bench.SimRun(mode))
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"dvsync/internal/pipeline"
 	"dvsync/internal/signal"
 	"dvsync/internal/simtime"
+	"dvsync/internal/telemetry"
 	"dvsync/internal/trace"
 	"dvsync/internal/workload"
 )
@@ -109,6 +110,16 @@ type Config struct {
 	// Recorder, when set, captures a structured event trace of the run
 	// (hardware edges, frame lifecycle, janks, rate changes).
 	Recorder *trace.Recorder
+	// Metrics, when set, attaches a live telemetry registry: the run
+	// registers its instruments at wiring time, updates them from hooks,
+	// and samples them into the registry's time series on MetricsInterval
+	// boundaries of the virtual clock (DESIGN.md §10). One registry serves
+	// one run. Nil keeps the hot path metric-free.
+	Metrics *telemetry.Registry
+	// MetricsInterval is the virtual-time sampling interval; zero defaults
+	// to the initial panel refresh period (the interval stays fixed even
+	// when LTPO retargets the rate mid-run). Requires Metrics.
+	MetricsInterval simtime.Duration
 	// LTPOPolicy, together with LTPOVelocity, enables variable refresh:
 	// at every edge the coordinator observes the content velocity and
 	// retargets the rate under the §5.3 drain rule.
@@ -261,6 +272,7 @@ type System struct {
 	ltpo     *ltpo.Coordinator
 	inj      *fault.Injector
 	monitor  *health.Monitor
+	tel      *telemetryState
 
 	res Result
 
@@ -295,6 +307,10 @@ func Validate(cfg Config) error {
 		return fmt.Errorf("sim: negative FPE overload threshold %d", cfg.FPEOverloadAfter)
 	case cfg.FPERecoverAfter < 0:
 		return fmt.Errorf("sim: negative FPE recovery threshold %d", cfg.FPERecoverAfter)
+	case cfg.MetricsInterval < 0:
+		return fmt.Errorf("sim: negative metrics interval %v", cfg.MetricsInterval)
+	case cfg.MetricsInterval > 0 && cfg.Metrics == nil:
+		return fmt.Errorf("sim: MetricsInterval set without a Metrics registry")
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
@@ -415,6 +431,20 @@ func New(cfg Config) *System {
 				Decoupled: f.Decoupled})
 		}
 	}
+	if cfg.Metrics != nil {
+		interval := cfg.MetricsInterval
+		if interval <= 0 {
+			interval = period
+		}
+		s.tel = newTelemetryState(cfg.Metrics, interval, cfg.Panel.RefreshHz, s.monitor != nil)
+		s.tel.tick = s.onSampleTick
+		s.queue.SetDepthObserver(func(depth int) {
+			d := float64(depth)
+			s.tel.queueDepth.Set(d)
+			s.tel.depthDist.Observe(d)
+		})
+		s.panel.OnRateChange(func(hz int) { s.tel.refreshHz.Set(float64(hz)) })
+	}
 	return s
 }
 
@@ -445,6 +475,14 @@ func (s *System) supervise(now simtime.Time) {
 	}
 	reason := s.monitor.LastReason()
 	s.res.Fallbacks = append(s.res.Fallbacks, FallbackRecord{At: now, To: to, Reason: reason})
+	if t := s.tel; t != nil {
+		if tripped {
+			t.fallbacks.Inc()
+			t.fallbackState.Set(1)
+		} else {
+			t.fallbackState.Set(0)
+		}
+	}
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Fallback, Frame: -1,
 			Detail: fmt.Sprintf("to=%s reason=%s", to, reason)})
@@ -459,6 +497,12 @@ func (s *System) onMissedEdge(now simtime.Time, seq uint64, period simtime.Durat
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.EdgeMissed, Frame: -1, EdgeSeq: seq})
 	}
+	if t := s.tel; t != nil {
+		// Refresh the FDPS gauge before this edge's jank enters the
+		// window, mirroring the obs sampling point at real edges.
+		t.missedEdges.Inc()
+		t.fdps.Set(t.window.Rate(now))
+	}
 	if s.queue.Front() != nil && !s.streamDone() {
 		key := false
 		if inflight := s.producer.OldestInflight(); inflight != nil {
@@ -467,6 +511,9 @@ func (s *System) onMissedEdge(now simtime.Time, seq uint64, period simtime.Durat
 		s.res.Janks = append(s.res.Janks, JankRecord{At: now, EdgeSeq: seq, KeyFrame: key})
 		if s.monitor != nil {
 			s.monitor.ObserveJank(now)
+		}
+		if t := s.tel; t != nil {
+			t.observeJank(now)
 		}
 		if s.cfg.Recorder != nil {
 			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
@@ -548,6 +595,9 @@ func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) bool {
 	}
 	if s.cfg.ContentSample != nil {
 		s.cfg.ContentSample(f, now)
+	}
+	if t := s.tel; t != nil {
+		t.framesStarted.Inc()
 	}
 	s.nextIdx = req.Index + 1
 	if req.Decoupled {
@@ -648,11 +698,21 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.HWVSync, Frame: -1, EdgeSeq: seq,
 			Hz: simtime.HzForPeriod(period)})
 	}
+	if t := s.tel; t != nil {
+		// The FDPS gauge is refreshed before this edge's jank (if any)
+		// enters the window — the sampling point obs reconstructs from the
+		// HWVSync event, which precedes the Jank event at the same instant.
+		t.edges.Inc()
+		t.fdps.Set(t.window.Rate(now))
+	}
 	var b *buffer.Buffer
 	if s.cfg.DropStaleBuffers {
 		var dropped int
 		b, dropped = s.queue.LatchNewest(now, period)
 		s.res.StaleDropped += dropped
+		if t := s.tel; t != nil && dropped > 0 {
+			t.staleDropped.Add(float64(dropped))
+		}
 	} else {
 		b = s.queue.Latch(now, period)
 	}
@@ -665,6 +725,9 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		s.res.LastLatch = now
 		s.res.Presented = append(s.res.Presented, f)
 		s.recordLatency(f)
+		if t := s.tel; t != nil {
+			t.framesPresented.Inc()
+		}
 		if rec := s.cfg.Recorder; rec != nil {
 			rec.Add(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
 				Decoupled: f.Decoupled, EdgeSeq: seq})
@@ -676,12 +739,18 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		if s.fpe != nil {
 			if f.Decoupled {
 				s.dtv.RecordPresent(f.DTimestamp, f.PresentAt)
-				if s.monitor != nil {
+				if s.monitor != nil || s.tel != nil {
 					errAbs := f.PresentAt.Sub(f.DTimestamp)
 					if errAbs < 0 {
 						errAbs = -errAbs
 					}
-					s.monitor.ObserveCalibError(now, errAbs.Milliseconds())
+					errMs := errAbs.Milliseconds()
+					if s.monitor != nil {
+						s.monitor.ObserveCalibError(now, errMs)
+					}
+					if t := s.tel; t != nil {
+						t.calibErr.Observe(errMs)
+					}
 				}
 			}
 			// The latch freed the previous front buffer: a slot opened.
@@ -695,6 +764,9 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		s.res.Janks = append(s.res.Janks, JankRecord{At: now, EdgeSeq: seq, KeyFrame: key})
 		if s.monitor != nil {
 			s.monitor.ObserveJank(now)
+		}
+		if t := s.tel; t != nil {
+			t.observeJank(now)
 		}
 		if s.cfg.Recorder != nil {
 			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
@@ -712,6 +784,9 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 	}
 
 	if s.queue.Front() != nil && s.streamDone() && s.queue.QueuedCount() == 0 {
+		if s.tel != nil {
+			s.tel.done = true
+		}
 		s.panel.Stop()
 		s.engine.Stop()
 	}
@@ -736,7 +811,11 @@ func (s *System) recordLatency(f *buffer.Frame) {
 	} else {
 		lat = f.PresentAt.Sub(f.ContentTime)
 	}
-	s.res.LatencyMs = append(s.res.LatencyMs, lat.Milliseconds())
+	latMs := lat.Milliseconds()
+	s.res.LatencyMs = append(s.res.LatencyMs, latMs)
+	if t := s.tel; t != nil {
+		t.latency.Observe(latMs)
+	}
 }
 
 // Engine exposes the event engine (examples drive extra events through it).
@@ -766,8 +845,21 @@ func (s *System) Run() *Result {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Reserve(6*n + 64)
 	}
+	if s.tel != nil {
+		s.scheduleSample(0)
+	}
 	s.panel.Start(0)
 	s.engine.Run(simtime.Time(0).Add(horizon))
+	if s.tel != nil {
+		// Close the series with a run-end row so the final counter state is
+		// observable, then stop the sampling chain (a recorder drain below
+		// may still replay the pending tick; the done flag makes it inert).
+		s.tel.done = true
+		now := s.engine.Now()
+		if at, ok := s.tel.reg.LastSampleAt(); !ok || now > at {
+			s.sampleTelemetry(now)
+		}
+	}
 	if s.cfg.Recorder != nil {
 		// Drain pending present-fence recordings scheduled past the last
 		// latch (the panel is stopped, so only bookkeeping events remain).

@@ -1,0 +1,74 @@
+package telemetry
+
+import "dvsync/internal/simtime"
+
+// FDPSWindow is the sliding window behind the live windowed-FDPS gauge. It
+// matches internal/obs's exported track and the health monitor's default
+// evaluation window, so all three layers report the same quantity; a test
+// pins the equality.
+const FDPSWindow = 500 * simtime.Millisecond
+
+// Canonical instrument names the simulator registers when a registry is
+// attached. They live here — not in internal/sim — so consumers like the
+// obs bridge and dvserve can address columns without importing the
+// simulator.
+const (
+	// MetricFramesStarted counts frames entering the pipeline.
+	MetricFramesStarted = "dvsync_frames_started_total"
+	// MetricFramesPresented counts latched (displayed) frames.
+	MetricFramesPresented = "dvsync_frames_presented_total"
+	// MetricJanks counts repeated-frame edges.
+	MetricJanks = "dvsync_janks_total"
+	// MetricEdges counts hardware refresh edges.
+	MetricEdges = "dvsync_edges_total"
+	// MetricMissedEdges counts refreshes skipped by injected faults.
+	MetricMissedEdges = "dvsync_missed_edges_total"
+	// MetricFallbacks counts §4.5 supervised trips to the VSync channel.
+	MetricFallbacks = "dvsync_fallbacks_total"
+	// MetricStaleDropped counts frames discarded by the stale-dropping
+	// consumer.
+	MetricStaleDropped = "dvsync_stale_dropped_total"
+
+	// MetricQueueDepth is the live buffer-queue depth.
+	MetricQueueDepth = "dvsync_queue_depth"
+	// MetricFDPSWindow is frame drops per second over the trailing
+	// FDPSWindow, refreshed at each hardware edge *before* that edge's
+	// jank is recorded — the same sampling point obs reconstructs.
+	MetricFDPSWindow = "dvsync_fdps_window"
+	// MetricFallbackState is 1 while the fallback supervisor holds the
+	// system on the VSync channel, else 0.
+	MetricFallbackState = "dvsync_fallback_tripped"
+	// MetricRefreshHz is the current panel refresh rate.
+	MetricRefreshHz = "dvsync_refresh_hz"
+	// MetricUIBusy / MetricRSBusy are per-stage pipeline occupancy (1 while
+	// the stage is executing at the sample instant).
+	MetricUIBusy = "dvsync_pipeline_ui_busy"
+	MetricRSBusy = "dvsync_pipeline_rs_busy"
+	// MetricInflight counts frames dequeued but not yet queued.
+	MetricInflight = "dvsync_pipeline_inflight"
+	// MetricHealthTrips / MetricHealthRecoveries mirror the health
+	// monitor's transition counts (only registered under EnableFallback).
+	MetricHealthTrips      = "dvsync_health_trips"
+	MetricHealthRecoveries = "dvsync_health_recoveries"
+
+	// MetricFrameLatencyMs is the §6.3 per-frame rendering latency.
+	MetricFrameLatencyMs = "dvsync_frame_latency_ms"
+	// MetricCalibErrMs is the DTV |present − D-Timestamp| error.
+	MetricCalibErrMs = "dvsync_dtv_calib_error_ms"
+	// MetricQueueDepthDist is the queue-depth distribution, observed at
+	// every depth change.
+	MetricQueueDepthDist = "dvsync_queue_depth_dist"
+)
+
+// Fixed bucket layouts. Fixed — never derived from the run — so
+// expositions from different scenarios stay comparable bucket-for-bucket.
+var (
+	// LatencyBucketsMs brackets the 2-to-3-period latencies of §6.3 at 60
+	// and 120 Hz plus a jank tail.
+	LatencyBucketsMs = []float64{8, 16, 24, 33.4, 40, 50, 66.8, 100}
+	// CalibErrBucketsMs brackets DTV prediction error from sub-100µs
+	// steady state up to a full 60 Hz period.
+	CalibErrBucketsMs = []float64{0.1, 0.25, 0.5, 1, 2, 4, 8, 16.7}
+	// QueueDepthBuckets covers the buffer-pool sizes the paper uses.
+	QueueDepthBuckets = []float64{0, 1, 2, 3, 4, 6, 8}
+)

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dvsync/internal/simtime"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestRegistration(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a_total", "a")
+	g := r.Gauge("b", "b")
+	h := r.Histogram("c", "c", []float64{1, 2})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	c.Inc()
+	c.Add(2)
+	g.Set(-4)
+	h.Observe(1.5)
+	if c.Value() != 3 || g.Value() != -4 || h.Count() != 1 {
+		t.Errorf("values: counter %v gauge %v hist n %d", c.Value(), g.Value(), h.Count())
+	}
+
+	mustPanic(t, "duplicate name", func() { r.Gauge("a_total", "dup") })
+	mustPanic(t, "invalid name", func() { r.Gauge("7bad", "") })
+	mustPanic(t, "invalid char", func() { r.Gauge("bad-name", "") })
+	mustPanic(t, "negative counter delta", func() { c.Add(-1) })
+	mustPanic(t, "empty bounds", func() { r.Histogram("d", "", nil) })
+	mustPanic(t, "non-increasing bounds", func() { r.Histogram("e", "", []float64{1, 1}) })
+
+	r.Sample(0)
+	mustPanic(t, "register after sample", func() { r.Counter("late_total", "") })
+	mustPanic(t, "time going backwards", func() { r.Sample(-1) })
+}
+
+// TestHistogramBuckets pins the inclusive le semantics: a value equal to a
+// bound lands in that bound's bucket, values past the last bound in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 5} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 4, 5, 6} // cumulative: le=1, le=2, le=4, +Inf
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for i, le := range []string{`le="1"`, `le="2"`, `le="4"`, `le="+Inf"`} {
+		line := "h_bucket{" + le + "} "
+		idx := strings.Index(got, line)
+		if idx < 0 {
+			t.Fatalf("exposition lacks %q:\n%s", line, got)
+		}
+		rest := got[idx+len(line):]
+		end := strings.IndexByte(rest, '\n')
+		if rest[:end] != uintString(want[i]) {
+			t.Errorf("%s = %s, want %d", le, rest[:end], want[i])
+		}
+	}
+	if !strings.Contains(got, "h_sum 14") || !strings.Contains(got, "h_count 6") {
+		t.Errorf("sum/count missing:\n%s", got)
+	}
+}
+
+func uintString(v uint64) string {
+	var b []byte
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// TestSampleSeries: columns freeze in registration order, rows carry
+// counter totals, gauge values and histogram counts.
+func TestSampleSeries(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", []float64{10})
+
+	c.Inc()
+	g.Set(3)
+	r.Sample(simtime.Time(100))
+	c.Inc()
+	h.Observe(1)
+	h.Observe(2)
+	r.Sample(simtime.Time(200))
+	r.Sample(simtime.Time(200)) // equal instants allowed
+
+	s := r.Series()
+	if want := []string{"c_total", "g", "h"}; len(s.Columns) != 3 ||
+		s.Columns[0] != want[0] || s.Columns[1] != want[1] || s.Columns[2] != want[2] {
+		t.Fatalf("columns %v, want %v", s.Columns, want)
+	}
+	if len(s.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(s.Rows))
+	}
+	if v := s.Rows[0].Values; v[0] != 1 || v[1] != 3 || v[2] != 0 {
+		t.Errorf("row 0 = %v", v)
+	}
+	if v := s.Rows[1].Values; v[0] != 2 || v[1] != 3 || v[2] != 2 {
+		t.Errorf("row 1 = %v", v)
+	}
+	if at, ok := r.LastSampleAt(); !ok || at != 200 {
+		t.Errorf("LastSampleAt = %v, %v", at, ok)
+	}
+}
+
+// TestOnSampleHook: the streaming tap sees every row, in order.
+func TestOnSampleHook(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	var got []float64
+	r.OnSample(func(row SampleRow) { got = append(got, row.Values[0]) })
+	for i := 1; i <= 3; i++ {
+		g.Set(float64(i))
+		r.Sample(simtime.Time(i))
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("hook saw %v", got)
+	}
+}
+
+// TestWindowRate pins the shared windowed-rate semantics: start-truncated
+// window, inclusive cut, pruning.
+func TestWindowRate(t *testing.T) {
+	w := NewWindowRate(500 * simtime.Millisecond)
+	if got := w.Rate(0); got != 0 {
+		t.Errorf("rate at t=0 = %v, want 0 (degenerate window)", got)
+	}
+	w.Observe(0)
+	if got := w.Rate(0); got != 0 {
+		t.Errorf("rate at t=0 with event = %v, want 0", got)
+	}
+	// Truncated window: one event in 100ms → 10/s.
+	if got := w.Rate(simtime.Time(100 * simtime.Millisecond)); got != 10 {
+		t.Errorf("truncated rate = %v, want 10", got)
+	}
+	// Full window: the t=0 event sits exactly on the cut at t=500ms —
+	// inclusive, still counted.
+	if got := w.Rate(simtime.Time(500 * simtime.Millisecond)); got != 2 {
+		t.Errorf("rate at cut boundary = %v, want 2", got)
+	}
+	// One ns later it slides out.
+	if got := w.Rate(simtime.Time(500*simtime.Millisecond) + 1); got != 0 {
+		t.Errorf("rate past cut = %v, want 0", got)
+	}
+	mustPanic(t, "non-positive window", func() { NewWindowRate(0) })
+}
+
+// TestFDPSWindowsAgree pins telemetry's window to the health default so
+// the live gauge, the watchdog and the obs track measure the same
+// quantity. (obs.FDPSWindow equality is pinned in the obs bridge test.)
+func TestFDPSWindowsAgree(t *testing.T) {
+	if FDPSWindow != 500*simtime.Millisecond {
+		t.Errorf("FDPSWindow = %v, want 500ms (health default window)", FDPSWindow)
+	}
+}
+
+// TestWritersDeterministic: identical registry states produce
+// byte-identical Prometheus and JSON output, sorted by name.
+func TestWritersDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Registered out of name order on purpose.
+		b := r.Gauge("zz_gauge", "last registered, first updated")
+		a := r.Counter("aa_total", "first in sort order")
+		h := r.Histogram("mm_hist", "middle", []float64{0.5, 1.5})
+		b.Set(2.5)
+		a.Add(7)
+		h.Observe(1)
+		h.Observe(9)
+		r.Sample(simtime.Time(1000))
+		return r
+	}
+	var p1, p2, j1, j2 bytes.Buffer
+	if err := build().WritePrometheus(&p1); err != nil {
+		t.Fatal(err)
+	}
+	build().WritePrometheus(&p2)
+	if err := build().WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	build().WriteJSON(&j2)
+	if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+		t.Error("Prometheus expositions differ between identical builds")
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Error("JSON snapshots differ between identical builds")
+	}
+	// Sorted order: aa before mm before zz.
+	text := p1.String()
+	if !(strings.Index(text, "aa_total") < strings.Index(text, "mm_hist") &&
+		strings.Index(text, "mm_hist") < strings.Index(text, "zz_gauge")) {
+		t.Errorf("exposition not name-sorted:\n%s", text)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(j1.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	if snap.Schema != SnapshotSchemaVersion || snap.AtNs != 1000 {
+		t.Errorf("snapshot header schema=%d at=%d", snap.Schema, snap.AtNs)
+	}
+	if len(snap.Metrics) != 3 || snap.Metrics[0].Name != "aa_total" {
+		t.Errorf("snapshot metrics %+v", snap.Metrics)
+	}
+	if len(snap.Series.Rows) != 1 || snap.Series.Rows[0].AtNs != 1000 {
+		t.Errorf("snapshot series %+v", snap.Series)
+	}
+}

@@ -3,8 +3,13 @@
 //
 // Usage:
 //
-//	dvlint ./...        # lint every package in the module
-//	dvlint -rules       # list the rules and their allowlists
+//	dvlint ./...                          # lint every package in the module
+//	dvlint ./internal/sim                 # lint one package
+//	dvlint ./internal/...                 # lint a subtree
+//	dvlint -list                          # list the rules
+//	dvlint -json ./...                    # machine-readable findings
+//	dvlint -baseline .dvlint-baseline.json ./...
+//	dvlint -write-baseline .dvlint-baseline.json ./...
 //
 // Violations print in the compiler's file:line:col format. A finding can be
 // suppressed in place with a justified directive:
@@ -13,61 +18,210 @@
 //
 // on the offending line or the line directly above it. Directives that name
 // an unknown rule or omit the reason are themselves violations.
+//
+// # Baseline ratchet
+//
+// -baseline applies a committed ratchet file: findings recorded there are
+// pinned debt and do not fail the run; any finding NOT in the file is fresh
+// and fails. Entries whose finding has been fixed are reported as stale —
+// remove them from the file, it may only shrink. The default -baseline value
+// "auto" uses <module root>/.dvlint-baseline.json when it exists and no
+// baseline otherwise; "none" disables baselining explicitly.
+//
+// Exit status: 0 clean, 1 findings (fresh findings under a baseline), 2
+// usage or load errors — including a package pattern that matches nothing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"dvsync/internal/lint"
 )
 
 func main() {
-	rules := flag.Bool("rules", false, "list the rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: dvlint [-rules] ./...")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive the CLI
+// end to end.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dvlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the rules and exit")
+	rules := fs.Bool("rules", false, "alias for -list (deprecated)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := fs.String("baseline", "auto",
+		"baseline ratchet file; 'auto' uses <module>/.dvlint-baseline.json when present, 'none' disables")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: dvlint [-list] [-json] [-baseline file] [-write-baseline file] [packages]")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.Analyzers()
-	if *rules {
+	if *list || *rules {
 		for _, a := range analyzers {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return
-	}
-	for _, arg := range flag.Args() {
-		if arg != "./..." && arg != "." {
-			fmt.Fprintf(os.Stderr, "dvlint: unsupported pattern %q (only ./...)\n", arg)
-			os.Exit(2)
-		}
+		return 0
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dvlint:", err)
+		return 2
 	}
 	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dvlint:", err)
+		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dvlint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dvlint:", err)
+		return 2
 	}
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(rel(root, d))
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	if n := len(diags); n > 0 {
-		fmt.Fprintf(os.Stderr, "dvlint: %d violation(s)\n", n)
-		os.Exit(1)
+	selected, err := selectPackages(loader.ModulePath, pkgs, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvlint:", err)
+		return 2
+	}
+
+	findings := lint.Findings(root, lint.Run(selected, analyzers))
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaselineFile(*writeBaseline, findings); err != nil {
+			fmt.Fprintln(stderr, "dvlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "dvlint: wrote %d finding(s) to %s\n", len(findings), *writeBaseline)
+		return 0
+	}
+
+	base, err := resolveBaseline(root, *baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvlint:", err)
+		return 2
+	}
+	report := findings
+	if base != nil {
+		fresh, stale := lint.ApplyBaseline(findings, base)
+		report = fresh
+		for _, f := range stale {
+			fmt.Fprintf(stderr, "dvlint: stale baseline entry (finding fixed — remove it): %s\n", f)
+		}
+	}
+
+	if *jsonOut {
+		data, err := lint.EncodeFindings(report)
+		if err != nil {
+			fmt.Fprintln(stderr, "dvlint:", err)
+			return 2
+		}
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintln(stderr, "dvlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range report {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if n := len(report); n > 0 {
+		if base != nil {
+			fmt.Fprintf(stderr, "dvlint: %d fresh violation(s) not covered by the baseline\n", n)
+		} else {
+			fmt.Fprintf(stderr, "dvlint: %d violation(s)\n", n)
+		}
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the loaded packages down to the given patterns.
+// Supported forms: "./..." and "." (whole module), "./dir" (one package),
+// "./dir/..." (a subtree). A pattern matching no loaded package is an
+// error — a typoed path silently linting nothing would defeat the gate.
+func selectPackages(modPath string, pkgs []*lint.Package, patterns []string) ([]*lint.Package, error) {
+	type matcher struct {
+		pattern   string
+		path      string
+		recursive bool
+		hits      int
+	}
+	matchers := make([]*matcher, 0, len(patterns))
+	for _, pat := range patterns {
+		m := &matcher{pattern: pat}
+		switch {
+		case pat == "." || pat == "./...":
+			m.path, m.recursive = modPath, true
+		case strings.HasPrefix(pat, "./"):
+			rel := strings.TrimPrefix(pat, "./")
+			if strings.HasSuffix(rel, "/...") {
+				m.recursive = true
+				rel = strings.TrimSuffix(rel, "/...")
+			}
+			rel = strings.Trim(rel, "/")
+			if rel == "" || rel == "..." {
+				m.path = modPath
+				m.recursive = true
+			} else {
+				m.path = modPath + "/" + filepath.ToSlash(rel)
+			}
+		default:
+			return nil, fmt.Errorf("unsupported pattern %q (use ./dir, ./dir/... or ./...)", pat)
+		}
+		matchers = append(matchers, m)
+	}
+	var out []*lint.Package
+	for _, pkg := range pkgs {
+		matched := false
+		for _, m := range matchers {
+			ok := pkg.Path == m.path || (m.recursive && strings.HasPrefix(pkg.Path, m.path+"/"))
+			if ok {
+				m.hits++
+				matched = true
+			}
+		}
+		if matched {
+			out = append(out, pkg)
+		}
+	}
+	for _, m := range matchers {
+		if m.hits == 0 {
+			return nil, fmt.Errorf("pattern %q matches no Go packages in module %s", m.pattern, modPath)
+		}
+	}
+	return out, nil
+}
+
+// resolveBaseline maps the -baseline flag value to a loaded baseline (nil
+// when baselining is off).
+func resolveBaseline(root, value string) (*lint.Baseline, error) {
+	switch value {
+	case "none", "":
+		return nil, nil
+	case "auto":
+		path := filepath.Join(root, ".dvlint-baseline.json")
+		if _, err := os.Stat(path); err != nil {
+			return nil, nil
+		}
+		return lint.ReadBaselineFile(path)
+	default:
+		return lint.ReadBaselineFile(value)
 	}
 }
 
@@ -87,12 +241,4 @@ func moduleRoot() (string, error) {
 		}
 		dir = parent
 	}
-}
-
-// rel prints a diagnostic with its path relative to the module root.
-func rel(root string, d lint.Diagnostic) string {
-	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-		d.Pos.Filename = r
-	}
-	return d.String()
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dvsync/internal/lint"
+)
+
+// exec drives the CLI the way main does and returns its exit code plus
+// captured output.
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestNoMatchingPackagesExits2 is the regression test for the silent-pass
+// bug: a pattern matching no Go packages used to exit 0, letting a typoed
+// CI path disable the whole gate.
+func TestNoMatchingPackagesExits2(t *testing.T) {
+	t.Parallel()
+	code, _, stderr := exec(t, "-baseline", "none", "./does/not/exist")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "matches no Go packages") {
+		t.Fatalf("stderr lacks a clear no-match error: %q", stderr)
+	}
+	if !strings.Contains(stderr, "./does/not/exist") {
+		t.Fatalf("stderr does not name the offending pattern: %q", stderr)
+	}
+}
+
+func TestUnsupportedPatternExits2(t *testing.T) {
+	t.Parallel()
+	code, _, stderr := exec(t, "-baseline", "none", "/absolute/path")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "unsupported pattern") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+// TestListNamesEveryAnalyzer pins the -list output to the registered rule
+// set (and keeps the deprecated -rules alias alive).
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	t.Parallel()
+	for _, flag := range []string{"-list", "-rules"} {
+		code, stdout, stderr := exec(t, flag)
+		if code != 0 {
+			t.Fatalf("%s: exit = %d; stderr: %s", flag, code, stderr)
+		}
+		for _, a := range lint.Analyzers() {
+			if !strings.Contains(stdout, a.Name) {
+				t.Errorf("%s output is missing rule %s", flag, a.Name)
+			}
+		}
+	}
+}
+
+// TestJSONEmitsArray checks the machine-readable path: valid JSON, an
+// array even when empty.
+func TestJSONEmitsArray(t *testing.T) {
+	t.Parallel()
+	code, stdout, stderr := exec(t, "-json", "-baseline", "none", "./internal/lint")
+	if code != 0 {
+		t.Fatalf("exit = %d; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(stdout), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout)
+	}
+	if findings == nil {
+		t.Fatalf("JSON output decodes to nil, want an (empty) array: %s", stdout)
+	}
+}
+
+// TestSubtreeAndSinglePackagePatterns exercises the ./dir and ./dir/...
+// forms over packages known to be clean.
+func TestSubtreeAndSinglePackagePatterns(t *testing.T) {
+	t.Parallel()
+	for _, pat := range []string{"./internal/lint", "./cmd/..."} {
+		code, stdout, stderr := exec(t, "-baseline", "none", pat)
+		if code != 0 {
+			t.Fatalf("%s: exit = %d; stdout: %s stderr: %s", pat, code, stdout, stderr)
+		}
+	}
+}
+
+// TestStaleBaselineEntryWarnsButPasses: a baseline entry whose finding no
+// longer exists must not fail the run, but must be called out for removal.
+func TestStaleBaselineEntryWarnsButPasses(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "base.json")
+	stale := lint.Finding{File: "internal/lint/lint.go", Line: 1, Col: 1,
+		Rule: "hotalloc", Message: "finding that was fixed long ago"}
+	if err := lint.WriteBaselineFile(path, []lint.Finding{stale}); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := exec(t, "-baseline", path, "./internal/lint")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale baseline entry") {
+		t.Fatalf("stderr lacks the stale warning: %q", stderr)
+	}
+}
+
+// TestDefaultInvocationIsClean is the tier-1 contract: plain `dvlint ./...`
+// (auto-discovering the committed baseline) passes on this repository.
+func TestDefaultInvocationIsClean(t *testing.T) {
+	t.Parallel()
+	code, stdout, stderr := exec(t, "./...")
+	if code != 0 {
+		t.Fatalf("exit = %d; stdout: %s stderr: %s", code, stdout, stderr)
+	}
+}
+
+// TestBadBaselineFileExits2 distinguishes configuration errors from
+// findings.
+func TestBadBaselineFileExits2(t *testing.T) {
+	t.Parallel()
+	code, _, stderr := exec(t, "-baseline", "./no-such-baseline.json", "./internal/lint")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr)
+	}
+}

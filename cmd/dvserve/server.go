@@ -148,7 +148,7 @@ func newServer(def params) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		runScenario(p).WritePrometheus(w)
+		runScenario(p).WritePrometheus(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := requestParams(w, r, def)
@@ -156,7 +156,7 @@ func newServer(def params) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		runScenario(p).WriteJSON(w)
+		runScenario(p).WriteJSON(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 	})
 	mux.HandleFunc("/stream", streamHandler(def))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

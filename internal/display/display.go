@@ -70,6 +70,10 @@ type Panel struct {
 	lastEdge   simtime.Time
 	edges      uint64
 	missed     uint64
+
+	// edgeFn is the one edge handler, bound at construction; schedule
+	// reuses it so the per-edge path allocates nothing.
+	edgeFn event.Handler
 }
 
 func skewed(nominal simtime.Duration, ppm float64) simtime.Duration {
@@ -85,13 +89,15 @@ func NewPanel(e *event.Engine, cfg Config) *Panel {
 		cfg.Width, cfg.Height = 1080, 2340
 	}
 	nominal := simtime.PeriodForHz(cfg.RefreshHz)
-	return &Panel{
+	p := &Panel{
 		cfg:        cfg,
 		engine:     e,
 		period:     nominal,
 		truePeriod: skewed(nominal, cfg.PeriodSkewPPM),
 		rng:        dist.New(cfg.JitterSeed ^ 0x5ee4),
 	}
+	p.edgeFn = p.edge
+	return p
 }
 
 // OnEdge registers a listener for hardware VSync edges. Listeners fire in
@@ -115,6 +121,7 @@ func (p *Panel) Start(first simtime.Time) {
 	p.schedule(first)
 }
 
+//dvlint:hotpath runs once per hardware VSync edge
 func (p *Panel) schedule(nominal simtime.Time) {
 	at := nominal
 	var j simtime.Duration
@@ -135,29 +142,36 @@ func (p *Panel) schedule(nominal simtime.Time) {
 	if at < p.engine.Now() {
 		at = p.engine.Now()
 	}
-	p.nextID = p.engine.At(at, event.PriorityHardware, func(now simtime.Time) {
-		if !p.running {
-			return
-		}
-		p.lastEdge = now
-		p.edges++
-		seq := p.seq
-		p.seq++
-		p.nextAt = p.nextAt.Add(p.truePeriod)
-		p.schedule(p.nextAt)
-		if p.cfg.EdgeMiss != nil && p.cfg.EdgeMiss(now, seq) {
-			// Skipped refresh: the grid continues but nothing latches and
-			// no software signals derive from this edge.
-			p.missed++
-			for _, l := range p.onMiss {
-				l(now, seq, p.period)
-			}
-			return
-		}
-		for _, l := range p.listeners {
+	p.nextID = p.engine.At(at, event.PriorityHardware, p.edgeFn)
+}
+
+// edge fires one hardware VSync edge and schedules the next. It is the
+// single persistent handler behind every schedule call — the panel only
+// ever has one pending edge, so no per-edge state needs capturing.
+//
+//dvlint:hotpath runs once per hardware VSync edge
+func (p *Panel) edge(now simtime.Time) {
+	if !p.running {
+		return
+	}
+	p.lastEdge = now
+	p.edges++
+	seq := p.seq
+	p.seq++
+	p.nextAt = p.nextAt.Add(p.truePeriod)
+	p.schedule(p.nextAt)
+	if p.cfg.EdgeMiss != nil && p.cfg.EdgeMiss(now, seq) {
+		// Skipped refresh: the grid continues but nothing latches and
+		// no software signals derive from this edge.
+		p.missed++
+		for _, l := range p.onMiss {
 			l(now, seq, p.period)
 		}
-	})
+		return
+	}
+	for _, l := range p.listeners {
+		l(now, seq, p.period)
+	}
 }
 
 // Stop cancels the pending edge.

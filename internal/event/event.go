@@ -5,6 +5,11 @@
 // priority, sequence). Sequence numbers make scheduling fully deterministic:
 // two events at the same instant and priority fire in the order they were
 // scheduled, so repeated runs with the same seed produce identical traces.
+//
+// Every engine operation runs inside the simulation loop, so the whole
+// package is held to the hot-path allocation discipline.
+//
+//dvlint:hotpath the agenda is exercised by every simulated event
 package event
 
 import (
@@ -109,6 +114,7 @@ type WatchdogError struct {
 
 // Error implements error.
 func (e *WatchdogError) Error() string {
+	//dvlint:ignore hotalloc error formatting runs once, after the watchdog has already halted the run
 	return fmt.Sprintf(
 		"event: no-progress watchdog: %d events dispatched at t=%v without the clock advancing "+
 			"(last event: priority=%d seq=%d id=%d)",
@@ -144,6 +150,7 @@ type Engine struct {
 
 // NewEngine returns an engine positioned at t = 0 with an empty agenda.
 func NewEngine() *Engine {
+	//dvlint:ignore hotalloc one-time engine construction, not a per-event cost
 	return &Engine{byID: make(map[ID]*item), instantLimit: DefaultInstantLimit}
 }
 
@@ -192,6 +199,7 @@ func (e *Engine) At(at simtime.Time, prio Priority, fn Handler) ID {
 		e.free = e.free[:n-1]
 		*it = item{at: at, prio: prio, seq: e.seq, id: e.nextID, fn: fn}
 	} else {
+		//dvlint:ignore hotalloc free-list grow path: each item is allocated once and recycled forever after
 		it = &item{at: at, prio: prio, seq: e.seq, id: e.nextID, fn: fn}
 	}
 	heap.Push(&e.events, it)
@@ -292,6 +300,7 @@ func (e *Engine) step() bool {
 		if e.instantFired >= e.instantLimit && e.wderr == nil {
 			// The clock has not advanced for instantLimit dispatches: a
 			// zero-delay scheduling loop. Record the offender and halt.
+			//dvlint:ignore hotalloc the watchdog trips at most once and ends the run
 			e.wderr = &WatchdogError{
 				At:           at,
 				Dispatched:   e.instantFired,
@@ -365,7 +374,9 @@ func NewTicker(e *Engine, period simtime.Duration, prio Priority, fn Handler) *T
 	if period <= 0 {
 		panic("event: non-positive ticker period")
 	}
+	//dvlint:ignore hotalloc one-time ticker construction
 	t := &Ticker{engine: e, period: period, prio: prio, fn: fn}
+	//dvlint:ignore hotalloc the tick closure is built once per ticker and reused for every tick
 	t.tick = func(now simtime.Time) {
 		if !t.active {
 			return

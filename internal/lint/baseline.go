@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is the machine-readable form of a Diagnostic: positions are
+// module-relative slash paths so the JSON is stable across checkouts.
+type Finding struct {
+	// File is the module-root-relative, slash-separated path.
+	File string `json:"file"`
+	// Line and Col locate the finding for navigation. They are NOT part of
+	// the baseline matching key — unrelated edits shift lines, and a
+	// baseline that rots on every reflow would be regenerated reflexively,
+	// defeating the ratchet.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Rule names the analyzer that fired.
+	Rule string `json:"rule"`
+	// Message is the human-readable explanation.
+	Message string `json:"message"`
+}
+
+// key is the identity used for baseline matching: file + rule + message.
+func (f Finding) key() string {
+	return f.File + "\x00" + f.Rule + "\x00" + f.Message
+}
+
+// String formats the finding the way compilers do.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Baseline is the committed ratchet file: the set of findings that existed
+// when the ratchet was installed. It may only shrink — new findings fail,
+// fixed findings must be removed.
+type Baseline struct {
+	// Version guards the schema; bump on incompatible changes.
+	Version int `json:"version"`
+	// Findings is the pinned set, sorted by file/line/col/rule.
+	Findings []Finding `json:"findings"`
+}
+
+// baselineVersion is the current schema version.
+const baselineVersion = 1
+
+// Findings converts diagnostics to machine-readable findings with paths
+// made relative to root.
+func Findings(root string, diags []Diagnostic) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, Finding{
+			File:    filepath.ToSlash(file),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+// sortFindings orders findings by file, line, column, rule for stable
+// output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// EncodeFindings renders findings as indented JSON (always an array, never
+// null, so consumers can iterate unconditionally).
+func EncodeFindings(fs []Finding) ([]byte, error) {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	b, err := json.MarshalIndent(fs, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ReadBaselineFile loads and validates a committed baseline.
+func ReadBaselineFile(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: unsupported version %d (want %d)", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteBaselineFile writes the findings as a fresh baseline at path.
+func WriteBaselineFile(path string, fs []Finding) error {
+	sorted := append([]Finding(nil), fs...)
+	sortFindings(sorted)
+	b := Baseline{Version: baselineVersion, Findings: sorted}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline splits current findings against the baseline:
+//
+//   - fresh: findings not covered by the baseline — these fail the ratchet;
+//   - stale: baseline entries with no current finding — fixed debt that
+//     must be removed from the committed file (shrink-only discipline).
+//
+// Matching is a multiset over file+rule+message: N pinned occurrences of
+// the same message in a file absorb at most N current ones, so duplicating
+// a pinned violation still fails.
+func ApplyBaseline(current []Finding, base *Baseline) (fresh, stale []Finding) {
+	credit := map[string]int{}
+	for _, f := range base.Findings {
+		credit[f.key()]++
+	}
+	for _, f := range current {
+		k := f.key()
+		if credit[k] > 0 {
+			credit[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	// Whatever credit survives is stale: walk the baseline in its committed
+	// order so the report is deterministic.
+	for _, f := range base.Findings {
+		k := f.key()
+		if credit[k] > 0 {
+			credit[k]--
+			stale = append(stale, f)
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,153 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dvsync/internal/lint"
+)
+
+func finding(file, rule, msg string, line int) lint.Finding {
+	return lint.Finding{File: file, Line: line, Col: 1, Rule: rule, Message: msg}
+}
+
+// TestRatchetRejectsNewFinding: a finding absent from the baseline is
+// fresh, regardless of how many pinned neighbours it has.
+func TestRatchetRejectsNewFinding(t *testing.T) {
+	base := &lint.Baseline{Version: 1, Findings: []lint.Finding{
+		finding("a.go", "hotalloc", "closure allocates", 10),
+	}}
+	cur := []lint.Finding{
+		finding("a.go", "hotalloc", "closure allocates", 10),
+		finding("b.go", "locksafe", "Lock without Unlock", 5),
+	}
+	fresh, stale := lint.ApplyBaseline(cur, base)
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v, want none", stale)
+	}
+	if len(fresh) != 1 || fresh[0].File != "b.go" {
+		t.Fatalf("fresh = %v, want exactly the b.go finding", fresh)
+	}
+}
+
+// TestRatchetAcceptsRemovedFinding: fixing a pinned finding leaves a stale
+// baseline entry but no failure.
+func TestRatchetAcceptsRemovedFinding(t *testing.T) {
+	base := &lint.Baseline{Version: 1, Findings: []lint.Finding{
+		finding("a.go", "hotalloc", "closure allocates", 10),
+		finding("b.go", "errflow", "error discarded", 3),
+	}}
+	cur := []lint.Finding{
+		finding("a.go", "hotalloc", "closure allocates", 10),
+	}
+	fresh, stale := lint.ApplyBaseline(cur, base)
+	if len(fresh) != 0 {
+		t.Fatalf("fresh = %v, want none", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "b.go" {
+		t.Fatalf("stale = %v, want exactly the b.go entry", stale)
+	}
+}
+
+// TestRatchetMatchesByContentNotLine: unrelated edits shift lines; a
+// pinned finding must keep matching after drifting.
+func TestRatchetMatchesByContentNotLine(t *testing.T) {
+	base := &lint.Baseline{Version: 1, Findings: []lint.Finding{
+		finding("a.go", "hotalloc", "closure allocates", 10),
+	}}
+	cur := []lint.Finding{
+		finding("a.go", "hotalloc", "closure allocates", 42),
+	}
+	fresh, stale := lint.ApplyBaseline(cur, base)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("fresh = %v stale = %v, want a clean line-drift match", fresh, stale)
+	}
+}
+
+// TestRatchetCountsDuplicates: N pinned copies of an identical message
+// absorb at most N current findings — duplicating a pinned violation is a
+// fresh finding.
+func TestRatchetCountsDuplicates(t *testing.T) {
+	dup := finding("a.go", "hotalloc", "make allocates", 7)
+	base := &lint.Baseline{Version: 1, Findings: []lint.Finding{dup}}
+	cur := []lint.Finding{dup, finding("a.go", "hotalloc", "make allocates", 30)}
+	fresh, _ := lint.ApplyBaseline(cur, base)
+	if len(fresh) != 1 {
+		t.Fatalf("fresh = %v, want the duplicated finding to fail", fresh)
+	}
+}
+
+// TestBaselineRoundTrip pins the on-disk format: write, read back, equal
+// and sorted.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	in := []lint.Finding{
+		finding("z.go", "locksafe", "copied", 9),
+		finding("a.go", "hotalloc", "boxed", 2),
+	}
+	if err := lint.WriteBaselineFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := lint.ReadBaselineFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []lint.Finding{in[1], in[0]} // sorted by file
+	if !reflect.DeepEqual(got.Findings, want) {
+		t.Fatalf("round trip = %+v, want %+v", got.Findings, want)
+	}
+}
+
+// TestBaselineRejectsUnknownVersion guards the schema.
+func TestBaselineRejectsUnknownVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := lint.WriteBaselineFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the version in place.
+	data := []byte(`{"version": 99, "findings": []}`)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lint.ReadBaselineFile(path); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want a version error", err)
+	}
+}
+
+// TestFindingsRelativizePaths: diagnostics inside the module render as
+// module-relative slash paths; outside paths are left untouched.
+func TestFindingsRelativizePaths(t *testing.T) {
+	root := t.TempDir()
+	diags := []lint.Diagnostic{
+		{Pos: token.Position{Filename: filepath.Join(root, "internal", "x.go"), Line: 3, Column: 7},
+			Rule: "hotalloc", Message: "m"},
+		{Pos: token.Position{Filename: "/elsewhere/y.go", Line: 1, Column: 1},
+			Rule: "locksafe", Message: "n"},
+	}
+	fs := lint.Findings(root, diags)
+	if fs[0].File != "internal/x.go" {
+		t.Errorf("File = %q, want module-relative internal/x.go", fs[0].File)
+	}
+	if fs[0].Line != 3 || fs[0].Col != 7 {
+		t.Errorf("position = %d:%d, want 3:7", fs[0].Line, fs[0].Col)
+	}
+	if fs[1].File != "/elsewhere/y.go" {
+		t.Errorf("File = %q, want untouched outside path", fs[1].File)
+	}
+}
+
+// TestEncodeFindingsNeverNull: consumers iterate the JSON unconditionally.
+func TestEncodeFindingsNeverNull(t *testing.T) {
+	data, err := lint.EncodeFindings(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Fatalf("EncodeFindings(nil) = %q, want []", data)
+	}
+}

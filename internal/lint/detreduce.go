@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetReduce flags floating-point accumulation inside range-over-map bodies.
+//
+// This closes the determinism gap MapOrder tolerates: MapOrder allows
+// "commutative accumulation" inside a map range, but floating-point
+// addition and multiplication are commutative without being associative —
+// summing shard results in randomised map order produces run-to-run ULP
+// drift, which the byte-identical -workers contract (DESIGN.md §8) cannot
+// absorb. The merge loop over a map of per-cell results is exactly the
+// non-index-ordered reduction that breaks it; collect the keys, sort, and
+// reduce in slice order instead (the same idiom par.Map enforces by
+// returning index-ordered results).
+var DetReduce = &Analyzer{
+	Name: "detreduce",
+	Doc:  "flag floating-point accumulation inside range-over-map bodies",
+	Run:  runDetReduce,
+}
+
+// accumOps are the compound assignments whose repetition order changes a
+// floating-point result.
+var accumOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+// binaryAccumOps are the binary forms of the same operators, for the
+// spelled-out `x = x + v` shape.
+var binaryAccumOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+}
+
+func runDetReduce(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkFPAccum(p, rng)
+			return true
+		})
+	}
+}
+
+// isFloatType reports whether t's underlying type is a floating-point or
+// complex kind.
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// checkFPAccum reports order-sensitive floating-point reductions inside
+// one map-range body: compound or spelled-out accumulation into a variable
+// declared outside the range (loop-local temporaries cannot carry order
+// across iterations).
+func checkFPAccum(p *Pass, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		ltv, ok := info.Types[lhs]
+		if !ok || !isFloatType(ltv.Type) {
+			return true
+		}
+		root := rootIdent(lhs)
+		if root == nil || !declaredOutside(info, root, rng) {
+			return true
+		}
+		if accumOps[as.Tok] {
+			p.Reportf(as.Pos(),
+				"floating-point accumulation into %s inside map range: iteration order changes the result; sort the keys and reduce in slice order",
+				root.Name)
+			return true
+		}
+		if as.Tok != token.ASSIGN || len(as.Rhs) != 1 {
+			return true
+		}
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || !binaryAccumOps[bin.Op] {
+			return true
+		}
+		lobj := info.Uses[root]
+		if lobj == nil {
+			return true
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if r := rootIdent(side); r != nil && info.Uses[r] == lobj {
+				p.Reportf(as.Pos(),
+					"floating-point accumulation into %s inside map range: iteration order changes the result; sort the keys and reduce in slice order",
+					root.Name)
+				return true
+			}
+		}
+		return true
+	})
+}

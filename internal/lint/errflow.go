@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// controlPathPkgs are the packages whose exported APIs sit on the
+// simulation control path: a silently dropped error from one of these
+// means a run continues on state it believes is valid — a trace that was
+// never written, a fault config that never validated, a sim that never
+// ran.
+var controlPathPkgs = []string{
+	"dvsync/internal/sim",
+	"dvsync/internal/fault",
+	"dvsync/internal/health",
+	"dvsync/internal/trace",
+	"dvsync/internal/telemetry",
+}
+
+// ErrFlow flags discarded error results from control-path APIs: a bare
+// call statement that drops the error on the floor, an assignment that
+// routes it into the blank identifier, or a defer/go statement doing
+// either. Errors from other packages (and from unexported helpers, whose
+// callers own the contract) are out of scope; `go vet` has no equivalent
+// check because it cannot know which packages are load-bearing here.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc:  "flag discarded error results from sim/fault/health/trace/telemetry exported APIs",
+	Run:  runErrFlow,
+}
+
+// errType is the predeclared error interface.
+var errType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// controlPathErrFunc reports whether the call resolves to an exported
+// function or method of a control-path package, returning its name and the
+// result indices that carry errors.
+func controlPathErrFunc(info *types.Info, call *ast.CallExpr) (string, []int, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return "", nil, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || !fn.Exported() || fn.Pkg() == nil {
+		return "", nil, false
+	}
+	if !pathMatchesAny(fn.Pkg().Path(), controlPathPkgs...) {
+		return "", nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", nil, false
+	}
+	var errIdx []int
+	results := sig.Results()
+	for i := 0; i < results.Len(); i++ {
+		if types.Implements(results.At(i).Type(), errType) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 {
+		return "", nil, false
+	}
+	return fn.Name(), errIdx, true
+}
+
+func runErrFlow(p *Pass) {
+	info := p.Pkg.Info
+	report := func(call *ast.CallExpr, how string) {
+		if name, _, ok := controlPathErrFunc(info, call); ok {
+			p.Reportf(call.Pos(), "error result of %s %s; handle or propagate it", name, how)
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					report(call, "is discarded")
+				}
+			case *ast.DeferStmt:
+				report(n.Call, "is discarded by defer")
+			case *ast.GoStmt:
+				report(n.Call, "is discarded by go")
+			case *ast.AssignStmt:
+				checkBlankErr(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErr flags `v, _ := F()` where the blank position is an error
+// result of a control-path call.
+func checkBlankErr(p *Pass, n *ast.AssignStmt) {
+	info := p.Pkg.Info
+	if len(n.Rhs) != 1 {
+		return
+	}
+	call, ok := n.Rhs[0].(*ast.CallExpr)
+	if !ok || len(n.Lhs) < 2 {
+		return
+	}
+	name, errIdx, ok := controlPathErrFunc(info, call)
+	if !ok {
+		return
+	}
+	for _, i := range errIdx {
+		if i >= len(n.Lhs) {
+			continue
+		}
+		if id, isID := n.Lhs[i].(*ast.Ident); isID && id.Name == "_" {
+			p.Reportf(id.Pos(), "error result of %s is assigned to _; handle or propagate it", name)
+		}
+	}
+}

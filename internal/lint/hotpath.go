@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// hotpathPrefix introduces a hot-path scope directive. The directive marks
+// code the allocation analyzer (hotalloc) must hold to steady-state
+// zero-allocation discipline:
+//
+//	//dvlint:hotpath <optional scope note>
+//
+// Placement decides the scope:
+//
+//   - on (or inside) the doc comment of a function or method, or trailing
+//     on the declaration line: that one function body is hot;
+//   - before the package clause of any file (package doc or a detached
+//     comment above it): every function of the package is hot.
+//
+// A directive anywhere else is itself a finding — misplacement would
+// silently analyze nothing.
+const hotpathPrefix = "//dvlint:hotpath"
+
+// hotSet is the resolved hot-path scope of one package.
+type hotSet struct {
+	// pkgHot marks the whole package hot.
+	pkgHot bool
+	// funcs holds the individually marked declarations.
+	funcs map[*ast.FuncDecl]bool
+	// misplaced lists directives attached to neither a function nor the
+	// package clause.
+	misplaced []token.Pos
+}
+
+// covers reports whether fd's body is inside a hot scope.
+func (h hotSet) covers(fd *ast.FuncDecl) bool {
+	return h.pkgHot || h.funcs[fd]
+}
+
+// hotScopes resolves every //dvlint:hotpath directive of the package.
+func hotScopes(pkg *Package) hotSet {
+	h := hotSet{funcs: map[*ast.FuncDecl]bool{}}
+	fset := pkg.Fset
+	for _, f := range pkg.Files {
+		claimed := map[*ast.Comment]bool{}
+		var directives []*ast.Comment
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, hotpathPrefix) {
+					directives = append(directives, c)
+				}
+			}
+		}
+		if len(directives) == 0 {
+			continue
+		}
+		pkgLine := fset.Position(f.Package).Line
+		for _, c := range directives {
+			// Before (or on) the package clause: package-level scope. This
+			// covers both the package doc group and a detached comment above
+			// it.
+			if fset.Position(c.Pos()).Line <= pkgLine {
+				h.pkgHot = true
+				claimed[c] = true
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			declLine := fset.Position(fd.Pos()).Line
+			for _, c := range directives {
+				if claimed[c] {
+					continue
+				}
+				inDoc := fd.Doc != nil && c.Pos() >= fd.Doc.Pos() && c.End() <= fd.Doc.End()
+				trailing := fset.Position(c.Pos()).Line == declLine && c.Pos() > fd.Pos()
+				if inDoc || trailing {
+					h.funcs[fd] = true
+					claimed[c] = true
+				}
+			}
+		}
+		for _, c := range directives {
+			if !claimed[c] {
+				h.misplaced = append(h.misplaced, c.Pos())
+			}
+		}
+	}
+	return h
+}

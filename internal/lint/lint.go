@@ -73,7 +73,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full dvlint rule set in stable order.
+// Analyzers returns the full dvlint rule set in stable order. The first
+// five are the v1 determinism rules; the last four are the v2 hot-path
+// allocation and concurrency-safety suite (DESIGN.md §11).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoWallClock,
@@ -81,6 +83,10 @@ func Analyzers() []*Analyzer {
 		NoGoroutine,
 		MapOrder,
 		SimtimeConfusion,
+		HotAlloc,
+		LockSafe,
+		ErrFlow,
+		DetReduce,
 	}
 }
 

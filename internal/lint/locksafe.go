@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafe flags the two sync-primitive misuses that survive the race
+// detector: locks copied by value (the copy and the original guard nothing
+// together — each party serialises against itself) and Lock calls whose
+// Unlock is not guaranteed on every return path (an early return leaves the
+// mutex held forever, deadlocking the next Lock).
+//
+// Concurrency lives only in internal/par and cmd/dvserve (see NoGoroutine),
+// but this rule runs everywhere: a copied sync.Mutex in single-threaded
+// code is a latent bug the day the package is parallelised, and `go vet`'s
+// copylocks does not cover the missing-Unlock class at all.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag sync primitives copied by value and Lock calls without a guaranteed Unlock",
+	Run:  runLockSafe,
+}
+
+// syncLockTypes are the by-value-uncopyable sync primitives.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// unlockFor pairs each acquire method with its release.
+var unlockFor = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+func runLockSafe(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(p, fd)
+			if fd.Body != nil {
+				checkLockRelease(p, fd.Body)
+			}
+		}
+	}
+}
+
+// holdsLock reports whether t is (or transitively contains, by value) one
+// of the sync primitives. seen breaks cycles through recursive types.
+func holdsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return holdsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// isLockValue reports whether e denotes an existing lock-holding value
+// (not a fresh composite literal, not a pointer to one).
+func isLockValue(info *types.Info, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return false // literals, calls and &x create or hand over fresh/pointed-to state
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return holdsLock(tv.Type, map[types.Type]bool{})
+}
+
+// checkLockCopies flags by-value lock movement: parameters and results
+// declared with lock types, assignments duplicating an existing lock, and
+// lock values passed to or returned from calls.
+func checkLockCopies(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if holdsLock(tv.Type, map[types.Type]bool{}) {
+				p.Reportf(field.Type.Pos(), "%s of type %s copies a sync primitive by value; use a pointer",
+					what, tv.Type)
+			}
+		}
+	}
+	checkFieldList(fd.Type.Params, "parameter")
+	checkFieldList(fd.Type.Results, "result")
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFieldList(n.Type.Params, "parameter")
+			checkFieldList(n.Type.Results, "result")
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for _, rhs := range n.Rhs {
+				if isLockValue(info, rhs) {
+					p.Reportf(rhs.Pos(), "assignment copies %s by value; share it through a pointer",
+						info.Types[rhs].Type)
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				if isLockValue(info, arg) {
+					p.Reportf(arg.Pos(), "call copies %s by value; pass a pointer",
+						info.Types[arg].Type)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isLockValue(info, res) {
+					p.Reportf(res.Pos(), "return copies %s by value; return a pointer",
+						info.Types[res].Type)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockCall matches a call to a sync acquire/release method and resolves
+// the receiver's root object (nil when the receiver is not a simple chain).
+func lockCall(info *types.Info, call *ast.CallExpr, names map[string]bool) (types.Object, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !names[sel.Sel.Name] {
+		return nil, "", false
+	}
+	obj := useOf(info, sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	var recv types.Object
+	if root := rootIdent(sel.X); root != nil {
+		recv = info.Uses[root]
+	}
+	return recv, sel.Sel.Name, true
+}
+
+// checkLockRelease enforces the release discipline per function body: every
+// Lock/RLock must have a matching (R)Unlock, and when that release is not
+// deferred, no return may sit between the acquire and the release.
+func checkLockRelease(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	acquireNames := map[string]bool{"Lock": true, "RLock": true}
+	releaseNames := map[string]bool{"Unlock": true, "RUnlock": true}
+
+	type release struct {
+		recv     types.Object
+		name     string
+		deferred bool
+		pos      ast.Node
+	}
+	var releases []release
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if recv, name, ok := lockCall(info, n.Call, releaseNames); ok {
+				releases = append(releases, release{recv, name, true, n.Call})
+			}
+			return false // the call inside defer is consumed here
+		case *ast.CallExpr:
+			if recv, name, ok := lockCall(info, n, releaseNames); ok {
+				releases = append(releases, release{recv, name, false, n})
+			}
+		}
+		return true
+	})
+	matches := func(r release, recv types.Object, want string) bool {
+		if r.name != want {
+			return false
+		}
+		return r.recv == nil || recv == nil || r.recv == recv
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := lockCall(info, call, acquireNames)
+		if !ok {
+			return true
+		}
+		want := unlockFor[name]
+		var deferred, direct bool
+		for _, r := range releases {
+			if !matches(r, recv, want) {
+				continue
+			}
+			if r.deferred {
+				deferred = true
+			} else {
+				direct = true
+			}
+		}
+		switch {
+		case !deferred && !direct:
+			p.Reportf(call.Pos(), "%s without any %s in this function; the lock is never released", name, want)
+		case !deferred:
+			if ret := returnBetweenLockAndUnlock(info, body, call, recv, want); ret != nil {
+				p.Reportf(call.Pos(),
+					"%s is not released on every return path (return at line %d before %s); defer the %s",
+					name, p.Pkg.Fset.Position(ret.Pos()).Line, want, want)
+			}
+		}
+		return true
+	})
+}
+
+// returnBetweenLockAndUnlock scans the statement block containing the
+// acquire: statements after it, up to the first non-deferred matching
+// release at the same nesting level, must not return (or hide the release
+// inside a branch, which the linear scan treats the same way). Returns the
+// offending return statement, or nil when the discipline holds.
+func returnBetweenLockAndUnlock(info *types.Info, body *ast.BlockStmt, acquire *ast.CallExpr, recv types.Object, want string) *ast.ReturnStmt {
+	block := enclosingBlock(body, acquire)
+	if block == nil {
+		return nil
+	}
+	releaseNames := map[string]bool{want: true}
+	started := false
+	var offending *ast.ReturnStmt
+	for _, stmt := range block.List {
+		if !started {
+			if stmt.Pos() <= acquire.Pos() && acquire.End() <= stmt.End() {
+				started = true
+			}
+			continue
+		}
+		// A matching release directly in this statement ends the window.
+		done := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if done || offending != nil {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.ReturnStmt:
+				offending = n
+				return false
+			case *ast.CallExpr:
+				if r, _, ok := lockCall(info, n, releaseNames); ok {
+					if r == nil || recv == nil || r == recv {
+						done = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if offending != nil || done {
+			break
+		}
+	}
+	return offending
+}
+
+// enclosingBlock finds the innermost block whose statement list contains
+// the given expression.
+func enclosingBlock(body *ast.BlockStmt, target ast.Expr) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, stmt := range b.List {
+			if stmt.Pos() <= target.Pos() && target.End() <= stmt.End() {
+				found = b // keep descending: a nested block wins
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,115 @@
+// Fixture for the detreduce analyzer.
+package fixture
+
+import "sort"
+
+type stats struct{ total float64 }
+
+// mapSum accumulates floats in random iteration order.
+func mapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want detreduce
+	}
+	return sum
+}
+
+// spelledOut writes the same reduction longhand.
+func spelledOut(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = sum + v // want detreduce
+	}
+	return sum
+}
+
+// reversed self-references from the other operand.
+func reversed(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum = v + sum // want detreduce
+	}
+	return sum
+}
+
+// product is order-sensitive the same way addition is.
+func product(m map[string]float64) float64 {
+	p := 1.0
+	for _, v := range m {
+		p *= v // want detreduce
+	}
+	return p
+}
+
+// fieldSum accumulates into outer struct state through a selector.
+func fieldSum(m map[string]float64, s *stats) {
+	for _, v := range m {
+		s.total += v // want detreduce
+	}
+}
+
+// intSum is exact: integer addition is associative, any order agrees.
+func intSum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceSum reduces in index order; nothing is left to the map iterator.
+func sliceSum(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// loopLocal accumulates only into per-iteration temporaries, which cannot
+// carry order across iterations.
+func loopLocal(m map[string]float64) float64 {
+	var maxv float64
+	for _, v := range m {
+		scaled := v
+		scaled *= 2
+		if scaled > maxv {
+			maxv = scaled
+		}
+	}
+	return maxv
+}
+
+// rebind assigns a fresh value each iteration instead of accumulating.
+func rebind(m map[string]float64, base float64) float64 {
+	var last float64
+	for _, v := range m {
+		last = base + v
+	}
+	return last
+}
+
+// sortedReduce is the sanctioned idiom: collect, sort, reduce in slice
+// order.
+func sortedReduce(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// ignoredSum documents an accepted tolerance.
+func ignoredSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		//dvlint:ignore detreduce fixture: tolerance documented in DESIGN.md
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,56 @@
+// Fixture for the errflow analyzer.
+package fixture
+
+import (
+	"io"
+
+	"dvsync/internal/fault"
+	"dvsync/internal/sim"
+	"dvsync/internal/trace"
+)
+
+// discarded drops a control-path error on the floor.
+func discarded(r *trace.Recorder, w io.Writer) {
+	r.WriteJSONL(w) // want errflow
+}
+
+// deferredDiscard hides the drop behind defer.
+func deferredDiscard(r *trace.Recorder, w io.Writer) {
+	defer r.WriteJSONL(w) // want errflow
+}
+
+// blankAssign routes the error position of a multi-result call into the
+// blank identifier.
+func blankAssign(cfg sim.Config) *sim.Result {
+	res, _ := sim.TryRun(cfg) // want errflow
+	return res
+}
+
+// handled propagates the error.
+func handled(r *trace.Recorder, w io.Writer) error {
+	return r.WriteJSONL(w)
+}
+
+// checked consumes the error locally.
+func checked(c *fault.Config) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// nonControlPath drops an error from a package outside the control path;
+// that contract belongs to the caller, not dvlint.
+func nonControlPath(w io.Writer) {
+	io.WriteString(w, "x")
+}
+
+// explicitBlank is an acknowledged single-value discard, visible in review.
+func explicitBlank(c *fault.Config) {
+	_ = c.Validate()
+}
+
+// ignoredDiscard carries a justification.
+func ignoredDiscard(r *trace.Recorder, w io.Writer) {
+	//dvlint:ignore errflow fixture: best-effort trace dump on shutdown
+	r.WriteJSONL(w)
+}

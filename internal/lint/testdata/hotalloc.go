@@ -1,0 +1,92 @@
+// Fixture for the hotalloc analyzer: function-scoped hot paths.
+package fixture
+
+import "fmt"
+
+type sink struct {
+	fn  func(int)
+	buf []byte
+}
+
+func take(v any) {}
+
+// hot is held to the zero-allocation discipline by its directive.
+//
+//dvlint:hotpath fixture: per-frame handler
+func hot(s *sink, xs []int, name string) string {
+	s.fn = func(x int) { _ = x } // want hotalloc
+	p := &sink{}                 // want hotalloc
+	_ = p
+	lit := []int{1, 2, 3} // want hotalloc
+	_ = lit
+	m := map[string]int{} // want hotalloc
+	_ = m
+	b := make([]byte, 16) // want hotalloc
+	_ = b
+	msg := fmt.Sprintf("x=%d", len(xs)) // want hotalloc
+	msg += name                         // want hotalloc
+	out := name + msg                   // want hotalloc
+	v := sink{}                         // ok: by-value struct literal stays on the stack
+	_ = v
+	return out
+}
+
+// hotAppend grows an unpreallocated slice inside a loop.
+//
+//dvlint:hotpath fixture: per-iteration growth
+func hotAppend(n int, presized []int) []int {
+	var acc []int
+	for i := 0; i < n; i++ {
+		acc = append(acc, i)           // want hotalloc
+		presized = append(presized, i) // ok: the caller owns (and presizes) the backing array
+	}
+	acc = append(acc, n) // ok: growth outside the loop is one-shot, not per-iteration
+	return acc
+}
+
+// hotBox boxes a concrete value into an interface parameter.
+//
+//dvlint:hotpath fixture: boxing call site
+func hotBox(n int, s *sink) {
+	take(n) // want hotalloc
+	take(s) // ok: pointers carry no new heap object
+	take(nil)
+	take(3) // ok: constants are boxed without a per-call allocation
+}
+
+// hotPanic allocates only on the panicking path, which is already dead.
+//
+//dvlint:hotpath fixture: panic arguments are exempt
+func hotPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n=%d", n)) // ok: panic path
+	}
+}
+
+// hotIIFE invokes its literal immediately; the compiler inlines it.
+//
+//dvlint:hotpath fixture: immediate invocation
+func hotIIFE() int {
+	return func() int { return 1 }() // ok: no closure object escapes
+}
+
+// hotIgnored documents a sanctioned exception in place.
+//
+//dvlint:hotpath fixture: sanctioned exception
+func hotIgnored() *sink {
+	//dvlint:ignore hotalloc fixture: one-time setup allocation
+	return &sink{}
+}
+
+// coldAllocs is not marked hot: the same constructs are fine here.
+func coldAllocs() *sink {
+	s := &sink{buf: make([]byte, 4)}
+	s.fn = func(int) {}
+	return s
+}
+
+// misplacedHolder hosts a directive that claims no scope.
+func misplacedHolder() {
+	//dvlint:hotpath this placement claims nothing // want hotalloc
+	_ = 0
+}

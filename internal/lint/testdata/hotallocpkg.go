@@ -1,0 +1,16 @@
+// Fixture for the hotalloc analyzer: a package-scoped hot path. The
+// directive below the doc comment marks every function in the file hot.
+//
+//dvlint:hotpath fixture: whole package is hot
+package fixture
+
+// anyFunc is hot purely through the package directive.
+func anyFunc(n int) []byte {
+	return make([]byte, n) // want hotalloc
+}
+
+// ignoredFunc carries a sanctioned exception.
+func ignoredFunc(n int) []byte {
+	//dvlint:ignore hotalloc fixture: sanctioned setup allocation
+	return make([]byte, n)
+}

@@ -1,0 +1,106 @@
+// Fixture for the locksafe analyzer.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwGuarded struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// byValueParam copies the lock through the parameter list.
+func byValueParam(mu sync.Mutex) {} // want locksafe
+
+// wgParam copies a WaitGroup the same way.
+func wgParam(wg sync.WaitGroup) {} // want locksafe
+
+// byValueResult declares a lock-holding result and returns it by value.
+func byValueResult() (g guarded) { // want locksafe
+	return g // want locksafe
+}
+
+// assignCopy duplicates an existing lock into a local.
+func assignCopy(g *guarded) {
+	cp := g.mu // want locksafe
+	cp.Lock()
+	cp.Unlock()
+}
+
+// lockSink takes its argument by value — itself a finding.
+func lockSink(g guarded) { // want locksafe
+	_ = g.n
+}
+
+// callArgCopy passes an existing lock by value at the call site.
+func callArgCopy(g *guarded) {
+	lockSink(*g) // want locksafe
+}
+
+// litParam hides the copy inside a function literal.
+func litParam() {
+	f := func(mu sync.Mutex) {} // want locksafe
+	_ = f
+}
+
+// neverReleased acquires without any matching release.
+func neverReleased(g *guarded) {
+	g.mu.Lock() // want locksafe
+	g.n++
+}
+
+// earlyReturn releases on only one path: the return escapes with the lock
+// held.
+func earlyReturn(g *guarded, cond bool) int {
+	g.mu.Lock() // want locksafe
+	if cond {
+		return 0
+	}
+	g.n++
+	g.mu.Unlock()
+	return g.n
+}
+
+// readNeverReleased pairs RLock with nothing.
+func readNeverReleased(g *rwGuarded) int {
+	g.mu.RLock() // want locksafe
+	return g.n
+}
+
+// deferred is the sanctioned discipline.
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// straightLine releases before any return at the same nesting level.
+func straightLine(g *guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// readDeferred is the read-lock variant of the sanctioned discipline.
+func readDeferred(g *rwGuarded) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// pointerParam shares the lock correctly.
+func pointerParam(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// ignoredCopy documents a sanctioned copy of a quiescent struct.
+func ignoredCopy(g *guarded) int {
+	//dvlint:ignore locksafe fixture: snapshot of a quiescent struct
+	cp := *g
+	return cp.n
+}

@@ -41,6 +41,25 @@ type Producer struct {
 	rsBusyUntil simtime.Time
 	inflight    []*buffer.Frame // dequeued, not yet queued (FIFO)
 
+	// arena preallocates one Frame slot per trace index; TryStart hands out
+	// pointers into it instead of heap-allocating per frame. startedIdx
+	// guards the aliasing invariant: each index may be started successfully
+	// at most once, or two live frames would share storage.
+	arena      []buffer.Frame
+	startedIdx []bool
+
+	// uiPending/rsPending are the frames whose stage-completion events are
+	// scheduled but not yet dispatched, in schedule order. UIDone and RSDone
+	// are monotone in start order and the engine dispatches equal
+	// (time, priority) events in insertion order, so the head of each queue
+	// is always the frame the next dispatch belongs to — which lets a single
+	// persistent handler replace the two per-frame closures TryStart used to
+	// allocate.
+	uiPending []*buffer.Frame
+	rsPending []rsEntry
+	uiDoneFn  event.Handler
+	rsDoneFn  event.Handler
+
 	// OnUIDone fires when a frame's UI stage completes (the moment the
 	// next frame's request becomes actionable for the FPE).
 	OnUIDone func(now simtime.Time, f *buffer.Frame)
@@ -62,12 +81,65 @@ type Producer struct {
 	frames   []*buffer.Frame  // all frames started, by start order
 }
 
+// rsEntry pairs a frame with the buffer it renders into, for the RS-done
+// dispatch queue.
+type rsEntry struct {
+	f *buffer.Frame
+	b *buffer.Buffer
+}
+
 // NewProducer builds a producer over the given queue and workload trace.
+// All per-frame storage is preallocated here so the steady-state start
+// path does not allocate.
 func NewProducer(e *event.Engine, q *buffer.Queue, t *workload.Trace) *Producer {
 	if t.Len() == 0 {
 		panic("pipeline: empty workload trace")
 	}
-	return &Producer{engine: e, queue: q, trace: t}
+	p := &Producer{
+		engine:     e,
+		queue:      q,
+		trace:      t,
+		arena:      make([]buffer.Frame, t.Len()),
+		startedIdx: make([]bool, t.Len()),
+		frames:     make([]*buffer.Frame, 0, t.Len()),
+		inflight:   make([]*buffer.Frame, 0, 8),
+		uiPending:  make([]*buffer.Frame, 0, 8),
+		rsPending:  make([]rsEntry, 0, 8),
+	}
+	p.uiDoneFn = p.dispatchUIDone
+	p.rsDoneFn = p.dispatchRSDone
+	return p
+}
+
+// dispatchUIDone completes the oldest pending UI stage.
+func (p *Producer) dispatchUIDone(t simtime.Time) {
+	f := p.uiPending[0]
+	copy(p.uiPending, p.uiPending[1:])
+	p.uiPending = p.uiPending[:len(p.uiPending)-1]
+	if p.OnUIDone != nil {
+		p.OnUIDone(t, f)
+	}
+}
+
+// dispatchRSDone completes the oldest pending render stage and queues its
+// buffer.
+func (p *Producer) dispatchRSDone(t simtime.Time) {
+	e := p.rsPending[0]
+	copy(p.rsPending, p.rsPending[1:])
+	p.rsPending = p.rsPending[:len(p.rsPending)-1]
+	f := e.f
+	f.QueuedAt = t
+	// Remove from inflight (always the head: RS is FIFO because RSStart is
+	// monotone in start order).
+	if len(p.inflight) == 0 || p.inflight[0] != f {
+		panic("pipeline: inflight order violated")
+	}
+	copy(p.inflight, p.inflight[1:])
+	p.inflight = p.inflight[:len(p.inflight)-1]
+	p.queue.Enqueue(e.b)
+	if p.OnQueued != nil {
+		p.OnQueued(t, f)
+	}
 }
 
 // UIFree reports whether the UI thread is idle at now.
@@ -128,9 +200,14 @@ func (p *Producer) Start(now simtime.Time, req StartRequest) *buffer.Frame {
 // the queue refuses the dequeue (pool exhausted or an injected allocation
 // fault), leaving all pipeline state untouched so the caller can retry at
 // its next trigger. Stage-cost preconditions still panic.
+//
+//dvlint:hotpath runs once per produced frame
 func (p *Producer) TryStart(now simtime.Time, req StartRequest) *buffer.Frame {
 	if req.Index < 0 || req.Index >= p.trace.Len() {
 		panic(fmt.Sprintf("pipeline: frame index %d out of range", req.Index))
+	}
+	if p.startedIdx[req.Index] {
+		panic(fmt.Sprintf("pipeline: frame index %d started twice", req.Index))
 	}
 	if !p.UIFree(now) {
 		panic(fmt.Sprintf("pipeline: start at %v while UI busy until %v", now, p.uiBusyUntil))
@@ -142,7 +219,8 @@ func (p *Producer) TryStart(now simtime.Time, req StartRequest) *buffer.Frame {
 			cost.RS = simtime.Duration(float64(cost.RS) * s)
 		}
 	}
-	f := &buffer.Frame{
+	f := &p.arena[req.Index]
+	*f = buffer.Frame{
 		Seq:         req.Index,
 		ContentTime: req.ContentTime,
 		DTimestamp:  req.DTimestamp,
@@ -156,6 +234,7 @@ func (p *Producer) TryStart(now simtime.Time, req StartRequest) *buffer.Frame {
 	if b == nil {
 		return nil
 	}
+	p.startedIdx[req.Index] = true
 
 	f.UIDone = now.Add(cost.UI)
 	p.uiBusyUntil = f.UIDone
@@ -169,24 +248,9 @@ func (p *Producer) TryStart(now simtime.Time, req StartRequest) *buffer.Frame {
 	p.executed += cost.UI + cost.RS
 	p.overhead += p.PerFrameOverhead
 
-	p.engine.At(f.UIDone, event.PriorityPipeline, func(t simtime.Time) {
-		if p.OnUIDone != nil {
-			p.OnUIDone(t, f)
-		}
-	})
-	p.engine.At(f.RSDone, event.PriorityPipeline, func(t simtime.Time) {
-		f.QueuedAt = t
-		// Remove from inflight (always the head: RS is FIFO because
-		// RSStart is monotone in start order).
-		if len(p.inflight) == 0 || p.inflight[0] != f {
-			panic("pipeline: inflight order violated")
-		}
-		copy(p.inflight, p.inflight[1:])
-		p.inflight = p.inflight[:len(p.inflight)-1]
-		p.queue.Enqueue(b)
-		if p.OnQueued != nil {
-			p.OnQueued(t, f)
-		}
-	})
+	p.uiPending = append(p.uiPending, f)
+	p.engine.At(f.UIDone, event.PriorityPipeline, p.uiDoneFn)
+	p.rsPending = append(p.rsPending, rsEntry{f: f, b: b})
+	p.engine.At(f.RSDone, event.PriorityPipeline, p.rsDoneFn)
 	return f
 }

@@ -109,10 +109,16 @@ func (d *Distributor) SetDelay(fn func(k Kind, at simtime.Time) simtime.Duration
 // Delivered returns how many events of kind k have been delivered.
 func (d *Distributor) Delivered(k Kind) uint64 { return d.delivered[k] }
 
+// fanoutKinds are the software signals derived from each hardware edge, in
+// delivery order. Hoisted so OnHWEdge does not rebuild the slice per edge.
+var fanoutKinds = [...]Kind{VSyncApp, VSyncRS, VSyncSF}
+
 // OnHWEdge is wired to the panel: for each hardware edge it schedules the
 // offset software signals. Register it with Panel.OnEdge.
+//
+//dvlint:hotpath runs once per hardware VSync edge
 func (d *Distributor) OnHWEdge(now simtime.Time, seq uint64, period simtime.Duration) {
-	for _, k := range []Kind{VSyncApp, VSyncRS, VSyncSF} {
+	for _, k := range fanoutKinds {
 		ls := d.listeners[k]
 		if len(ls) == 0 {
 			continue
@@ -128,6 +134,11 @@ func (d *Distributor) OnHWEdge(now simtime.Time, seq uint64, period simtime.Dura
 			d.deliver(ev)
 			continue
 		}
+		// A FIFO-plus-persistent-handler cannot replace this closure: the
+		// fault delay hook makes per-kind delivery times non-monotone, so
+		// dispatch order need not match schedule order. Zero-offset signals
+		// (the steady-state benchmark path) never reach here.
+		//dvlint:ignore hotalloc delayed delivery must capture its event; only non-zero-offset configs pay it
 		d.engine.At(ev.At, event.PrioritySignal, func(simtime.Time) { d.deliver(ev) })
 	}
 }

@@ -282,6 +282,21 @@ type System struct {
 	ticks          int  // VSync-app ticks since stream start
 	appSwitch      bool // the application's §4.5 switch position
 	fallbackActive bool // the supervisor is holding the system on VSync
+
+	// presentPending holds latched frames whose present fence has not fired
+	// yet; presentFn is the persistent handler that replaces a per-latch
+	// closure on the recorder path. Entries are matched by fence time, not
+	// FIFO position: an LTPO retarget can make PresentAt non-monotone
+	// across consecutive latches.
+	presentPending []presentEntry
+	presentFn      event.Handler
+}
+
+// presentEntry is one scheduled present fence awaiting dispatch.
+type presentEntry struct {
+	at        simtime.Time
+	frame     int
+	decoupled bool
 }
 
 // Validate reports configuration errors: everything a caller could get
@@ -351,6 +366,8 @@ func New(cfg Config) *System {
 	}
 
 	s := &System{cfg: cfg, engine: event.NewEngine()}
+	s.presentPending = make([]presentEntry, 0, 8)
+	s.presentFn = s.dispatchPresent
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		s.inj = fault.NewInjector(*cfg.Faults)
 	}
@@ -458,6 +475,8 @@ func (s *System) applyEnabled() {
 
 // supervise evaluates the health monitor at a display edge and drives the
 // runtime switch on trip/recovery transitions.
+//
+//dvlint:hotpath evaluated at every display edge
 func (s *System) supervise(now simtime.Time) {
 	if s.monitor == nil {
 		return
@@ -493,6 +512,8 @@ func (s *System) supervise(now simtime.Time) {
 // the screen repeats the old frame, which is a jank whenever an update was
 // due, and the supervisor still evaluates (skipped refreshes are exactly
 // when degradation must be noticed).
+//
+//dvlint:hotpath runs at every skipped refresh under edge faults
 func (s *System) onMissedEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.EdgeMissed, Frame: -1, EdgeSeq: seq})
@@ -581,6 +602,8 @@ func (v *fpeView) StartFrame(now simtime.Time) bool {
 // startFrame starts one frame, reporting false when the queue refused the
 // buffer (a transient allocation fault); the request stays pending and the
 // driver retries at its next trigger.
+//
+//dvlint:hotpath runs once per produced frame
 func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) bool {
 	f := s.producer.TryStart(now, req)
 	if f == nil {
@@ -610,6 +633,8 @@ func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) bool {
 
 // onAppTick is the VSync-app software signal handler: the classic trigger
 // path, also used by D-VSync for non-decoupled frames.
+//
+//dvlint:hotpath runs at every VSync-app tick
 func (s *System) onAppTick(ev signal.Event) {
 	n := s.cfg.Trace.Len()
 	if !s.started {
@@ -652,6 +677,8 @@ func (s *System) onAppTick(ev signal.Event) {
 // time-based; the content slot for this tick is s.ticks. If production fell
 // behind, the indices in between are skipped (the animation jumps), exactly
 // like a real app missing Choreographer callbacks.
+//
+//dvlint:hotpath runs at every VSync-app tick on the classic path
 func (s *System) vsyncTick(at simtime.Time, n int) {
 	target := s.ticks
 	if target >= n {
@@ -693,6 +720,8 @@ func (s *System) streamDone() bool {
 
 // onEdge is the display consumer: latch one queued buffer per hardware
 // edge, or account a jank when updates are due but none is ready.
+//
+//dvlint:hotpath runs at every hardware VSync edge
 func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.HWVSync, Frame: -1, EdgeSeq: seq,
@@ -728,13 +757,12 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		if t := s.tel; t != nil {
 			t.framesPresented.Inc()
 		}
-		if rec := s.cfg.Recorder; rec != nil {
-			rec.Add(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
 				Decoupled: f.Decoupled, EdgeSeq: seq})
-			s.engine.At(f.PresentAt, event.PriorityControl, func(t simtime.Time) {
-				rec.Add(trace.Event{At: t, Kind: trace.FramePresent, Frame: f.Seq,
-					Decoupled: f.Decoupled})
-			})
+			s.presentPending = append(s.presentPending,
+				presentEntry{at: f.PresentAt, frame: f.Seq, decoupled: f.Decoupled})
+			s.engine.At(f.PresentAt, event.PriorityControl, s.presentFn)
 		}
 		if s.fpe != nil {
 			if f.Decoupled {
@@ -792,6 +820,27 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 	}
 }
 
+// dispatchPresent fires one present fence: it records the FramePresent
+// trace event for the pending frame whose fence time matches. First match
+// wins — at equal times the engine dispatches in insertion order, so a
+// forward scan reproduces the tie-break exactly.
+//
+//dvlint:hotpath runs once per presented frame when a recorder is attached
+func (s *System) dispatchPresent(t simtime.Time) {
+	for i := range s.presentPending {
+		e := s.presentPending[i]
+		if e.at != t {
+			continue
+		}
+		copy(s.presentPending[i:], s.presentPending[i+1:])
+		s.presentPending = s.presentPending[:len(s.presentPending)-1]
+		s.cfg.Recorder.Add(trace.Event{At: t, Kind: trace.FramePresent, Frame: e.frame,
+			Decoupled: e.decoupled})
+		return
+	}
+	panic(fmt.Sprintf("sim: present fence at %v with no pending frame", t))
+}
+
 // recordLatency computes the rendering-latency metric of §6.3.
 //
 // A VSync-path frame's content is sampled at its trigger tick, so its
@@ -800,6 +849,8 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 // D-Timestamp, so waiting in the queue does not age it; its effective
 // latency is the just-in-time pipeline depth (2 periods) plus the DTV
 // prediction error — the mechanism by which §6.3's 31 % reduction arises.
+//
+//dvlint:hotpath runs once per presented frame
 func (s *System) recordLatency(f *buffer.Frame) {
 	var lat simtime.Duration
 	if f.Decoupled {

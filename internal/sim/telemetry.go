@@ -84,6 +84,8 @@ func newTelemetryState(reg *telemetry.Registry, interval simtime.Duration, hz in
 
 // observeJank feeds one repeated-frame edge into the counter and the
 // trailing FDPS window.
+//
+//dvlint:hotpath runs at every jank edge
 func (t *telemetryState) observeJank(now simtime.Time) {
 	t.janks.Inc()
 	t.window.Observe(now)
@@ -96,6 +98,7 @@ func (s *System) scheduleSample(at simtime.Time) {
 	s.engine.At(at, event.PriorityControl, s.tel.tick)
 }
 
+//dvlint:hotpath runs at every telemetry sampling tick
 func (s *System) onSampleTick(now simtime.Time) {
 	t := s.tel
 	if t.done {
@@ -109,6 +112,8 @@ func (s *System) onSampleTick(now simtime.Time) {
 
 // sampleTelemetry refreshes the sampled-on-read gauges (per-stage pipeline
 // occupancy, health transition counts) and appends one time-series row.
+//
+//dvlint:hotpath runs at every telemetry sampling tick
 func (s *System) sampleTelemetry(now simtime.Time) {
 	t := s.tel
 	t.uiBusy.Set(boolGauge(!s.producer.UIFree(now)))

@@ -54,10 +54,14 @@ func (k Kind) String() string {
 type Counter struct{ v float64 }
 
 // Inc adds one.
+//
+//dvlint:hotpath bumped from per-frame and per-edge hooks
 func (c *Counter) Inc() { c.v++ }
 
 // Add adds a non-negative delta; negative deltas panic (counters are
 // monotone by contract — use a Gauge for values that move both ways).
+//
+//dvlint:hotpath bumped from per-frame and per-edge hooks
 func (c *Counter) Add(d float64) {
 	if d < 0 {
 		panic(fmt.Sprintf("telemetry: negative counter delta %v", d))
@@ -72,9 +76,13 @@ func (c *Counter) Value() float64 { return c.v }
 type Gauge struct{ v float64 }
 
 // Set replaces the value.
+//
+//dvlint:hotpath refreshed from per-edge hooks
 func (g *Gauge) Set(v float64) { g.v = v }
 
 // Add shifts the value by a (possibly negative) delta.
+//
+//dvlint:hotpath refreshed from per-edge hooks
 func (g *Gauge) Add(d float64) { g.v += d }
 
 // Value returns the current value.
@@ -92,6 +100,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//dvlint:hotpath fed once per frame
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le is inclusive
 	h.counts[i]++
@@ -292,10 +302,14 @@ func NewWindowRate(window simtime.Duration) *WindowRate {
 }
 
 // Observe records one event. Instants must be non-decreasing.
+//
+//dvlint:hotpath fed once per jank
 func (w *WindowRate) Observe(at simtime.Time) { w.times = append(w.times, at) }
 
 // Rate returns events per second over the window ending at now, pruning
 // events that slid out.
+//
+//dvlint:hotpath queried at every display edge
 func (w *WindowRate) Rate(now simtime.Time) float64 {
 	cut := now.Add(-w.window)
 	i := 0

@@ -91,6 +91,8 @@ type Recorder struct {
 func NewRecorder() *Recorder { return &Recorder{} }
 
 // Add appends one event.
+//
+//dvlint:hotpath called for every recorded simulation event
 func (r *Recorder) Add(ev Event) {
 	if n := len(r.events); n > 0 && ev.At < r.events[n-1].At {
 		panic(fmt.Sprintf("trace: out-of-order event at %v after %v", ev.At, r.events[n-1].At))
@@ -101,10 +103,13 @@ func (r *Recorder) Add(ev Event) {
 // Reserve grows the recorder's capacity so the next n Add calls do not
 // reallocate. Simulations know their frame count up front, so they can
 // size the buffer once instead of letting append double it repeatedly.
+//
+//dvlint:hotpath sizing call on the recording path
 func (r *Recorder) Reserve(n int) {
 	if free := cap(r.events) - len(r.events); free >= n {
 		return
 	}
+	//dvlint:ignore hotalloc Reserve is the preallocation point itself; it grows once so Add never does
 	grown := make([]Event, len(r.events), len(r.events)+n)
 	copy(grown, r.events)
 	r.events = grown
@@ -112,6 +117,8 @@ func (r *Recorder) Reserve(n int) {
 
 // Reset discards recorded events while keeping the allocated buffer, so a
 // recorder can be reused across runs without reallocating.
+//
+//dvlint:hotpath reused across runs on the recording path
 func (r *Recorder) Reset() { r.events = r.events[:0] }
 
 // Events returns the recorded events.

@@ -19,11 +19,17 @@
 //	GET /debug/pprof/  standard pprof handlers
 //
 // The flags select the default scenario; every request may override it
-// with query parameters (mode, hz, buffers, frames, seed), e.g.
-// /metrics?mode=vsync&hz=120. Runs are deterministic: identical
-// parameters produce byte-identical /metrics and /snapshot bodies on
-// every scrape, so diffs between scrapes are parameter changes, never
-// noise.
+// with query parameters (mode, hz, buffers, frames, seed, fault,
+// severity), e.g. /metrics?mode=vsync&hz=120 or /metrics?fault=stall.
+// Invalid parameters are an HTTP 400 with a JSON {"error": ...} body.
+// Runs are deterministic: identical parameters produce byte-identical
+// /metrics and /snapshot bodies on every scrape, so diffs between
+// scrapes are parameter changes, never noise.
+//
+// With -checkpoint-dir, runs are periodically checkpointed and a run
+// interrupted by a crash resumes from its last good checkpoint on the
+// next identical request — determinism makes the recovered exports
+// byte-identical to an uninterrupted run's.
 package main
 
 import (
@@ -33,6 +39,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+
+	"dvsync"
 )
 
 func main() {
@@ -51,32 +59,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dvserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8377", "listen address")
-		mode    = fs.String("mode", "dvsync", "default scenario architecture: vsync or dvsync")
-		hz      = fs.Int("hz", 60, "default panel refresh rate")
-		buffers = fs.Int("buffers", 4, "default buffer count")
-		frames  = fs.Int("frames", 240, "default workload frames")
-		seed    = fs.Int64("seed", 1, "default workload seed")
+		addr      = fs.String("addr", "127.0.0.1:8377", "listen address")
+		mode      = fs.String("mode", "dvsync", "default scenario architecture: vsync or dvsync")
+		hz        = fs.Int("hz", 60, "default panel refresh rate")
+		buffers   = fs.Int("buffers", 4, "default buffer count")
+		frames    = fs.Int("frames", 240, "default workload frames")
+		seed      = fs.Int64("seed", 1, "default workload seed")
+		fault     = fs.String("fault", "", "default fault class injected into runs (see dvsim -fault-list)")
+		severity  = fs.Float64("fault-severity", 0.5, "default fault severity in [0, 1]")
+		ckptDir   = fs.String("checkpoint-dir", "", "checkpoint runs here and resume interrupted ones on the next identical request")
+		ckptEvery = fs.Float64("checkpoint-every", 500, "checkpoint cadence (virtual ms, with -checkpoint-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	def, err := newParams(*mode, *hz, *buffers, *frames, *seed)
+	def, err := newParams(*mode, *hz, *buffers, *frames, *seed, *fault, *severity)
 	if err == nil && fs.NArg() != 0 {
 		err = usageError{fmt.Sprintf("unexpected argument %q", fs.Arg(0))}
+	}
+	if err == nil && *ckptDir != "" && *ckptEvery <= 0 {
+		err = usageError{fmt.Sprintf("non-positive checkpoint cadence %v", *ckptEvery)}
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "dvserve:", err)
 		fs.Usage()
 		return 2
 	}
+	rn := &runner{dir: *ckptDir, every: dvsync.FromMillis(*ckptEvery)}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "dvserve:", err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "dvserve listening on %s\n", ln.Addr())
-	if err := http.Serve(ln, newServer(def)); err != nil {
+	if err := http.Serve(ln, newServer(def, rn)); err != nil {
 		fmt.Fprintln(stderr, "dvserve:", err)
 		return 1
 	}

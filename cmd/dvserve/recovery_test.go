@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"dvsync"
+)
+
+func mustParams(t *testing.T) params {
+	t.Helper()
+	p, err := newParams("dvsync", 60, 4, 240, 7, "stall", 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func prometheusOf(t *testing.T, reg *dvsync.TelemetryRegistry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestCrashRecovery drives the full recovery cycle at the runner level: a
+// checkpointed run is killed mid-flight, the next identical request
+// resumes from the snapshot left behind, and its export is byte-identical
+// to an uninterrupted run's. A third request finds no leftovers.
+func TestCrashRecovery(t *testing.T) {
+	p := mustParams(t)
+
+	straight, _, err := (&runner{}).scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prometheusOf(t, straight)
+
+	rn := &runner{dir: t.TempDir(), every: dvsync.FromMillis(250)}
+	rn.crashAfter = dvsync.Time(dvsync.FromMillis(1000))
+	if _, _, err := rn.scenario(p); !errors.Is(err, errSimulatedCrash) {
+		t.Fatalf("crash hook: err = %v, want errSimulatedCrash", err)
+	}
+	entries, err := os.ReadDir(rn.dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint left behind after crash (%v)", err)
+	}
+
+	rn.crashAfter = 0
+	reg, resumedFrom, err := rn.scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedFrom < dvsync.Time(dvsync.FromMillis(1000)) {
+		t.Errorf("resumed from %v, want at least the crash point", resumedFrom)
+	}
+	if got := prometheusOf(t, reg); got != want {
+		t.Error("recovered run's export differs from an uninterrupted run's")
+	}
+
+	// Completion cleared the slot: the next run starts fresh.
+	reg, resumedFrom, err = rn.scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedFrom != 0 {
+		t.Errorf("run after completion resumed from %v, want a fresh start", resumedFrom)
+	}
+	if got := prometheusOf(t, reg); got != want {
+		t.Error("fresh checkpointed run's export differs from a plain run's")
+	}
+}
+
+// TestCrashRecoveryCorruptSnapshot: an unreadable snapshot never wedges a
+// scenario — the runner falls back to the rotated previous snapshot, and
+// with both generations corrupt it recomputes from scratch. Either way
+// the export matches an uninterrupted run byte for byte.
+func TestCrashRecoveryCorruptSnapshot(t *testing.T) {
+	p := mustParams(t)
+	straight, _, err := (&runner{}).scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := prometheusOf(t, straight)
+
+	rn := &runner{dir: t.TempDir(), every: dvsync.FromMillis(250)}
+	rn.crashAfter = dvsync.Time(dvsync.FromMillis(1000))
+	if _, _, err := rn.scenario(p); !errors.Is(err, errSimulatedCrash) {
+		t.Fatal("crash hook did not fire")
+	}
+	rn.crashAfter = 0
+
+	entries, err := os.ReadDir(rn.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(rn.dir+"/"+e.Name(), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, resumedFrom, err := rn.scenario(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumedFrom != 0 {
+		t.Errorf("resumed from %v despite corrupt snapshots", resumedFrom)
+	}
+	if got := prometheusOf(t, reg); got != want {
+		t.Error("recomputed run's export differs from an uninterrupted run's")
+	}
+}
+
+// TestCrashRecoveryOverHTTP: the HTTP surface serves the recovered run —
+// the scrape after a crash is byte-identical to a plain server's.
+func TestCrashRecoveryOverHTTP(t *testing.T) {
+	rn := &runner{dir: t.TempDir(), every: dvsync.FromMillis(250)}
+	rn.crashAfter = dvsync.Time(dvsync.FromMillis(800))
+	srv := testServerWith(t, rn)
+
+	const path = "/metrics?fault=stall&severity=0.6&seed=7"
+	if code, body := get(t, srv.URL+path); code != 500 || !strings.Contains(body, "simulated crash") {
+		t.Fatalf("crashed request: %d %.120q, want a 500 JSON error", code, body)
+	}
+	rn.crashAfter = 0
+	_, recovered := get(t, srv.URL+path)
+	_, plain := get(t, testServer(t).URL+path)
+	if recovered != plain {
+		t.Error("recovered scrape differs from a plain server's")
+	}
+}

@@ -18,19 +18,23 @@ import (
 // validated spelling so query overrides re-validate through the same path
 // as the command line.
 type params struct {
-	mode    string
-	hz      int
-	buffers int
-	frames  int
-	seed    int64
+	mode     string
+	hz       int
+	buffers  int
+	frames   int
+	seed     int64
+	fault    string
+	severity float64
+	faults   *dvsync.FaultConfig // built and validated by newParams
 }
 
 // newParams validates one full parameter set. It is the single
 // gatekeeper: the command line and every query override pass through it,
 // so a parameter combination the simulator would reject is an exit-2 or
 // HTTP 400, never a panicking run behind a bound port.
-func newParams(mode string, hz, buffers, frames int, seed int64) (params, error) {
-	p := params{mode: mode, hz: hz, buffers: buffers, frames: frames, seed: seed}
+func newParams(mode string, hz, buffers, frames int, seed int64, fault string, severity float64) (params, error) {
+	p := params{mode: mode, hz: hz, buffers: buffers, frames: frames,
+		seed: seed, fault: fault, severity: severity}
 	switch {
 	case mode != "vsync" && mode != "dvsync":
 		return p, usageError{fmt.Sprintf("unknown mode %q (want vsync or dvsync)", mode)}
@@ -41,12 +45,41 @@ func newParams(mode string, hz, buffers, frames int, seed int64) (params, error)
 	case frames <= 0 || frames > 100_000:
 		return p, usageError{fmt.Sprintf("invalid frame count %d (want 1..100000)", frames)}
 	}
+	if fault != "" {
+		// The injection window mirrors dvsim's defaults: onset after a
+		// 500 ms warm-up, active for the rest of the run. Scenario rejects
+		// unknown classes and severities outside [0, 1].
+		fc, err := dvsync.FaultScenario(fault, severity,
+			dvsync.Time(dvsync.FromMillis(500)), dvsync.Time(dvsync.FromSeconds(3600)), seed)
+		if err != nil {
+			return p, usageError{err.Error()}
+		}
+		p.faults = fc
+	}
 	return p, nil
+}
+
+// config builds the simulation configuration for p with reg attached.
+func (p params) config(reg *dvsync.TelemetryRegistry) dvsync.Config {
+	mode := dvsync.DVSync
+	if p.mode == "vsync" {
+		mode = dvsync.VSync
+	}
+	prof := workload.DefaultProfile("dvserve", dvsync.PeriodForHz(p.hz).Milliseconds())
+	return dvsync.Config{
+		Mode:    mode,
+		Panel:   dvsync.PanelConfig{Name: "dvserve", RefreshHz: p.hz},
+		Buffers: p.buffers,
+		Trace:   prof.Generate(p.frames, p.seed),
+		Metrics: reg,
+		Faults:  p.faults,
+	}
 }
 
 // scenarioParams are the query parameters every endpoint accepts.
 var scenarioParams = map[string]bool{
 	"mode": true, "hz": true, "buffers": true, "frames": true, "seed": true,
+	"fault": true, "severity": true,
 }
 
 // withQuery applies per-request overrides on top of the defaults.
@@ -61,7 +94,7 @@ func (p params) withQuery(q url.Values) (params, error) {
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		return p, fmt.Errorf("unknown query parameter %q (want mode, hz, buffers, frames, seed)", unknown[0])
+		return p, fmt.Errorf("unknown query parameter %q (want mode, hz, buffers, frames, seed, fault, severity)", unknown[0])
 	}
 	mode := p.mode
 	if v := q.Get("mode"); v != "" {
@@ -87,7 +120,22 @@ func (p params) withQuery(q url.Values) (params, error) {
 		}
 		seed = n
 	}
-	return newParams(mode, hz, buffers, frames, seed)
+	fault := p.fault
+	if v := q.Get("fault"); v != "" {
+		fault = v
+	}
+	severity := p.severity
+	if v := q.Get("severity"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, fmt.Errorf("query severity=%q: not a number", v)
+		}
+		if fault == "" {
+			return p, fmt.Errorf("query severity=%q without a fault class has no effect", v)
+		}
+		severity = f
+	}
+	return newParams(mode, hz, buffers, frames, seed, fault, severity)
 }
 
 func intParam(q url.Values, name string, def int) (int, error) {
@@ -102,35 +150,21 @@ func intParam(q url.Values, name string, def int) (int, error) {
 	return n, nil
 }
 
-// runScenario executes one simulation with a fresh registry attached.
-// The run is a pure function of p: repeated scrapes of the same
-// parameters return byte-identical exports.
-func runScenario(p params) *dvsync.TelemetryRegistry {
-	reg := dvsync.NewTelemetryRegistry()
-	runWithRegistry(p, reg)
-	return reg
-}
-
-func runWithRegistry(p params, reg *dvsync.TelemetryRegistry) {
-	mode := dvsync.DVSync
-	if p.mode == "vsync" {
-		mode = dvsync.VSync
-	}
-	prof := workload.DefaultProfile("dvserve", dvsync.PeriodForHz(p.hz).Milliseconds())
-	dvsync.Run(dvsync.Config{
-		Mode:    mode,
-		Panel:   dvsync.PanelConfig{Name: "dvserve", RefreshHz: p.hz},
-		Buffers: p.buffers,
-		Trace:   prof.Generate(p.frames, p.seed),
-		Metrics: reg,
-	})
+// writeError emits a JSON error body. Clients parse a machine-readable
+// {"error": ...} object instead of scraping plain-text strings.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct { //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+		Error string `json:"error"`
+	}{msg})
 }
 
 // requestParams resolves the request's scenario or writes a 400.
 func requestParams(w http.ResponseWriter, r *http.Request, def params) (params, bool) {
 	p, err := def.withQuery(r.URL.Query())
 	if err != nil {
-		http.Error(w, "dvserve: "+err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "dvserve: "+err.Error())
 		return params{}, false
 	}
 	return p, true
@@ -140,25 +174,35 @@ func requestParams(w http.ResponseWriter, r *http.Request, def params) (params, 
 // handlers are registered explicitly on this mux — dvserve never touches
 // http.DefaultServeMux, so importing net/http/pprof for its side effect
 // alone would do nothing here.
-func newServer(def params) http.Handler {
+func newServer(def params, rn *runner) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := requestParams(w, r, def)
 		if !ok {
 			return
 		}
+		reg, _, err := rn.scenario(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		runScenario(p).WritePrometheus(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+		reg.WritePrometheus(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := requestParams(w, r, def)
 		if !ok {
 			return
 		}
+		reg, _, err := rn.scenario(p)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		runScenario(p).WriteJSON(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+		reg.WriteJSON(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 	})
-	mux.HandleFunc("/stream", streamHandler(def))
+	mux.HandleFunc("/stream", streamHandler(def, rn))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -178,7 +222,7 @@ func newServer(def params) http.Handler {
 			"GET /stream     SSE live sample stream\n"+
 			"GET /healthz    liveness probe\n"+
 			"GET /debug/pprof/  profiling\n\n"+
-			"query overrides: mode, hz, buffers, frames, seed\n")
+			"query overrides: mode, hz, buffers, frames, seed, fault, severity\n")
 	})
 	return mux
 }
@@ -195,8 +239,11 @@ type sampleEvent struct {
 // advances — the stream is the run itself, not a poll of finished state.
 // Event order per stream: one `columns` event naming the series columns,
 // `sample` events in virtual-time order, and a final `snapshot` event
-// carrying the full export.
-func streamHandler(def params) http.HandlerFunc {
+// carrying the full export. When crash recovery resumes a run, samples
+// before the resume point are restored straight into the registry — the
+// stream then carries only post-resume rows, but the final snapshot is
+// complete and byte-identical to an uninterrupted run's.
+func streamHandler(def params, rn *runner) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		p, ok := requestParams(w, r, def)
 		if !ok {
@@ -217,7 +264,12 @@ func streamHandler(def params) http.HandlerFunc {
 				fl.Flush()
 			}
 		})
-		runWithRegistry(p, reg)
+		if _, err := rn.run(p, reg); err != nil {
+			if !sentColumns {
+				writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
+			}
+			return
+		}
 		writeEvent(w, "snapshot", reg.Snapshot())
 		if canFlush {
 			fl.Flush()

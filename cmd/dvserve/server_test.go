@@ -35,6 +35,9 @@ func TestUsageErrors(t *testing.T) {
 		{"-buffers", "1"},
 		{"-frames", "0"},
 		{"-frames", "-5"},
+		{"-fault", "bogus"},
+		{"-fault", "stall", "-fault-severity", "1.5"},
+		{"-checkpoint-dir", "x", "-checkpoint-every", "0"},
 		{"stray-arg"},
 	}
 	for _, args := range cases {
@@ -55,11 +58,16 @@ func TestUsageErrors(t *testing.T) {
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	def, err := newParams("dvsync", 60, 4, 120, 1)
+	return testServerWith(t, &runner{})
+}
+
+func testServerWith(t *testing.T, rn *runner) *httptest.Server {
+	t.Helper()
+	def, err := newParams("dvsync", 60, 4, 120, 1, "", 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newServer(def))
+	srv := httptest.NewServer(newServer(def, rn))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -102,8 +110,9 @@ func TestDeterministicScrapes(t *testing.T) {
 	}
 }
 
-// TestQueryValidation: malformed or unknown query parameters are a 400,
-// never a silent default run.
+// TestQueryValidation: malformed or unknown query parameters are a 400
+// carrying a JSON {"error": ...} body, never a 500 or a silent default
+// run.
 func TestQueryValidation(t *testing.T) {
 	srv := testServer(t)
 	bad := []string{
@@ -113,15 +122,54 @@ func TestQueryValidation(t *testing.T) {
 		"/snapshot?frames=0",
 		"/stream?seed=one",
 		"/metrics?bogus=1",
-		"/metrics?mod=vsync", // typo'd name must not serve the default
+		"/metrics?mod=vsync",   // typo'd name must not serve the default
+		"/metrics?fault=bogus", // unknown fault class
+		"/metrics?fault=stall&severity=1.5",
+		"/metrics?fault=stall&severity=-0.1",
+		"/metrics?fault=stall&severity=abc",
+		"/snapshot?severity=0.9", // severity without a fault class
 	}
 	for _, path := range bad {
-		if code, body := get(t, srv.URL+path); code != http.StatusBadRequest {
-			t.Errorf("%s: status %d (body %.120q), want 400", path, code, body)
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (body %.120q), want 400", path, resp.StatusCode, body)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q, want application/json", path, ct)
+		}
+		var payload struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &payload); err != nil || payload.Error == "" {
+			t.Errorf("%s: body %.120q is not a JSON error object", path, body)
 		}
 	}
 	if code, _ := get(t, srv.URL+"/snapshot?hz=120&frames=60"); code != 200 {
 		t.Errorf("valid override rejected: %d", code)
+	}
+}
+
+// TestFaultOverrides: the fault/severity parameters select a deterministic
+// injected-fault scenario rather than being silently dropped.
+func TestFaultOverrides(t *testing.T) {
+	srv := testServer(t)
+	code, faulted := get(t, srv.URL+"/metrics?fault=stall&severity=0.9")
+	if code != 200 {
+		t.Fatalf("faulted scenario: status %d", code)
+	}
+	code, again := get(t, srv.URL+"/metrics?fault=stall&severity=0.9")
+	if code != 200 || faulted != again {
+		t.Error("faulted scenario is not deterministic across scrapes")
+	}
+	_, plain := get(t, srv.URL+"/metrics")
+	if plain == faulted {
+		t.Error("fault override had no effect on the exposition")
 	}
 }
 

@@ -15,16 +15,23 @@
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"strings"
 
 	"dvsync"
 	"dvsync/internal/autotest"
+	"dvsync/internal/checkpoint"
 	"dvsync/internal/exp"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
+	"dvsync/internal/simtime"
 	"dvsync/internal/workload"
 )
 
@@ -56,6 +63,12 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 		faultList = flag.Bool("fault-list", false, "list fault classes and exit")
 		fallback  = flag.Bool("fallback", false, "enable the supervised D-VSync→VSync fallback (§4.5)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "periodically checkpoint the run into this directory")
+		ckptEvery = flag.Float64("checkpoint-every", 500, "checkpoint interval (virtual ms, with -checkpoint-dir)")
+		resume    = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir (fresh start if none)")
+		digestOut = flag.Bool("trace-digest", false, "record a structured trace and print its sha256 (for resume-equivalence checks)")
+		crashMs   = flag.Float64("crash-after-ms", 0, "exit(3) after the first checkpoint at or past this virtual time (crash-recovery testing)")
 	)
 	flag.Parse()
 
@@ -81,6 +94,16 @@ func main() {
 		os.Exit(2)
 	}
 	harden = hardening{faults: faults, fallback: *fallback}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "dvsim: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *ckptDir != "" && *ckptEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "dvsim: -checkpoint-every must be positive")
+		os.Exit(2)
+	}
+	ckpt = checkpointing{dir: *ckptDir, everyMs: *ckptEvery, resume: *resume,
+		traceDigest: *digestOut, crashAfterMs: *crashMs}
 
 	if *appName != "" || *caseName != "" || *gameName != "" {
 		if err := runScenario(*appName, *caseName, *gameName); err != nil {
@@ -146,6 +169,89 @@ type hardening struct {
 
 var harden hardening
 
+// checkpointing carries the -checkpoint-dir flag family into every run.
+type checkpointing struct {
+	dir          string
+	everyMs      float64
+	resume       bool
+	traceDigest  bool
+	crashAfterMs float64
+}
+
+var ckpt checkpointing
+
+// execute runs one configuration, honouring the checkpoint flags: a plain
+// run when checkpointing is off, otherwise a periodically checkpointed run
+// with optional resume and deterministic crash injection.
+func execute(cfg dvsync.Config) (*dvsync.Result, error) {
+	if ckpt.dir == "" {
+		return dvsync.Run(cfg), nil
+	}
+	store, err := checkpoint.NewStore(ckpt.dir, strings.ToLower(cfg.Mode.String()))
+	if err != nil {
+		return nil, err
+	}
+	digest := sim.ConfigDigest(cfg)
+	var sys *sim.System
+	if ckpt.resume {
+		if sys, err = resumeSystem(cfg, store, digest); err != nil {
+			return nil, err
+		}
+	} else {
+		sys = sim.New(cfg)
+	}
+	crashAt := simtime.Time(dvsync.FromMillis(ckpt.crashAfterMs))
+	r, err := sys.RunCheckpointed(simtime.Duration(dvsync.FromMillis(ckpt.everyMs)), func(st *sim.State) error {
+		payload, err := json.Marshal(st)
+		if err != nil {
+			return err
+		}
+		if err := store.Save(digest, int64(st.At), nil, payload); err != nil {
+			return err
+		}
+		if ckpt.crashAfterMs > 0 && st.At >= crashAt {
+			fmt.Fprintf(os.Stderr, "dvsim: injected crash after checkpoint at %v\n", st.At)
+			os.Exit(3)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A finished run invalidates its snapshots: a later -resume must start
+	// fresh rather than replay a stale tail.
+	if err := store.Clear(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// resumeSystem restores a system from the newest decodable snapshot in the
+// store, falling back to a fresh start when the slot is empty.
+func resumeSystem(cfg dvsync.Config, store *checkpoint.Store, digest string) (*sim.System, error) {
+	env, err := store.Load()
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Fprintf(os.Stderr, "dvsim: no checkpoint for %s in %s, starting fresh\n", cfg.Mode, ckpt.dir)
+		return sim.New(cfg), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := env.VerifyConfig(digest); err != nil {
+		return nil, err
+	}
+	var st sim.State
+	if err := env.DecodeState(&st); err != nil {
+		return nil, err
+	}
+	sys, err := sim.Resume(cfg, &st)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "dvsim: resumed %s from %v\n", cfg.Mode, env.At())
+	return sys, nil
+}
+
 // buildFaults turns the -fault* flags into a single-class injection plan.
 func buildFaults(cls string, sev, fromMs, toMs float64, seed int64) (*dvsync.FaultConfig, error) {
 	if cls == "" {
@@ -190,8 +296,23 @@ func runModes(mode string, hz, buffers, limit int, jitterUs float64, tr *dvsync.
 			cfg.DTV.MaxAbsErrMs = 8
 			cfg.FPEOverloadAfter = 4
 		}
-		r := dvsync.Run(cfg)
+		if ckpt.traceDigest {
+			cfg.Recorder = dvsync.NewRecorder()
+		}
+		r, err := execute(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvsim:", err)
+			os.Exit(1)
+		}
 		printResult(r, bufs)
+		if cfg.Recorder != nil {
+			var buf bytes.Buffer
+			if err := cfg.Recorder.WriteJSONL(&buf); err != nil {
+				fmt.Fprintln(os.Stderr, "dvsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace-digest %s %x\n", strings.ToLower(cfg.Mode.String()), sha256.Sum256(buf.Bytes()))
+		}
 	}
 	switch mode {
 	case "vsync":

@@ -1,0 +1,134 @@
+package buffer
+
+import "fmt"
+
+// Checkpoint surface. A queue's serialisable state is the per-slot lifecycle
+// plus the free/queued orderings (LIFO and FIFO respectively — order is
+// behaviour) and the accumulated stats. Frames are owned by the pipeline's
+// arena, so slots reference them by stream sequence number and the restore
+// side resolves pointers through a caller-supplied lookup.
+
+// SlotState is the serialisable state of one pool slot.
+type SlotState struct {
+	// State is the slot's lifecycle state.
+	State State `json:"state"`
+	// Frame is the occupying frame's stream seq, or -1 for a Free slot.
+	Frame int `json:"frame"`
+}
+
+// QueueState is the serialisable state of a Queue.
+type QueueState struct {
+	Slots  []SlotState `json:"slots"`
+	Free   []int       `json:"free,omitempty"`   // slot indices, LIFO order
+	Queued []int       `json:"queued,omitempty"` // slot indices, FIFO order
+	Front  int         `json:"front"`            // slot index, -1 when none
+	Stats  Stats       `json:"stats"`
+}
+
+// Slot returns the pool buffer at index i, or nil when out of range. The
+// restore path uses it to wire checkpointed references back to pool slots.
+func (q *Queue) Slot(i int) *Buffer {
+	if i < 0 || i >= len(q.pool) {
+		return nil
+	}
+	return q.pool[i]
+}
+
+// State captures the queue for a checkpoint.
+func (q *Queue) State() QueueState {
+	st := QueueState{
+		Slots: make([]SlotState, len(q.pool)),
+		Front: -1,
+		Stats: q.stats,
+	}
+	for i, b := range q.pool {
+		s := SlotState{State: b.State, Frame: -1}
+		if b.Frame != nil {
+			s.Frame = b.Frame.Seq
+		}
+		st.Slots[i] = s
+	}
+	for _, b := range q.free {
+		st.Free = append(st.Free, b.Slot)
+	}
+	for _, b := range q.queued {
+		st.Queued = append(st.Queued, b.Slot)
+	}
+	if q.front != nil {
+		st.Front = q.front.Slot
+	}
+	return st
+}
+
+// Restore loads checkpointed state into a freshly constructed queue of the
+// same capacity. frameBySeq resolves frame references against the restored
+// pipeline arena (nil for an unknown seq). Restore validates structure and
+// the conservation invariant; it returns errors rather than panicking so a
+// corrupt snapshot can never crash a resume.
+func (q *Queue) Restore(st QueueState, frameBySeq func(seq int) *Frame) error {
+	if frameBySeq == nil {
+		return fmt.Errorf("buffer: restore without a frame resolver")
+	}
+	if len(q.free) != len(q.pool) || len(q.queued) != 0 || q.front != nil {
+		return fmt.Errorf("buffer: restore into a used queue")
+	}
+	if len(st.Slots) != len(q.pool) {
+		return fmt.Errorf("buffer: checkpoint has %d slots, queue has %d", len(st.Slots), len(q.pool))
+	}
+	for i, s := range st.Slots {
+		if s.State < Free || s.State > Front {
+			return fmt.Errorf("buffer: slot %d has invalid state %d", i, int(s.State))
+		}
+		b := q.pool[i]
+		b.State = s.State
+		b.Frame = nil
+		if s.State == Free {
+			if s.Frame != -1 {
+				return fmt.Errorf("buffer: free slot %d references frame %d", i, s.Frame)
+			}
+			continue
+		}
+		f := frameBySeq(s.Frame)
+		if f == nil {
+			return fmt.Errorf("buffer: slot %d references unknown frame %d", i, s.Frame)
+		}
+		b.Frame = f
+	}
+	q.free = q.free[:0]
+	for _, slot := range st.Free {
+		b := q.Slot(slot)
+		if b == nil {
+			return fmt.Errorf("buffer: free list references slot %d outside pool", slot)
+		}
+		if b.State != Free {
+			return fmt.Errorf("buffer: free list references slot %d in state %v", slot, b.State)
+		}
+		q.free = append(q.free, b)
+	}
+	for _, slot := range st.Queued {
+		b := q.Slot(slot)
+		if b == nil {
+			return fmt.Errorf("buffer: queued list references slot %d outside pool", slot)
+		}
+		if b.State != Queued {
+			return fmt.Errorf("buffer: queued list references slot %d in state %v", slot, b.State)
+		}
+		q.queued = append(q.queued, b)
+	}
+	q.front = nil
+	if st.Front != -1 {
+		b := q.Slot(st.Front)
+		if b == nil {
+			return fmt.Errorf("buffer: front references slot %d outside pool", st.Front)
+		}
+		if b.State != Front {
+			return fmt.Errorf("buffer: front references slot %d in state %v", st.Front, b.State)
+		}
+		q.front = b
+	}
+	q.stats = st.Stats
+	if err := q.CheckInvariants(); err != nil {
+		return fmt.Errorf("buffer: restored state inconsistent: %w", err)
+	}
+	return nil
+}

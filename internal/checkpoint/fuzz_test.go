@@ -1,0 +1,39 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the snapshot decoder. The contract
+// under fuzz is narrow and absolute: Decode returns (env, nil) only for a
+// digest-valid envelope, returns an error for everything else, and never
+// panics — resume paths consume untrusted files.
+func FuzzDecode(f *testing.F) {
+	var good bytes.Buffer
+	if err := Encode(&good, "cfg", 42, []byte(`{"k":"v"}`), []byte(`{"state":1}`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"magic":"dvsync-checkpoint","version":1,"state":{}}`))
+	f.Add([]byte(`{"magic":"dvsync-checkpoint","version":99,"state":{},"state_digest":"x"}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add(good.Bytes()[:good.Len()/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted envelopes must verify their own digest and expose a
+		// decodable state payload (or a typed error, not a panic).
+		if env.Magic != Magic || env.Version != Version {
+			t.Fatalf("accepted envelope with magic %q version %d", env.Magic, env.Version)
+		}
+		var v any
+		_ = env.DecodeState(&v)
+		_ = env.DecodeMeta(&v)
+	})
+}

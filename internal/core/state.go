@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"dvsync/internal/metrics"
+	"dvsync/internal/simtime"
+)
+
+// Checkpoint surface for the D-VSync decision components. All three are
+// plain accumulators — no scheduled events, no RNG — so their state is the
+// struct fields verbatim.
+
+// DTVState is the Display Time Virtualizer's serialisable state.
+type DTVState struct {
+	PeriodEst   simtime.Duration     `json:"period_est"`
+	Anchor      simtime.Time         `json:"anchor"`
+	LastEdge    simtime.Time         `json:"last_edge"`
+	HaveAnchor  bool                 `json:"have_anchor"`
+	SinceCalib  int                  `json:"since_calib"`
+	Issued      int                  `json:"issued"`
+	ErrAbs      metrics.WelfordState `json:"err_abs"`
+	MissedEdges int                  `json:"missed_edges"`
+	ReAnchors   int                  `json:"re_anchors"`
+}
+
+// State captures the DTV for a checkpoint.
+func (d *DTV) State() DTVState {
+	return DTVState{
+		PeriodEst:   d.periodEst,
+		Anchor:      d.anchor,
+		LastEdge:    d.lastEdge,
+		HaveAnchor:  d.haveAnchor,
+		SinceCalib:  d.sinceCalib,
+		Issued:      d.issued,
+		ErrAbs:      d.errAbs.State(),
+		MissedEdges: d.missedEdges,
+		ReAnchors:   d.reAnchors,
+	}
+}
+
+// Restore loads checkpointed state into a freshly constructed DTV.
+func (d *DTV) Restore(st DTVState) error {
+	if st.PeriodEst <= 0 {
+		return fmt.Errorf("core: restored DTV period %v is not positive", st.PeriodEst)
+	}
+	if err := d.errAbs.Restore(st.ErrAbs); err != nil {
+		return fmt.Errorf("core: DTV error stats: %w", err)
+	}
+	d.periodEst = st.PeriodEst
+	d.anchor, d.lastEdge, d.haveAnchor = st.Anchor, st.LastEdge, st.HaveAnchor
+	d.sinceCalib, d.issued = st.SinceCalib, st.Issued
+	d.missedEdges, d.reAnchors = st.MissedEdges, st.ReAnchors
+	return nil
+}
+
+// FPEState is the Frame Pre-Executor's serialisable state.
+type FPEState struct {
+	Stage         Stage `json:"stage"`
+	Starts        int   `json:"starts"`
+	PreStarts     int   `json:"pre_starts"`
+	SyncBlocks    int   `json:"sync_blocks"`
+	Overloaded    bool  `json:"overloaded,omitempty"`
+	Overruns      int   `json:"overruns,omitempty"`
+	Underruns     int   `json:"underruns,omitempty"`
+	Backoffs      int   `json:"backoffs,omitempty"`
+	Recoveries    int   `json:"recoveries,omitempty"`
+	StartFailures int   `json:"start_failures,omitempty"`
+}
+
+// State captures the FPE for a checkpoint.
+func (f *FPE) State() FPEState {
+	return FPEState{
+		Stage:         f.stage,
+		Starts:        f.starts,
+		PreStarts:     f.preStarts,
+		SyncBlocks:    f.syncBlocks,
+		Overloaded:    f.overloaded,
+		Overruns:      f.overruns,
+		Underruns:     f.underruns,
+		Backoffs:      f.backoffs,
+		Recoveries:    f.recoveries,
+		StartFailures: f.startFailures,
+	}
+}
+
+// Restore loads checkpointed state into a freshly constructed FPE.
+func (f *FPE) Restore(st FPEState) error {
+	if st.Stage < Accumulation || st.Stage > Sync {
+		return fmt.Errorf("core: restored FPE stage %d out of range", int(st.Stage))
+	}
+	f.stage = st.Stage
+	f.starts, f.preStarts, f.syncBlocks = st.Starts, st.PreStarts, st.SyncBlocks
+	f.overloaded = st.Overloaded
+	f.overruns, f.underruns = st.Overruns, st.Underruns
+	f.backoffs, f.recoveries, f.startFailures = st.Backoffs, st.Recoveries, st.StartFailures
+	return nil
+}
+
+// ControllerState is the runtime controller's serialisable state. The
+// registered predictor is configuration (a closure), not state — the resume
+// side re-registers it from the reconstructed Config.
+type ControllerState struct {
+	Enabled  bool `json:"enabled"`
+	MaxAhead int  `json:"max_ahead"`
+}
+
+// State captures the controller for a checkpoint.
+func (c *Controller) State() ControllerState {
+	return ControllerState{Enabled: c.enabled, MaxAhead: c.maxAhead}
+}
+
+// Restore loads checkpointed state into a freshly constructed controller.
+func (c *Controller) Restore(st ControllerState) error {
+	if st.MaxAhead < 1 {
+		return fmt.Errorf("core: restored pre-render limit %d must be ≥ 1", st.MaxAhead)
+	}
+	c.enabled = st.Enabled
+	c.maxAhead = st.MaxAhead
+	return nil
+}

@@ -1,0 +1,74 @@
+package display
+
+import (
+	"fmt"
+
+	"dvsync/internal/event"
+	"dvsync/internal/simtime"
+)
+
+// State is the panel's serialisable checkpoint state. The pending edge is
+// captured with its engine identity (its actual, jittered fire time can
+// differ from the jitter-free nextAt grid), and the jitter stream's position
+// is the draw count — restore recreates the stream from the configured seed
+// and fast-forwards.
+type State struct {
+	Period   simtime.Duration      `json:"period"`
+	Seq      uint64                `json:"seq"`
+	Edges    uint64                `json:"edges"`
+	Missed   uint64                `json:"missed"`
+	Running  bool                  `json:"running"`
+	NextAt   simtime.Time          `json:"next_at"`
+	LastEdge simtime.Time          `json:"last_edge"`
+	RNGDraws uint64                `json:"rng_draws,omitempty"`
+	Pending  *event.ScheduledEvent `json:"pending,omitempty"`
+}
+
+// State captures the panel for a checkpoint.
+func (p *Panel) State() (State, error) {
+	st := State{
+		Period:   p.period,
+		Seq:      p.seq,
+		Edges:    p.edges,
+		Missed:   p.missed,
+		Running:  p.running,
+		NextAt:   p.nextAt,
+		LastEdge: p.lastEdge,
+		RNGDraws: p.rng.Draws(),
+	}
+	if p.running {
+		ev, ok := p.engine.Lookup(p.nextID)
+		if !ok {
+			return State{}, fmt.Errorf("display: running panel has no pending edge event")
+		}
+		st.Pending = &ev
+	}
+	return st, nil
+}
+
+// Restore loads checkpointed state into a freshly constructed panel and
+// re-inserts its pending edge into the engine.
+func (p *Panel) Restore(st State) error {
+	if p.running || p.edges != 0 || p.rng.Draws() != 0 {
+		return fmt.Errorf("display: restore into a started panel")
+	}
+	if st.Period <= 0 {
+		return fmt.Errorf("display: restored period %v is not positive", st.Period)
+	}
+	if st.Running != (st.Pending != nil) {
+		return fmt.Errorf("display: restored running=%t inconsistent with pending edge presence", st.Running)
+	}
+	p.period = st.Period
+	p.truePeriod = skewed(st.Period, p.cfg.PeriodSkewPPM)
+	p.seq, p.edges, p.missed = st.Seq, st.Edges, st.Missed
+	p.running = st.Running
+	p.nextAt, p.lastEdge = st.NextAt, st.LastEdge
+	p.rng.Skip(st.RNGDraws)
+	if st.Pending != nil {
+		if err := p.engine.RestoreEvent(*st.Pending, p.edgeFn); err != nil {
+			return fmt.Errorf("display: %w", err)
+		}
+		p.nextID = st.Pending.ID
+	}
+	return nil
+}

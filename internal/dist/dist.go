@@ -17,12 +17,57 @@ import (
 // RNG wraps math/rand with an explicit seed so every simulation is
 // reproducible and independent streams can be split deterministically.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	src  *countingSource
+	seed int64
+}
+
+// countingSource counts base draws so a stream's position can be
+// checkpointed as (seed, draws) and restored by fast-forwarding. It
+// deliberately implements only rand.Source — never Source64 — so rand.Rand
+// routes every variate (Float64, Intn, NormFloat64, Perm) through Int63
+// exactly as it does for the plain rand.NewSource it wraps, keeping output
+// byte-identical to the uncounted stream.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
 }
 
 // New returns a deterministic RNG for the given seed.
 func New(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed)}
+	return &RNG{r: rand.New(src), src: src, seed: seed}
+}
+
+// NewAt returns the stream for seed positioned after draws base draws —
+// the checkpoint-restore constructor.
+func NewAt(seed int64, draws uint64) *RNG {
+	g := New(seed)
+	g.Skip(draws)
+	return g
+}
+
+// Seed returns the seed the stream was created from.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Draws returns how many base-source values the stream has consumed.
+func (g *RNG) Draws() uint64 { return g.src.n }
+
+// Skip advances the stream by n base draws without exposing them.
+func (g *RNG) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		g.src.Int63()
+	}
 }
 
 // Split derives an independent child stream. The label decorrelates children

@@ -1,0 +1,42 @@
+package fault
+
+import "fmt"
+
+// State is the injector's serialisable checkpoint state: the injected-fault
+// tallies plus each per-class stream's position. The streams themselves are
+// reconstructed from the config seed and fast-forwarded — the split lineage
+// (root → "fault.jitter"/"fault.miss"/"fault.alloc"/"fault.drop") is fixed
+// at construction, so (seed, draws) pins every stream exactly.
+type State struct {
+	Counters    Counters `json:"counters"`
+	JitterDraws uint64   `json:"jitter_draws,omitempty"`
+	MissDraws   uint64   `json:"miss_draws,omitempty"`
+	AllocDraws  uint64   `json:"alloc_draws,omitempty"`
+	DropDraws   uint64   `json:"drop_draws,omitempty"`
+}
+
+// State captures the injector for a checkpoint.
+func (in *Injector) State() State {
+	return State{
+		Counters:    in.n,
+		JitterDraws: in.jitterRNG.Draws(),
+		MissDraws:   in.missRNG.Draws(),
+		AllocDraws:  in.allocRNG.Draws(),
+		DropDraws:   in.dropRNG.Draws(),
+	}
+}
+
+// Restore loads checkpointed state into a freshly constructed injector by
+// fast-forwarding each per-class stream to its recorded position.
+func (in *Injector) Restore(st State) error {
+	if in.jitterRNG.Draws() != 0 || in.missRNG.Draws() != 0 ||
+		in.allocRNG.Draws() != 0 || in.dropRNG.Draws() != 0 {
+		return fmt.Errorf("fault: restore into a used injector")
+	}
+	in.n = st.Counters
+	in.jitterRNG.Skip(st.JitterDraws)
+	in.missRNG.Skip(st.MissDraws)
+	in.allocRNG.Skip(st.AllocDraws)
+	in.dropRNG.Skip(st.DropDraws)
+	return nil
+}

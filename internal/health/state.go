@@ -1,0 +1,83 @@
+package health
+
+import (
+	"fmt"
+
+	"dvsync/internal/simtime"
+)
+
+// ErrSample is one calibration-error observation in the sliding window.
+type ErrSample struct {
+	At    simtime.Time `json:"at"`
+	ErrMs float64      `json:"err_ms"`
+}
+
+// State is the monitor's serialisable checkpoint state: the sliding-window
+// contents plus the hysteresis machine.
+type State struct {
+	Janks        []simtime.Time `json:"janks,omitempty"`
+	Errs         []ErrSample    `json:"errs,omitempty"`
+	LastProgress simtime.Time   `json:"last_progress"`
+	HaveProgress bool           `json:"have_progress,omitempty"`
+	WatchStart   simtime.Time   `json:"watch_start"`
+	HaveWatch    bool           `json:"have_watch,omitempty"`
+	Tripped      bool           `json:"tripped,omitempty"`
+	HealthySince simtime.Time   `json:"healthy_since"`
+	HaveHealthy  bool           `json:"have_healthy,omitempty"`
+	LastReason   Reason         `json:"last_reason,omitempty"`
+	Trips        int            `json:"trips,omitempty"`
+	Recoveries   int            `json:"recoveries,omitempty"`
+}
+
+// State captures the monitor for a checkpoint.
+func (m *Monitor) State() State {
+	st := State{
+		LastProgress: m.lastProgress,
+		HaveProgress: m.haveProgress,
+		WatchStart:   m.watchStart,
+		HaveWatch:    m.haveWatch,
+		Tripped:      m.tripped,
+		HealthySince: m.healthySince,
+		HaveHealthy:  m.haveHealthy,
+		LastReason:   m.lastReason,
+		Trips:        m.trips,
+		Recoveries:   m.recoveries,
+	}
+	if len(m.janks) > 0 {
+		st.Janks = append([]simtime.Time(nil), m.janks...)
+	}
+	for _, e := range m.errs {
+		st.Errs = append(st.Errs, ErrSample{At: e.at, ErrMs: e.errMs})
+	}
+	return st
+}
+
+// Restore loads checkpointed state into a freshly constructed monitor.
+func (m *Monitor) Restore(st State) error {
+	if st.LastReason < ReasonNone || st.LastReason > ReasonStall {
+		return fmt.Errorf("health: restored reason %d out of range", int(st.LastReason))
+	}
+	for i := 1; i < len(st.Janks); i++ {
+		if st.Janks[i] < st.Janks[i-1] {
+			return fmt.Errorf("health: restored jank window out of order at %d", i)
+		}
+	}
+	for i := 1; i < len(st.Errs); i++ {
+		if st.Errs[i].At < st.Errs[i-1].At {
+			return fmt.Errorf("health: restored calibration window out of order at %d", i)
+		}
+	}
+	m.janks = m.janks[:0]
+	m.janks = append(m.janks, st.Janks...)
+	m.errs = m.errs[:0]
+	for _, e := range st.Errs {
+		m.errs = append(m.errs, errSample{at: e.At, errMs: e.ErrMs})
+	}
+	m.lastProgress, m.haveProgress = st.LastProgress, st.HaveProgress
+	m.watchStart, m.haveWatch = st.WatchStart, st.HaveWatch
+	m.tripped = st.Tripped
+	m.healthySince, m.haveHealthy = st.HealthySince, st.HaveHealthy
+	m.lastReason = st.LastReason
+	m.trips, m.recoveries = st.Trips, st.Recoveries
+	return nil
+}

@@ -1,0 +1,29 @@
+package ltpo
+
+import "fmt"
+
+// State is the coordinator's serialisable checkpoint state.
+type State struct {
+	RenderHz  int `json:"render_hz"`
+	PendingHz int `json:"pending_hz,omitempty"`
+	Switches  int `json:"switches,omitempty"`
+	Deferred  int `json:"deferred,omitempty"`
+}
+
+// State captures the coordinator for a checkpoint.
+func (c *Coordinator) State() State {
+	return State{RenderHz: c.renderHz, PendingHz: c.pendingHz, Switches: c.switches, Deferred: c.deferred}
+}
+
+// Restore loads checkpointed state into a freshly constructed coordinator.
+func (c *Coordinator) Restore(st State) error {
+	if st.RenderHz <= 0 {
+		return fmt.Errorf("ltpo: restored render rate %d is not positive", st.RenderHz)
+	}
+	if st.PendingHz < 0 {
+		return fmt.Errorf("ltpo: restored pending rate %d is negative", st.PendingHz)
+	}
+	c.renderHz, c.pendingHz = st.RenderHz, st.PendingHz
+	c.switches, c.deferred = st.Switches, st.Deferred
+	return nil
+}

@@ -54,8 +54,9 @@ type Producer struct {
 	// (time, priority) events in insertion order, so the head of each queue
 	// is always the frame the next dispatch belongs to — which lets a single
 	// persistent handler replace the two per-frame closures TryStart used to
-	// allocate.
-	uiPending []*buffer.Frame
+	// allocate. Each entry carries its event ID so checkpoints can capture
+	// the scheduled completions.
+	uiPending []uiEntry
 	rsPending []rsEntry
 	uiDoneFn  event.Handler
 	rsDoneFn  event.Handler
@@ -81,11 +82,18 @@ type Producer struct {
 	frames   []*buffer.Frame  // all frames started, by start order
 }
 
+// uiEntry is one scheduled UI-stage completion.
+type uiEntry struct {
+	f  *buffer.Frame
+	id event.ID
+}
+
 // rsEntry pairs a frame with the buffer it renders into, for the RS-done
 // dispatch queue.
 type rsEntry struct {
-	f *buffer.Frame
-	b *buffer.Buffer
+	f  *buffer.Frame
+	b  *buffer.Buffer
+	id event.ID
 }
 
 // NewProducer builds a producer over the given queue and workload trace.
@@ -103,7 +111,7 @@ func NewProducer(e *event.Engine, q *buffer.Queue, t *workload.Trace) *Producer 
 		startedIdx: make([]bool, t.Len()),
 		frames:     make([]*buffer.Frame, 0, t.Len()),
 		inflight:   make([]*buffer.Frame, 0, 8),
-		uiPending:  make([]*buffer.Frame, 0, 8),
+		uiPending:  make([]uiEntry, 0, 8),
 		rsPending:  make([]rsEntry, 0, 8),
 	}
 	p.uiDoneFn = p.dispatchUIDone
@@ -113,7 +121,7 @@ func NewProducer(e *event.Engine, q *buffer.Queue, t *workload.Trace) *Producer 
 
 // dispatchUIDone completes the oldest pending UI stage.
 func (p *Producer) dispatchUIDone(t simtime.Time) {
-	f := p.uiPending[0]
+	f := p.uiPending[0].f
 	copy(p.uiPending, p.uiPending[1:])
 	p.uiPending = p.uiPending[:len(p.uiPending)-1]
 	if p.OnUIDone != nil {
@@ -248,9 +256,9 @@ func (p *Producer) TryStart(now simtime.Time, req StartRequest) *buffer.Frame {
 	p.executed += cost.UI + cost.RS
 	p.overhead += p.PerFrameOverhead
 
-	p.uiPending = append(p.uiPending, f)
-	p.engine.At(f.UIDone, event.PriorityPipeline, p.uiDoneFn)
-	p.rsPending = append(p.rsPending, rsEntry{f: f, b: b})
-	p.engine.At(f.RSDone, event.PriorityPipeline, p.rsDoneFn)
+	uiID := p.engine.At(f.UIDone, event.PriorityPipeline, p.uiDoneFn)
+	p.uiPending = append(p.uiPending, uiEntry{f: f, id: uiID})
+	rsID := p.engine.At(f.RSDone, event.PriorityPipeline, p.rsDoneFn)
+	p.rsPending = append(p.rsPending, rsEntry{f: f, b: b, id: rsID})
 	return f
 }

@@ -1,0 +1,161 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"dvsync/internal/buffer"
+	"dvsync/internal/event"
+	"dvsync/internal/simtime"
+)
+
+// PendingStage is one scheduled UI-stage completion at snapshot time.
+type PendingStage struct {
+	Frame int                  `json:"frame"`
+	Sched event.ScheduledEvent `json:"sched"`
+}
+
+// PendingRender is one scheduled render-stage completion at snapshot time,
+// carrying the queue slot its buffer occupies.
+type PendingRender struct {
+	Frame int                  `json:"frame"`
+	Slot  int                  `json:"slot"`
+	Sched event.ScheduledEvent `json:"sched"`
+}
+
+// State is the producer's serialisable checkpoint state. Frames are stored
+// by value in start order; every other structure references them by seq.
+type State struct {
+	UIBusyUntil simtime.Time     `json:"ui_busy_until"`
+	RSBusyUntil simtime.Time     `json:"rs_busy_until"`
+	Started     int              `json:"started"`
+	Executed    simtime.Duration `json:"executed"`
+	Overhead    simtime.Duration `json:"overhead"`
+	Frames      []buffer.Frame   `json:"frames,omitempty"`
+	Inflight    []int            `json:"inflight,omitempty"` // frame seqs, oldest first
+	UIPending   []PendingStage   `json:"ui_pending,omitempty"`
+	RSPending   []PendingRender  `json:"rs_pending,omitempty"`
+}
+
+// FrameBySeq returns the started frame with the given stream seq, or nil.
+// Frame.Seq doubles as the arena index, so this is the canonical resolver
+// for checkpointed frame references (queue slots, presented lists).
+func (p *Producer) FrameBySeq(seq int) *buffer.Frame {
+	if seq < 0 || seq >= len(p.arena) || !p.startedIdx[seq] {
+		return nil
+	}
+	return &p.arena[seq]
+}
+
+// State captures the producer for a checkpoint.
+func (p *Producer) State() (State, error) {
+	st := State{
+		UIBusyUntil: p.uiBusyUntil,
+		RSBusyUntil: p.rsBusyUntil,
+		Started:     p.started,
+		Executed:    p.executed,
+		Overhead:    p.overhead,
+	}
+	if len(p.frames) > 0 {
+		st.Frames = make([]buffer.Frame, len(p.frames))
+		for i, f := range p.frames {
+			st.Frames[i] = *f
+		}
+	}
+	for _, f := range p.inflight {
+		st.Inflight = append(st.Inflight, f.Seq)
+	}
+	for _, e := range p.uiPending {
+		sched, ok := p.engine.Lookup(e.id)
+		if !ok {
+			return State{}, fmt.Errorf("pipeline: pending UI completion of frame %d has no scheduled event", e.f.Seq)
+		}
+		st.UIPending = append(st.UIPending, PendingStage{Frame: e.f.Seq, Sched: sched})
+	}
+	for _, e := range p.rsPending {
+		sched, ok := p.engine.Lookup(e.id)
+		if !ok {
+			return State{}, fmt.Errorf("pipeline: pending RS completion of frame %d has no scheduled event", e.f.Seq)
+		}
+		st.RSPending = append(st.RSPending, PendingRender{Frame: e.f.Seq, Slot: e.b.Slot, Sched: sched})
+	}
+	return st, nil
+}
+
+// Restore loads checkpointed state into a freshly constructed producer:
+// refills the arena, re-links the bookkeeping lists, and re-inserts the
+// scheduled stage completions. The queue must be restored *after* the
+// producer (its slots resolve frames through FrameBySeq); call
+// ValidateRestored once both sides are loaded.
+func (p *Producer) Restore(st State) error {
+	if p.started != 0 {
+		return fmt.Errorf("pipeline: restore into a used producer")
+	}
+	if st.Started != len(st.Frames) {
+		return fmt.Errorf("pipeline: started count %d does not match %d frames", st.Started, len(st.Frames))
+	}
+	if len(st.Frames) > len(p.arena) {
+		return fmt.Errorf("pipeline: checkpoint has %d frames, trace has %d", len(st.Frames), len(p.arena))
+	}
+	p.uiBusyUntil, p.rsBusyUntil = st.UIBusyUntil, st.RSBusyUntil
+	p.started = st.Started
+	p.executed, p.overhead = st.Executed, st.Overhead
+	for i := range st.Frames {
+		f := st.Frames[i]
+		if f.Seq < 0 || f.Seq >= len(p.arena) {
+			return fmt.Errorf("pipeline: restored frame seq %d out of range", f.Seq)
+		}
+		if p.startedIdx[f.Seq] {
+			return fmt.Errorf("pipeline: restored frame seq %d appears twice", f.Seq)
+		}
+		p.arena[f.Seq] = f
+		p.startedIdx[f.Seq] = true
+		p.frames = append(p.frames, &p.arena[f.Seq])
+	}
+	for _, seq := range st.Inflight {
+		f := p.FrameBySeq(seq)
+		if f == nil {
+			return fmt.Errorf("pipeline: inflight references unknown frame %d", seq)
+		}
+		p.inflight = append(p.inflight, f)
+	}
+	for _, e := range st.UIPending {
+		f := p.FrameBySeq(e.Frame)
+		if f == nil {
+			return fmt.Errorf("pipeline: pending UI completion references unknown frame %d", e.Frame)
+		}
+		if err := p.engine.RestoreEvent(e.Sched, p.uiDoneFn); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		p.uiPending = append(p.uiPending, uiEntry{f: f, id: e.Sched.ID})
+	}
+	for _, e := range st.RSPending {
+		f := p.FrameBySeq(e.Frame)
+		if f == nil {
+			return fmt.Errorf("pipeline: pending RS completion references unknown frame %d", e.Frame)
+		}
+		b := p.queue.Slot(e.Slot)
+		if b == nil {
+			return fmt.Errorf("pipeline: pending RS completion references slot %d outside pool", e.Slot)
+		}
+		if err := p.engine.RestoreEvent(e.Sched, p.rsDoneFn); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		p.rsPending = append(p.rsPending, rsEntry{f: f, b: b, id: e.Sched.ID})
+	}
+	return nil
+}
+
+// ValidateRestored cross-checks the producer against the restored queue:
+// every pending render must target a slot the queue holds in Dequeued state
+// for the same frame. Run it after both Restore calls.
+func (p *Producer) ValidateRestored() error {
+	for _, e := range p.rsPending {
+		if e.b.State != buffer.Dequeued {
+			return fmt.Errorf("pipeline: pending render of frame %d targets slot %d in state %v", e.f.Seq, e.b.Slot, e.b.State)
+		}
+		if e.b.Frame != e.f {
+			return fmt.Errorf("pipeline: pending render of frame %d targets slot %d holding a different frame", e.f.Seq, e.b.Slot)
+		}
+	}
+	return nil
+}

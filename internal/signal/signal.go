@@ -63,6 +63,13 @@ type Event struct {
 // Listener receives signal events.
 type Listener func(Event)
 
+// pendingDelivery is one scheduled-but-undelivered offset signal, tracked so
+// a checkpoint can capture the delayed deliveries in flight.
+type pendingDelivery struct {
+	ev Event
+	id event.ID
+}
+
 // Distributor fans hardware edges out to offset software signals.
 type Distributor struct {
 	engine    *event.Engine
@@ -70,6 +77,7 @@ type Distributor struct {
 	listeners map[Kind][]Listener
 	delivered map[Kind]uint64
 	delay     func(k Kind, at simtime.Time) simtime.Duration
+	pending   []*pendingDelivery
 }
 
 // NewDistributor creates a distributor with the given per-signal offsets.
@@ -137,10 +145,31 @@ func (d *Distributor) OnHWEdge(now simtime.Time, seq uint64, period simtime.Dura
 		// A FIFO-plus-persistent-handler cannot replace this closure: the
 		// fault delay hook makes per-kind delivery times non-monotone, so
 		// dispatch order need not match schedule order. Zero-offset signals
-		// (the steady-state benchmark path) never reach here.
+		// (the steady-state benchmark path) never reach here. The entry is
+		// tracked in d.pending so checkpoints capture deliveries in flight.
 		//dvlint:ignore hotalloc delayed delivery must capture its event; only non-zero-offset configs pay it
-		d.engine.At(ev.At, event.PrioritySignal, func(simtime.Time) { d.deliver(ev) })
+		pe := &pendingDelivery{ev: ev}
+		//dvlint:ignore hotalloc same non-zero-offset-only path as the entry above
+		pe.id = d.engine.At(ev.At, event.PrioritySignal, func(simtime.Time) { d.deliverPending(pe) })
+		d.pending = append(d.pending, pe)
 	}
+}
+
+// deliverPending removes a delayed delivery from the in-flight list and
+// delivers it. The list is at most a few entries (one per offset signal per
+// outstanding edge), so the removal scan is cheap.
+//
+//dvlint:hotpath runs once per delayed software signal
+func (d *Distributor) deliverPending(pe *pendingDelivery) {
+	for i, q := range d.pending {
+		if q == pe {
+			copy(d.pending[i:], d.pending[i+1:])
+			d.pending[len(d.pending)-1] = nil
+			d.pending = d.pending[:len(d.pending)-1]
+			break
+		}
+	}
+	d.deliver(pe.ev)
 }
 
 // InjectDVSync delivers a decoupled D-VSync event immediately. The FPE calls

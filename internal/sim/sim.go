@@ -282,6 +282,7 @@ type System struct {
 	ticks          int  // VSync-app ticks since stream start
 	appSwitch      bool // the application's §4.5 switch position
 	fallbackActive bool // the supervisor is holding the system on VSync
+	prepared       bool // buffers sized and panel started (first Run segment)
 
 	// presentPending holds latched frames whose present fence has not fired
 	// yet; presentFn is the persistent handler that replaces a per-latch
@@ -297,6 +298,7 @@ type presentEntry struct {
 	at        simtime.Time
 	frame     int
 	decoupled bool
+	id        event.ID
 }
 
 // Validate reports configuration errors: everything a caller could get
@@ -349,21 +351,7 @@ func New(cfg Config) *System {
 	if err := Validate(cfg); err != nil {
 		panic(err)
 	}
-	if cfg.PreRenderLimit == 0 {
-		cfg.PreRenderLimit = cfg.Buffers - 1
-	}
-	if cfg.PreRenderLimit < 1 {
-		cfg.PreRenderLimit = 1
-	}
-	if cfg.PerFrameOverhead == 0 {
-		cfg.PerFrameOverhead = DefaultDVSyncOverhead
-	}
-	if cfg.PerFrameOverhead < 0 {
-		cfg.PerFrameOverhead = 0
-	}
-	if cfg.VSyncPipelineDepth == 0 {
-		cfg.VSyncPipelineDepth = 2
-	}
+	cfg = normalized(cfg)
 
 	s := &System{cfg: cfg, engine: event.NewEngine()}
 	s.presentPending = make([]presentEntry, 0, 8)
@@ -465,6 +453,18 @@ func New(cfg Config) *System {
 	return s
 }
 
+// fallbackDetail precomputes the supervise() trace annotation for every
+// (channel, reason) pair, so the per-transition path indexes a table
+// instead of formatting on the hot path.
+var fallbackDetail = func() (d [2][4]string) {
+	for m := ModeVSync; m <= ModeDVSync; m++ {
+		for r := health.ReasonNone; r <= health.ReasonStall; r++ {
+			d[m][r] = fmt.Sprintf("to=%s reason=%s", m, r)
+		}
+	}
+	return
+}()
+
 // applyEnabled resolves the §4.5 switch position: the application's wish
 // gated by the fallback supervisor.
 func (s *System) applyEnabled() {
@@ -504,7 +504,7 @@ func (s *System) supervise(now simtime.Time) {
 	}
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Fallback, Frame: -1,
-			Detail: fmt.Sprintf("to=%s reason=%s", to, reason)})
+			Detail: fallbackDetail[to][reason]})
 	}
 }
 
@@ -761,8 +761,8 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
 				Decoupled: f.Decoupled, EdgeSeq: seq})
 			s.presentPending = append(s.presentPending,
-				presentEntry{at: f.PresentAt, frame: f.Seq, decoupled: f.Decoupled})
-			s.engine.At(f.PresentAt, event.PriorityControl, s.presentFn)
+				presentEntry{at: f.PresentAt, frame: f.Seq, decoupled: f.Decoupled,
+					id: s.engine.At(f.PresentAt, event.PriorityControl, s.presentFn)})
 		}
 		if s.fpe != nil {
 			if f.Decoupled {
@@ -878,19 +878,37 @@ func (s *System) Controller() *core.Controller { return s.ctl }
 // Queue exposes the buffer queue for inspection.
 func (s *System) Queue() *buffer.Queue { return s.queue }
 
-// Run executes the simulation to completion (or watchdog) and returns the
-// collected result.
-func (s *System) Run() *Result {
-	n := s.cfg.Trace.Len()
-	period := s.res.Period
-	horizon := s.cfg.MaxSimTime
-	if horizon <= 0 {
-		horizon = simtime.Duration(n+64)*period*8 + simtime.Second
+// normalized applies New's config defaulting, hoisted out so a
+// configuration digest computed before construction matches the wired
+// system (checkpoint envelopes pin snapshots to the normalized config).
+func normalized(cfg Config) Config {
+	if cfg.PreRenderLimit == 0 {
+		cfg.PreRenderLimit = cfg.Buffers - 1
 	}
-	// Size the result and trace buffers from the frame count up front: at
-	// most one presented frame and latency sample per trace entry, and
-	// roughly six trace records per frame (start, ui-done, queued, vsync,
-	// latched, present). Saves the append doubling churn on the hot path.
+	if cfg.PreRenderLimit < 1 {
+		cfg.PreRenderLimit = 1
+	}
+	if cfg.PerFrameOverhead == 0 {
+		cfg.PerFrameOverhead = DefaultDVSyncOverhead
+	}
+	if cfg.PerFrameOverhead < 0 {
+		cfg.PerFrameOverhead = 0
+	}
+	if cfg.VSyncPipelineDepth == 0 {
+		cfg.VSyncPipelineDepth = 2
+	}
+	return cfg
+}
+
+// prepare runs the once-per-run setup before the first engine segment:
+// size the result and trace buffers from the frame count up front (at most
+// one presented frame and latency sample per trace entry, and roughly six
+// trace records per frame — start, ui-done, queued, vsync, latched,
+// present — saving the append doubling churn on the hot path), arm the
+// telemetry sampling chain, and start the panel.
+func (s *System) prepare() {
+	s.prepared = true
+	n := s.cfg.Trace.Len()
 	s.res.Presented = make([]*buffer.Frame, 0, n)
 	s.res.LatencyMs = make([]float64, 0, n)
 	if s.cfg.Recorder != nil {
@@ -900,7 +918,31 @@ func (s *System) Run() *Result {
 		s.scheduleSample(0)
 	}
 	s.panel.Start(0)
-	s.engine.Run(simtime.Time(0).Add(horizon))
+}
+
+// horizonEnd is the virtual-time bound the engine runs to: the configured
+// watchdog, or a generous bound derived from the trace length.
+func (s *System) horizonEnd() simtime.Time {
+	horizon := s.cfg.MaxSimTime
+	if horizon <= 0 {
+		horizon = simtime.Duration(s.cfg.Trace.Len()+64)*s.res.Period*8 + simtime.Second
+	}
+	return simtime.Time(0).Add(horizon)
+}
+
+// Run executes the simulation to completion (or watchdog) and returns the
+// collected result.
+func (s *System) Run() *Result {
+	if !s.prepared {
+		s.prepare()
+	}
+	s.engine.Run(s.horizonEnd())
+	return s.finish()
+}
+
+// finish closes the run once the engine has gone quiet: final telemetry
+// row, recorder drain, and the counters harvested into the result.
+func (s *System) finish() *Result {
 	if s.tel != nil {
 		// Close the series with a run-end row so the final counter state is
 		// observable, then stop the sampling chain (a recorder drain below

@@ -22,6 +22,7 @@ type telemetryState struct {
 	interval simtime.Duration
 	done     bool // run finished: the sampling chain stops rescheduling
 	tick     func(simtime.Time)
+	tickID   event.ID // the armed sampling tick, captured at snapshot
 
 	framesStarted   *telemetry.Counter
 	framesPresented *telemetry.Counter
@@ -95,7 +96,7 @@ func (t *telemetryState) observeJank(now simtime.Time) {
 // PriorityControl, the lowest band, so a sample at instant T sees every
 // hardware, signal and pipeline effect of T already applied.
 func (s *System) scheduleSample(at simtime.Time) {
-	s.engine.At(at, event.PriorityControl, s.tel.tick)
+	s.tel.tickID = s.engine.At(at, event.PriorityControl, s.tel.tick)
 }
 
 //dvlint:hotpath runs at every telemetry sampling tick

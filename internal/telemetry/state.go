@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"dvsync/internal/simtime"
+)
+
+// MetricState is one instrument's serialisable checkpoint state. Counters
+// and gauges store their scalar in Value; histograms store the per-bucket
+// counts (parallel to the registered bounds plus the +Inf bucket), the sum
+// and the observation count. Bounds themselves are configuration — the
+// resume side re-registers the same instruments before restoring.
+type MetricState struct {
+	Name   string   `json:"name"`
+	Value  float64  `json:"value,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+	Sum    float64  `json:"sum,omitempty"`
+	N      uint64   `json:"n,omitempty"`
+}
+
+// RowState is one serialised time-series row.
+type RowState struct {
+	At     simtime.Time `json:"at"`
+	Values []float64    `json:"values"`
+}
+
+// RegistryState is the registry's serialisable checkpoint state.
+type RegistryState struct {
+	Frozen  bool          `json:"frozen,omitempty"`
+	Columns []string      `json:"columns,omitempty"`
+	Rows    []RowState    `json:"rows,omitempty"`
+	Metrics []MetricState `json:"metrics,omitempty"`
+}
+
+// State captures the registry for a checkpoint, metrics in registration
+// order.
+func (r *Registry) State() RegistryState {
+	st := RegistryState{Frozen: r.frozen}
+	if len(r.series.Columns) > 0 {
+		st.Columns = append([]string(nil), r.series.Columns...)
+	}
+	for _, row := range r.series.Rows {
+		st.Rows = append(st.Rows, RowState{At: row.At, Values: append([]float64(nil), row.Values...)})
+	}
+	for _, m := range r.metrics {
+		ms := MetricState{Name: m.name}
+		switch m.kind {
+		case KindCounter:
+			ms.Value = m.counter.v
+		case KindGauge:
+			ms.Value = m.gauge.v
+		default:
+			ms.Counts = append([]uint64(nil), m.hist.counts...)
+			ms.Sum = m.hist.sum
+			ms.N = m.hist.n
+		}
+		st.Metrics = append(st.Metrics, ms)
+	}
+	return st
+}
+
+// RestoreState loads checkpointed state into a registry that has been wired
+// exactly as the checkpointed run was: same instruments registered in the
+// same order, no samples taken yet. Mismatches are errors, never panics —
+// they mean the checkpoint does not belong to this configuration.
+func (r *Registry) RestoreState(st RegistryState) error {
+	if r.frozen || len(r.series.Rows) > 0 {
+		return fmt.Errorf("telemetry: restore into a sampled registry")
+	}
+	if len(st.Metrics) != len(r.metrics) {
+		return fmt.Errorf("telemetry: checkpoint has %d metrics, registry has %d", len(st.Metrics), len(r.metrics))
+	}
+	for i, ms := range st.Metrics {
+		m := r.metrics[i]
+		if ms.Name != m.name {
+			return fmt.Errorf("telemetry: checkpoint metric %d is %q, registry has %q", i, ms.Name, m.name)
+		}
+		if m.kind == KindHistogram {
+			if len(ms.Counts) != len(m.hist.counts) {
+				return fmt.Errorf("telemetry: histogram %q has %d checkpointed buckets, expected %d", m.name, len(ms.Counts), len(m.hist.counts))
+			}
+		} else if len(ms.Counts) != 0 {
+			return fmt.Errorf("telemetry: %s %q carries histogram buckets", m.kind, m.name)
+		}
+	}
+	if st.Frozen {
+		if len(st.Columns) != len(r.metrics) {
+			return fmt.Errorf("telemetry: checkpoint has %d columns, registry has %d metrics", len(st.Columns), len(r.metrics))
+		}
+		for i, c := range st.Columns {
+			if c != r.metrics[i].name {
+				return fmt.Errorf("telemetry: checkpoint column %d is %q, registry has %q", i, c, r.metrics[i].name)
+			}
+		}
+	} else if len(st.Columns) != 0 || len(st.Rows) != 0 {
+		return fmt.Errorf("telemetry: unfrozen checkpoint carries series data")
+	}
+	for i, row := range st.Rows {
+		if len(row.Values) != len(st.Columns) {
+			return fmt.Errorf("telemetry: checkpoint row %d has %d values, expected %d", i, len(row.Values), len(st.Columns))
+		}
+		if i > 0 && row.At < st.Rows[i-1].At {
+			return fmt.Errorf("telemetry: checkpoint rows out of time order at %d", i)
+		}
+	}
+	for i, ms := range st.Metrics {
+		m := r.metrics[i]
+		switch m.kind {
+		case KindCounter:
+			m.counter.v = ms.Value
+		case KindGauge:
+			m.gauge.v = ms.Value
+		default:
+			copy(m.hist.counts, ms.Counts)
+			m.hist.sum = ms.Sum
+			m.hist.n = ms.N
+		}
+	}
+	r.frozen = st.Frozen
+	if st.Frozen {
+		r.series.Columns = append([]string(nil), st.Columns...)
+	}
+	for _, row := range st.Rows {
+		r.series.Rows = append(r.series.Rows, SampleRow{At: row.At, Values: append([]float64(nil), row.Values...)})
+	}
+	return nil
+}
+
+// State captures the rate tracker's retained event instants for a
+// checkpoint.
+func (w *WindowRate) State() []simtime.Time {
+	if len(w.times) == 0 {
+		return nil
+	}
+	return append([]simtime.Time(nil), w.times...)
+}
+
+// Restore loads checkpointed event instants into a fresh rate tracker.
+func (w *WindowRate) Restore(times []simtime.Time) error {
+	if len(w.times) != 0 {
+		return fmt.Errorf("telemetry: restore into a used rate tracker")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return fmt.Errorf("telemetry: restored rate window out of order at %d", i)
+		}
+	}
+	w.times = append(w.times, times...)
+	return nil
+}

@@ -121,6 +121,20 @@ func (r *Recorder) Reserve(n int) {
 //dvlint:hotpath reused across runs on the recording path
 func (r *Recorder) Reset() { r.events = r.events[:0] }
 
+// Restore replaces the recorder's contents with checkpointed events. The
+// events must already be in non-decreasing time order — out-of-order input
+// is an error, never a panic, because restore paths consume untrusted
+// bytes.
+func (r *Recorder) Restore(events []Event) error {
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			return fmt.Errorf("trace: restored events out of order at %d", i)
+		}
+	}
+	r.events = append(r.events[:0], events...)
+	return nil
+}
+
 // Events returns the recorded events.
 func (r *Recorder) Events() []Event { return r.events }
 

@@ -137,8 +137,12 @@ func runBenchGate(outPath, basePath string) error {
 	}
 	for _, p := range bench.Benchmarks() {
 		r := results[p.Name]
-		fmt.Printf("%-28s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		line := fmt.Sprintf("%-28s %12.0f ns/op %10d B/op %8d allocs/op",
 			p.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.RunsPerSec > 0 {
+			line += fmt.Sprintf(" %10.1f runs/sec", r.RunsPerSec)
+		}
+		fmt.Println(line)
 	}
 	if basePath == "" {
 		return nil

@@ -25,6 +25,13 @@ type runner struct {
 	// scenario would otherwise race on the same snapshot slot.
 	mu sync.Mutex
 
+	// cmu guards the reusable run-context cache (serve/entry); cache maps
+	// a scenario parameter set to its wired Runner and order tracks FIFO
+	// eviction age.
+	cmu   sync.Mutex
+	cache map[scenarioKey]*runEntry
+	order []scenarioKey
+
 	// crashAfter, when non-zero, aborts the run right after the first
 	// checkpoint at or past this instant — test hook for the recovery path.
 	crashAfter simtime.Time

@@ -181,26 +181,26 @@ func newServer(def params, rn *runner) http.Handler {
 		if !ok {
 			return
 		}
-		reg, _, err := rn.scenario(p)
+		_, err := rn.serve(p, nil, func(reg *dvsync.TelemetryRegistry) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+		})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
-			return
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		p, ok := requestParams(w, r, def)
 		if !ok {
 			return
 		}
-		reg, _, err := rn.scenario(p)
+		_, err := rn.serve(p, nil, func(reg *dvsync.TelemetryRegistry) {
+			w.Header().Set("Content-Type", "application/json")
+			reg.WriteJSON(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+		})
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
-			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		reg.WriteJSON(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 	})
 	mux.HandleFunc("/stream", streamHandler(def, rn))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -252,9 +252,8 @@ func streamHandler(def params, rn *runner) http.HandlerFunc {
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
 		fl, canFlush := w.(http.Flusher)
-		reg := dvsync.NewTelemetryRegistry()
 		sentColumns := false
-		reg.OnSample(func(row dvsync.TelemetrySample) {
+		_, err := rn.serve(p, func(reg *dvsync.TelemetryRegistry, row dvsync.TelemetrySample) {
 			if !sentColumns {
 				writeEvent(w, "columns", reg.Series().Columns)
 				sentColumns = true
@@ -263,16 +262,14 @@ func streamHandler(def params, rn *runner) http.HandlerFunc {
 			if canFlush {
 				fl.Flush()
 			}
-		})
-		if _, err := rn.run(p, reg); err != nil {
-			if !sentColumns {
-				writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
+		}, func(reg *dvsync.TelemetryRegistry) {
+			writeEvent(w, "snapshot", reg.Snapshot())
+			if canFlush {
+				fl.Flush()
 			}
-			return
-		}
-		writeEvent(w, "snapshot", reg.Snapshot())
-		if canFlush {
-			fl.Flush()
+		})
+		if err != nil && !sentColumns {
+			writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
 		}
 	}
 }

@@ -137,6 +137,17 @@ var ValidateConfig = sim.Validate
 // NewRecorder returns an empty trace recorder to attach to a Config.
 func NewRecorder() *Recorder { return trace.NewRecorder() }
 
+// Runner is a reusable run context: the full simulation graph is wired
+// once and rewound per run, so back-to-back runs of one scenario skip
+// reconstruction and settle at a near-zero steady-state allocation count.
+// A reused run is byte-identical to a fresh Run of the same config. Not
+// safe for concurrent use — pool one Runner per worker.
+type Runner = sim.Runner
+
+// NewRunner validates the config and wires a reusable run context.
+// Invalid configurations panic, exactly like Run.
+func NewRunner(cfg Config) *Runner { return sim.NewRunner(cfg) }
+
 // Live telemetry (DESIGN.md §10).
 type (
 	// TelemetryRegistry is a per-run live metrics registry: counters,

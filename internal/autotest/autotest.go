@@ -257,14 +257,21 @@ type Report struct {
 func RunCase(uc scenarios.UseCase, dev scenarios.Device, mode sim.Mode, seed int64) Report {
 	script := Compile(uc)
 	rep := Report{Case: uc}
+	// One Runner serves all five repetitions: the repetitions differ only
+	// in their frame sequence, so the wired graph is rewound per rep
+	// instead of rebuilt (the census reuses ~375 graphs away this way).
+	var rn *sim.Runner
 	for i := int64(0); i < Runs; i++ {
 		tr := script.Workload(dev, seed+i*131)
-		r := sim.Run(sim.Config{
-			Mode:    mode,
-			Panel:   dev.Panel(),
-			Buffers: dev.Buffers,
-			Trace:   tr,
-		})
+		if rn == nil {
+			rn = sim.NewRunner(sim.Config{
+				Mode:    mode,
+				Panel:   dev.Panel(),
+				Buffers: dev.Buffers,
+				Trace:   tr,
+			})
+		}
+		r := rn.RunTrace(tr)
 		rep.Frames = tr.Len()
 		rep.FDPS += r.FDPS()
 		rep.Janks += float64(len(r.Janks))

@@ -87,6 +87,33 @@ func SimRun(mode sim.Mode) func(*testing.B) {
 	}
 }
 
+// RunnerReuse is the pinned reuse-path benchmark: one sim.Runner replays
+// the pinned end-to-end D-VSync workload back to back. Two numbers gate
+// it: runs/sec, the per-worker throughput the experiment harness sees
+// from graph reuse, and allocs/op, the steady-state allocation count of
+// a reused run — the reuse contract pins the latter at single digits
+// (ISSUE: ≤ 8), so any hot-path allocation creep fails the trajectory
+// gate long before it shows up as wall-clock.
+func RunnerReuse(b *testing.B) {
+	rn := sim.NewRunner(sim.Config{
+		Mode:    sim.ModeDVSync,
+		Panel:   display.Config{Name: "test", RefreshHz: 60, Width: 1080, Height: 2340},
+		Buffers: 4, Trace: simTrace(), Predictor: ipl.Kalman{},
+	})
+	// Warm up outside the timer: the first run grows every arena and ring
+	// to the workload's high-water mark; steady state is run two onward.
+	rn.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rn.Run()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "runs/sec")
+	}
+}
+
 // Pinned names one gated benchmark. Names match the keys of
 // BENCH_baseline.json and the names `go test -bench` reports.
 type Pinned struct {
@@ -100,6 +127,7 @@ func Benchmarks() []Pinned {
 		{Name: "BenchmarkEventEngine", Body: EventEngine},
 		{Name: "BenchmarkSimRun/VSync", Body: SimRun(sim.ModeVSync)},
 		{Name: "BenchmarkSimRun/D-VSync", Body: SimRun(sim.ModeDVSync)},
+		{Name: "BenchmarkRunnerReuse", Body: RunnerReuse},
 	}
 }
 
@@ -108,6 +136,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_op"`
 	BytesPerOp  int64   `json:"bytes_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
+	// RunsPerSec is the reuse-path throughput (higher is better); only
+	// benchmarks that call ReportMetric("runs/sec") carry it.
+	RunsPerSec float64 `json:"runs_per_sec,omitempty"`
 }
 
 // Run executes every pinned benchmark through testing.Benchmark (default
@@ -120,6 +151,7 @@ func Run() map[string]Result {
 			NsPerOp:     float64(r.NsPerOp()),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
+			RunsPerSec:  r.Extra["runs/sec"],
 		}
 	}
 	return out
@@ -182,15 +214,20 @@ type Tolerance struct {
 	MaxNsRatio     float64
 	MaxBytesRatio  float64
 	MaxAllocsRatio float64
+	// MinRunsRatio bounds acceptable LOSS of runs/sec (higher is better):
+	// the gate fails when new/old falls below it. Zero disables the check.
+	MinRunsRatio float64
 }
 
 // DefaultTolerance is the CI gate. Allocation counts are deterministic
 // for a fixed workload, so they gate tightly (1.10×); bytes/op leaves
 // headroom for struct growth (1.25×); wall-clock differs between CI
 // hosts and the host that recorded the baseline, so ns/op is an
-// order-of-magnitude tripwire (10×), not a precision gate.
+// order-of-magnitude tripwire (10×), not a precision gate — and so is
+// runs/sec, its higher-is-better mirror (0.10×).
 func DefaultTolerance() Tolerance {
-	return Tolerance{MaxNsRatio: 10, MaxBytesRatio: 1.25, MaxAllocsRatio: 1.10}
+	return Tolerance{MaxNsRatio: 10, MaxBytesRatio: 1.25, MaxAllocsRatio: 1.10,
+		MinRunsRatio: 0.10}
 }
 
 // Compare returns one message per regression of cur against base under
@@ -223,6 +260,14 @@ func Compare(cur, base map[string]Result, tol Tolerance) []string {
 		if lim := float64(b.AllocsPerOp) * tol.MaxAllocsRatio; float64(c.AllocsPerOp) > lim {
 			msgs = append(msgs, fmt.Sprintf("%s: allocs/op %d exceeds %.0f (baseline %d x %g)",
 				name, c.AllocsPerOp, lim, b.AllocsPerOp, tol.MaxAllocsRatio))
+		}
+		// runs/sec is higher-is-better, gated only when the baseline has
+		// it — pre-reuse baselines pass unchanged.
+		if b.RunsPerSec > 0 && tol.MinRunsRatio > 0 {
+			if lim := b.RunsPerSec * tol.MinRunsRatio; c.RunsPerSec < lim {
+				msgs = append(msgs, fmt.Sprintf("%s: runs/sec %.1f below %.1f (baseline %.1f x %g)",
+					name, c.RunsPerSec, lim, b.RunsPerSec, tol.MinRunsRatio))
+			}
 		}
 	}
 	return msgs

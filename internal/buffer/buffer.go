@@ -265,6 +265,25 @@ func (q *Queue) Enqueue(b *Buffer) {
 	q.notifyDepth()
 }
 
+// Reset returns every buffer to the free list in construction order (slots
+// 0..n−1, so a reused queue hands out the same dequeue sequence as a fresh
+// one), clears the queued FIFO and the front buffer, and zeroes the stats.
+// Hooks installed at wiring time persist.
+func (q *Queue) Reset() {
+	q.free = q.free[:0]
+	for _, b := range q.pool {
+		b.State = Free
+		b.Frame = nil
+		q.free = append(q.free, b)
+	}
+	for i := range q.queued {
+		q.queued[i] = nil
+	}
+	q.queued = q.queued[:0]
+	q.front = nil
+	q.stats = Stats{}
+}
+
 // Latch is called by the display at a VSync edge. It takes the oldest
 // queued buffer, makes it the front buffer, and frees the previous front.
 // It returns nil when the queue is empty (the edge repeats the old frame —

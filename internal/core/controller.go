@@ -42,6 +42,15 @@ func NewController(maxAhead int, dtv *DTV) *Controller {
 	return &Controller{enabled: true, maxAhead: maxAhead, dtv: dtv}
 }
 
+// Reset re-enables the decoupled channel and restores the given pre-render
+// limit (the value NewController received on the fresh path). The IPL
+// predictor registered at wiring time persists — registration is part of
+// the scenario's configuration, not its per-run state.
+func (c *Controller) Reset(maxAhead int) {
+	c.enabled = true
+	c.maxAhead = maxAhead
+}
+
 // SetEnabled is the runtime switch between D-VSync and VSync (API #4 in
 // §4.5). Custom-rendering apps turn D-VSync off for scenarios where
 // pre-rendering is not applicable (PvP games, camera preview).

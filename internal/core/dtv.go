@@ -153,6 +153,24 @@ func (d *DTV) ObserveEdge(now simtime.Time, seq uint64, nominal simtime.Duration
 	d.lastEdge = now
 }
 
+// Reset discards the learned timing model and statistics, returning the
+// virtualizer to its as-constructed condition with the given nominal period
+// (the same value NewDTV received on the fresh path).
+func (d *DTV) Reset(nominalPeriod simtime.Duration) {
+	if nominalPeriod <= 0 {
+		panic(fmt.Sprintf("core: invalid nominal period %v", nominalPeriod))
+	}
+	d.periodEst = nominalPeriod
+	d.anchor = 0
+	d.lastEdge = 0
+	d.haveAnchor = false
+	d.sinceCalib = 0
+	d.issued = 0
+	d.errAbs = metrics.Welford{}
+	d.missedEdges = 0
+	d.reAnchors = 0
+}
+
 // Period returns the current period estimate.
 func (d *DTV) Period() simtime.Duration { return d.periodEst }
 

@@ -97,6 +97,21 @@ func NewFPE(cfg FPEConfig, view PipelineView) *FPE {
 	return &FPE{cfg: cfg, view: view}
 }
 
+// Reset clears the stage machine, overload detector and counters. The
+// pipeline view wired at construction persists.
+func (f *FPE) Reset() {
+	f.stage = Accumulation
+	f.starts = 0
+	f.preStarts = 0
+	f.syncBlocks = 0
+	f.overloaded = false
+	f.overruns = 0
+	f.underruns = 0
+	f.backoffs = 0
+	f.recoveries = 0
+	f.startFailures = 0
+}
+
 // Stage returns the current execution stage.
 func (f *FPE) Stage() Stage { return f.stage }
 

@@ -174,6 +174,25 @@ func (p *Panel) edge(now simtime.Time) {
 	}
 }
 
+// Reset returns the panel to its as-constructed condition: stopped, back at
+// the configured nominal rate, jitter stream rewound to the start of its
+// seed. Listeners registered at wiring time persist, so a reused panel fans
+// out edges identically to a fresh one. The caller guarantees the pending
+// edge (if any) is gone with the engine's own reset.
+func (p *Panel) Reset() {
+	nominal := simtime.PeriodForHz(p.cfg.RefreshHz)
+	p.period = nominal
+	p.truePeriod = skewed(nominal, p.cfg.PeriodSkewPPM)
+	p.rng.Reseed(p.cfg.JitterSeed ^ 0x5ee4)
+	p.seq = 0
+	p.running = false
+	p.nextID = 0
+	p.nextAt = 0
+	p.lastEdge = 0
+	p.edges = 0
+	p.missed = 0
+}
+
 // Stop cancels the pending edge.
 func (p *Panel) Stop() {
 	if !p.running {

@@ -60,6 +60,16 @@ func NewAt(seed int64, draws uint64) *RNG {
 // Seed returns the seed the stream was created from.
 func (g *RNG) Seed() int64 { return g.seed }
 
+// Reseed rewinds the stream to the start of the given seed's sequence
+// without allocating — byte-identical to New(seed), because rand.Rand.Seed
+// discards its buffered state and delegates to the counting source, which
+// resets its draw count. It is the reuse path's replacement for building a
+// fresh RNG per run.
+func (g *RNG) Reseed(seed int64) {
+	g.seed = seed
+	g.r.Seed(seed)
+}
+
 // Draws returns how many base-source values the stream has consumed.
 func (g *RNG) Draws() uint64 { return g.src.n }
 

@@ -91,6 +91,12 @@ func (a *agenda) Pop() any {
 	return it
 }
 
+// inBatch marks an item's index while it sits in the engine's dispatch
+// batch: drained out of the heap for the current instant but not yet fired.
+// Batched items stay in byID so Cancel keeps working; the marker tells
+// Cancel the item is not a heap tombstone.
+const inBatch = -2
+
 // DefaultInstantLimit is the no-progress watchdog bound: the maximum number
 // of events the engine dispatches at a single instant before concluding the
 // agenda is stuck in a zero-delay loop. Legitimate simulations dispatch at
@@ -141,6 +147,13 @@ type Engine struct {
 	// dominate, Cancel compacts the agenda instead of waiting for the pops
 	// to wash them out (tickers under Reschedule churn generate many).
 	ncanceled int
+	// batch is the reused per-instant dispatch buffer: Run drains every
+	// event sharing the earliest timestamp into it with one burst of heap
+	// pops, then dispatches straight off the slice instead of interleaving
+	// a pop (and its free-list churn) with every handler call. It is empty
+	// whenever Run returns, so Pending and the checkpoint capture never see
+	// half-drained instants.
+	batch []*item
 
 	instantLimit int
 	instantAt    simtime.Time
@@ -234,6 +247,12 @@ func (e *Engine) Cancel(id ID) bool {
 	}
 	it.canceled = true
 	delete(e.byID, id)
+	if it.index == inBatch {
+		// Drained for the current instant but not yet dispatched: the batch
+		// loop skips and recycles it. It is not a heap tombstone, so it does
+		// not count toward compaction.
+		return true
+	}
 	e.ncanceled++
 	// Lazy compaction: canceled items normally wash out as the heap pops
 	// them, but workloads that cancel far ahead of the clock (LTPO tickers
@@ -273,36 +292,68 @@ func (e *Engine) compact() {
 // completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// step dispatches the earliest event. It reports false when the agenda is
-// empty.
-func (e *Engine) step() bool {
-	for len(e.events) > 0 {
+// runInstant drains every event scheduled at instant t into the reused
+// batch slice with one burst of heap pops, then dispatches from the slice.
+// Dispatch order is byte-identical to the old pop-per-event loop: before
+// each batch entry fires, the heap head is checked for a same-instant event
+// a previous handler scheduled that sorts earlier (lower priority band, or
+// same band with a smaller sequence — impossible, new events get larger
+// sequences, but the comparison is kept total); if one exists the remaining
+// batch spills back into the heap and the outer loop re-drains the instant.
+func (e *Engine) runInstant(t simtime.Time) {
+	for len(e.events) > 0 && e.events[0].at == t {
 		it := heap.Pop(&e.events).(*item)
 		if it.canceled {
 			e.ncanceled--
 			e.recycle(it)
 			continue
 		}
+		it.index = inBatch
+		e.batch = append(e.batch, it)
+	}
+	e.now = t
+	for i := 0; i < len(e.batch); i++ {
+		it := e.batch[i]
+		if it.canceled {
+			// Canceled by an earlier handler in this same batch; Cancel
+			// already removed it from byID.
+			e.batch[i] = nil
+			e.recycle(it)
+			continue
+		}
+		// Order guard: wash canceled heads out (as peekTime would), then
+		// spill if a handler scheduled a same-instant event that must fire
+		// before the rest of the batch.
+		for len(e.events) > 0 && e.events[0].canceled {
+			e.ncanceled--
+			e.recycle(heap.Pop(&e.events).(*item))
+		}
+		if len(e.events) > 0 && e.events[0].at == t {
+			if head := e.events[0]; head.prio < it.prio || (head.prio == it.prio && head.seq < it.seq) {
+				e.spill(i)
+				return
+			}
+		}
 		delete(e.byID, it.id)
-		e.now = it.at
-		if it.at == e.instantAt {
+		if t == e.instantAt {
 			e.instantFired++
 		} else {
-			e.instantAt, e.instantFired = it.at, 1
+			e.instantAt, e.instantFired = t, 1
 		}
 		e.fired++
-		fn, at, prio, seq, id := it.fn, it.at, it.prio, it.seq, it.id
+		fn, prio, seq, id := it.fn, it.prio, it.seq, it.id
 		// Recycle before dispatch: the handler may schedule new events, and
 		// letting it reuse this slot keeps the steady-state agenda footprint
 		// at the live-event count. All fields needed afterwards were copied.
+		e.batch[i] = nil
 		e.recycle(it)
-		fn(at)
+		fn(t)
 		if e.instantFired >= e.instantLimit && e.wderr == nil {
 			// The clock has not advanced for instantLimit dispatches: a
 			// zero-delay scheduling loop. Record the offender and halt.
 			//dvlint:ignore hotalloc the watchdog trips at most once and ends the run
 			e.wderr = &WatchdogError{
-				At:           at,
+				At:           t,
 				Dispatched:   e.instantFired,
 				LastPriority: prio,
 				LastSeq:      seq,
@@ -310,9 +361,33 @@ func (e *Engine) step() bool {
 			}
 			e.stopped = true
 		}
-		return true
+		if e.stopped {
+			// Stop (or the watchdog) must leave undispatched events pending:
+			// callers that drain after stopping (finish's recorder flush,
+			// checkpoint capture) expect them back on the agenda.
+			e.spill(i + 1)
+			return
+		}
 	}
-	return false
+	e.batch = e.batch[:0]
+}
+
+// spill returns batch[i:] to the heap (canceled entries are recycled — they
+// are already out of byID) and empties the batch.
+func (e *Engine) spill(i int) {
+	for ; i < len(e.batch); i++ {
+		it := e.batch[i]
+		e.batch[i] = nil
+		if it == nil {
+			continue
+		}
+		if it.canceled {
+			e.recycle(it)
+			continue
+		}
+		heap.Push(&e.events, it)
+	}
+	e.batch = e.batch[:0]
 }
 
 // Run dispatches events in order until the agenda is empty, Stop is called,
@@ -334,8 +409,39 @@ func (e *Engine) Run(horizon simtime.Time) {
 			e.now = horizon
 			return
 		}
-		e.step()
+		e.runInstant(next)
 	}
+}
+
+// Reset returns the engine to its as-constructed condition — clock at zero,
+// empty agenda, zeroed counters, watchdog re-armed — while keeping the item
+// free list, the batch buffer and the byID map's capacity warm, so a reused
+// engine schedules its next run without allocating. A Reset engine satisfies
+// the same freshness preconditions as a NewEngine (checkpoint.Restore
+// checks them), so pooled runs snapshot and resume exactly like fresh ones.
+func (e *Engine) Reset() {
+	for i, it := range e.events {
+		e.events[i] = nil
+		e.recycle(it)
+	}
+	e.events = e.events[:0]
+	for i, it := range e.batch {
+		e.batch[i] = nil
+		if it != nil {
+			e.recycle(it)
+		}
+	}
+	e.batch = e.batch[:0]
+	clear(e.byID)
+	e.now = 0
+	e.seq = 0
+	e.nextID = 0
+	e.stopped = false
+	e.fired = 0
+	e.ncanceled = 0
+	e.instantAt = 0
+	e.instantFired = 0
+	e.wderr = nil
 }
 
 // RunAll dispatches events until none remain or Stop is called.

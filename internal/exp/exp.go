@@ -25,31 +25,63 @@ import (
 // fully deterministic.
 const Seed int64 = 20250330
 
-// VSyncRun simulates the conventional architecture.
-func VSyncRun(tr *workload.Trace, dev scenarios.Device, buffers int) *sim.Result {
-	return sim.Run(sim.Config{
+// VSyncConfig is the conventional-architecture configuration for a device
+// and queue size, without a trace — the shape replica loops hand to a
+// reusable sim.Runner before swapping traces in.
+func VSyncConfig(dev scenarios.Device, buffers int) sim.Config {
+	return sim.Config{
 		Mode:    sim.ModeVSync,
 		Panel:   dev.Panel(),
 		Buffers: buffers,
-		Trace:   tr,
-	})
+	}
+}
+
+// DVSyncConfig is the D-VSync configuration for a device and queue size.
+// Option functions tune the config (predictor registration, fallback
+// supervision, …) exactly as DVSyncRun's always did.
+func DVSyncConfig(dev scenarios.Device, buffers int, cfg ...func(*sim.Config)) sim.Config {
+	c := sim.Config{
+		Mode:    sim.ModeDVSync,
+		Panel:   dev.Panel(),
+		Buffers: buffers,
+	}
+	for _, f := range cfg {
+		f(&c)
+	}
+	return c
+}
+
+// VSyncRun simulates the conventional architecture.
+func VSyncRun(tr *workload.Trace, dev scenarios.Device, buffers int) *sim.Result {
+	c := VSyncConfig(dev, buffers)
+	c.Trace = tr
+	return sim.Run(c)
 }
 
 // DVSyncRun simulates D-VSync with the given queue size. For Interactive
 // workloads the decoupling-aware channel is enabled with the supplied
 // predictor (nil leaves interactive frames on the VSync path).
 func DVSyncRun(tr *workload.Trace, dev scenarios.Device, buffers int, cfg ...func(*sim.Config)) *sim.Result {
-	c := sim.Config{
-		Mode:    sim.ModeDVSync,
-		Panel:   dev.Panel(),
-		Buffers: buffers,
-		Trace:   tr,
-	}
-	for _, f := range cfg {
-		f(&c)
-	}
+	c := DVSyncConfig(dev, buffers, cfg...)
+	c.Trace = tr
 	return sim.Run(c)
 }
+
+// runnerFor builds a reusable Runner for a traceless experiment config.
+// The one-frame placeholder trace only satisfies construction-time
+// validation; every run swaps a real trace in through RunTrace.
+func runnerFor(cfg sim.Config) *sim.Runner {
+	cfg.Trace = placeholderTrace
+	return sim.NewRunner(cfg)
+}
+
+// placeholderTrace is the shared construction-time stand-in (read-only,
+// like all traces, so workers may share it).
+var placeholderTrace = func() *workload.Trace {
+	p := workload.Profile{Name: "placeholder", ShortMeanMs: 1, UIShare: 0.5,
+		Class: workload.Deterministic}
+	return p.Generate(1, 1)
+}()
 
 // Replicas is the number of measurement runs averaged per scenario,
 // following the paper's methodology: "Averages are derived from five runs
@@ -142,9 +174,11 @@ func calibrateParamsUncached(p workload.Profile, frames int, dev scenarios.Devic
 	measureRatio := func(ratio float64) float64 {
 		q := p
 		q.LongRatio = ratio
-		vals := par.Map(Replicas, func(i int) float64 {
-			return VSyncRun(q.Generate(frames, seed+int64(i)), dev, buffers).FDPS()
-		})
+		vals := par.MapLocal(Replicas,
+			func() *sim.Runner { return runnerFor(VSyncConfig(dev, buffers)) },
+			func(rn *sim.Runner, i int) float64 {
+				return rn.RunTrace(q.Generate(frames, seed+int64(i))).FDPS()
+			})
 		var sum float64
 		for _, v := range vals {
 			sum += v
@@ -163,9 +197,11 @@ func calibrateParamsUncached(p workload.Profile, frames int, dev scenarios.Devic
 		bases[i] = q.Generate(frames, seed+int64(i))
 	}
 	measureScale := func(s float64) float64 {
-		vals := par.Map(len(bases), func(i int) float64 {
-			return VSyncRun(bases[i].Scale(s), dev, buffers).FDPS()
-		})
+		vals := par.MapLocal(len(bases),
+			func() *sim.Runner { return runnerFor(VSyncConfig(dev, buffers)) },
+			func(rn *sim.Runner, i int) float64 {
+				return rn.RunTrace(bases[i].Scale(s)).FDPS()
+			})
 		var sum float64
 		for _, v := range vals {
 			sum += v
@@ -204,13 +240,17 @@ func CalibrateReplicas(p workload.Profile, frames int, dev scenarios.Device, buf
 	return out
 }
 
-// avgFDPS measures mean FDPS across replica traces. Replicas run through
-// par.Map and are summed serially in index order, so the mean matches the
-// legacy serial loop exactly at any worker count.
-func avgFDPS(traces []*workload.Trace, run func(*workload.Trace) *sim.Result) float64 {
-	vals := par.Map(len(traces), func(i int) float64 {
-		return run(traces[i]).FDPS()
-	})
+// avgFDPS measures mean FDPS across replica traces. Replicas fan out
+// through par.MapLocal — each worker rewinds one reusable Runner wired for
+// the config instead of rebuilding the simulation graph per replica — and
+// are summed serially in index order, so the mean matches the legacy
+// serial loop exactly at any worker count.
+func avgFDPS(traces []*workload.Trace, cfg sim.Config) float64 {
+	vals := par.MapLocal(len(traces),
+		func() *sim.Runner { return runnerFor(cfg) },
+		func(rn *sim.Runner, i int) float64 {
+			return rn.RunTrace(traces[i]).FDPS()
+		})
 	var sum float64
 	for _, v := range vals {
 		sum += v

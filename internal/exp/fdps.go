@@ -8,7 +8,6 @@ import (
 	"dvsync/internal/report"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
-	"dvsync/internal/workload"
 )
 
 // FDPSRow is one scenario's outcome across configurations.
@@ -61,14 +60,9 @@ func Fig11() *FDPSResult {
 		reps := CalibrateReplicas(app.Profile(), scenarios.AppFrames, dev, dev.Buffers,
 			app.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: app.Name, DVSync: map[int]float64{}}
-		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-			return VSyncRun(tr, dev, dev.Buffers)
-		})
+		row.Baseline = avgFDPS(reps, VSyncConfig(dev, dev.Buffers))
 		for _, b := range scenarios.AppBufferSweep {
-			b := b
-			row.DVSync[b] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-				return DVSyncRun(tr, dev, b)
-			})
+			row.DVSync[b] = avgFDPS(reps, DVSyncConfig(dev, b))
 		}
 		return row
 	})
@@ -116,12 +110,8 @@ func caseFigure(title string, dev scenarios.Device, cases []scenarios.CaseRun) *
 		reps := CalibrateReplicas(c.Profile(dev), scenarios.UseCaseFrames, dev, dev.Buffers,
 			c.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: c.Case.Abbrev, DVSync: map[int]float64{}}
-		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-			return VSyncRun(tr, dev, dev.Buffers)
-		})
-		row.DVSync[dev.Buffers] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-			return DVSyncRun(tr, dev, dev.Buffers)
-		})
+		row.Baseline = avgFDPS(reps, VSyncConfig(dev, dev.Buffers))
+		row.DVSync[dev.Buffers] = avgFDPS(reps, DVSyncConfig(dev, dev.Buffers))
 		return row
 	})
 	for _, row := range rows {
@@ -172,15 +162,10 @@ func Fig14() *FDPSResult {
 		dev.RefreshHz = g.RateHz
 		reps := CalibrateReplicas(g.Profile(), scenarios.GameFrames, dev, 3, g.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: g.Name, DVSync: map[int]float64{}}
-		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-			return VSyncRun(tr, dev, 3)
-		})
+		row.Baseline = avgFDPS(reps, VSyncConfig(dev, 3))
 		aware := func(c *sim.Config) { c.Predictor = ipl.Linear{} }
 		for _, b := range []int{4, 5} {
-			b := b
-			row.DVSync[b] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-				return DVSyncRun(tr, dev, b, aware)
-			})
+			row.DVSync[b] = avgFDPS(reps, DVSyncConfig(dev, b, aware))
 		}
 		return row
 	})
@@ -211,13 +196,9 @@ func Chromium() *FDPSResult {
 		reps := CalibrateReplicas(p.Profile(), scenarios.BrowserFrames, dev, dev.Buffers,
 			p.PaperVSyncFDPS, Seed)
 		row := FDPSRow{Name: p.Name, DVSync: map[int]float64{}}
-		row.Baseline = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-			return VSyncRun(tr, dev, dev.Buffers)
-		})
-		row.DVSync[dev.Buffers] = avgFDPS(reps, func(tr *workload.Trace) *sim.Result {
-			return DVSyncRun(tr, dev, dev.Buffers,
-				func(c *sim.Config) { c.Predictor = ipl.Linear{} })
-		})
+		row.Baseline = avgFDPS(reps, VSyncConfig(dev, dev.Buffers))
+		row.DVSync[dev.Buffers] = avgFDPS(reps, DVSyncConfig(dev, dev.Buffers,
+			func(c *sim.Config) { c.Predictor = ipl.Linear{} }))
 		return row
 	})
 	for _, row := range rows {

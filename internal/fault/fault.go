@@ -158,6 +158,18 @@ type Injector struct {
 	n Counters
 }
 
+// Reset rewinds every per-class stream to the start of its split seed and
+// clears the tallies, so a reused injector replays exactly the draws a
+// fresh NewInjector(cfg) would. The split lineage is fixed at construction;
+// Reseed only rewinds each child stream in place.
+func (in *Injector) Reset() {
+	in.jitterRNG.Reseed(in.jitterRNG.Seed())
+	in.missRNG.Reseed(in.missRNG.Seed())
+	in.allocRNG.Reseed(in.allocRNG.Seed())
+	in.dropRNG.Reseed(in.dropRNG.Seed())
+	in.n = Counters{}
+}
+
 // NewInjector builds an injector. Invalid configs panic; run Validate (or
 // sim.Validate, which includes it) first when the config is external input.
 func NewInjector(cfg Config) *Injector {

@@ -128,6 +128,24 @@ func NewMonitor(cfg Config) *Monitor {
 	return &Monitor{cfg: cfg.withDefaults()}
 }
 
+// Reset clears every window, watchdog reference and counter, returning the
+// monitor to its as-constructed condition (the accumulated sample slices
+// keep their capacity for the next run).
+func (m *Monitor) Reset() {
+	m.janks = m.janks[:0]
+	m.errs = m.errs[:0]
+	m.lastProgress = 0
+	m.haveProgress = false
+	m.watchStart = 0
+	m.haveWatch = false
+	m.tripped = false
+	m.healthySince = 0
+	m.haveHealthy = false
+	m.lastReason = ReasonNone
+	m.trips = 0
+	m.recoveries = 0
+}
+
 // ObserveJank records a repeated-frame edge.
 func (m *Monitor) ObserveJank(at simtime.Time) { m.janks = append(m.janks, at) }
 

@@ -118,6 +118,17 @@ func NewCoordinator(policy Policy, panel PanelControl, queue QueueView) *Coordin
 	return &Coordinator{policy: policy, panel: panel, queue: queue, renderHz: panel.RefreshHz()}
 }
 
+// Reset resyncs the render rate to the panel's current rate and clears the
+// pending switch and counters. Call it after the panel's own reset so the
+// coordinator re-reads the configured base rate, exactly as NewCoordinator
+// does.
+func (c *Coordinator) Reset() {
+	c.renderHz = c.panel.RefreshHz()
+	c.pendingHz = 0
+	c.switches = 0
+	c.deferred = 0
+}
+
 // RenderHz returns the rate frames should currently be rendered for. The
 // producer tags buffers with it.
 func (c *Coordinator) RenderHz() int { return c.renderHz }

@@ -159,6 +159,102 @@ spawn:
 	return out
 }
 
+// MapLocal is Map with per-goroutine scratch state: every goroutine that
+// executes jobs — the caller and each token-bounded helper — lazily builds
+// one local L via newLocal and threads it through every job it claims.
+// The canonical local is a reused simulation context (sim.Runner): replica
+// loops rewind one wired graph per worker instead of reconstructing it per
+// job, which is where the runs/sec of the experiment harness comes from.
+//
+// The determinism rules of Map apply unchanged, plus one: a job's RESULT
+// must not depend on its local beyond reuse of scratch capacity. Which
+// goroutine claims which job varies with scheduling, so any local whose
+// history leaks into the output (an RNG stream, an accumulator) would
+// break the byte-identical-at-any-width contract. Locals are never shared
+// between goroutines and need no locking; they are discarded when MapLocal
+// returns.
+func MapLocal[L, T any](n int, newLocal func() L, fn func(local L, i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	p := cur.Load()
+	if p.workers <= 1 || n == 1 {
+		local := newLocal()
+		for i := range out {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panic(JobPanic{Index: i, Value: r})
+					}
+				}()
+				out[i] = fn(local, i)
+			}()
+		}
+		return out
+	}
+
+	var (
+		next  atomic.Int64
+		mu    sync.Mutex
+		first *JobPanic
+	)
+	run := func() {
+		// The local is built only once this goroutine has claimed a job:
+		// helpers that lose the race for the first claim never pay for a
+		// context they would not use.
+		var (
+			local L
+			built bool
+		)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if !built {
+				local = newLocal()
+				built = true
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						next.Store(int64(n)) // poison: abandon unclaimed jobs
+						mu.Lock()
+						if first == nil || i < first.Index {
+							first = &JobPanic{Index: i, Value: r}
+						}
+						mu.Unlock()
+					}
+				}()
+				out[i] = fn(local, i)
+			}()
+		}
+	}
+
+	var wg sync.WaitGroup
+spawn:
+	for h := 0; h < p.workers-1 && h < n-1; h++ {
+		select {
+		case <-p.tokens:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { p.tokens <- struct{}{} }()
+				run()
+			}()
+		default:
+			break spawn // budget exhausted (nested Map): run inline only
+		}
+	}
+	run()
+	wg.Wait()
+	if first != nil {
+		panic(*first)
+	}
+	return out
+}
+
 // SplitSeed derives the seed for one job from a parent seed and a stream
 // label — the same FNV-1a splitting discipline dist.RNG.Split gives the
 // fault injector, extended with the job index. Jobs that draw randomness

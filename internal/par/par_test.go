@@ -190,3 +190,79 @@ func TestMapRaceStress(t *testing.T) {
 		}
 	}
 }
+
+// TestMapLocalMatchesMap checks that MapLocal computes the same results
+// as Map at every worker width when the local is pure scratch.
+func TestMapLocalMatchesMap(t *testing.T) {
+	fn := func(i int) int { return i * i }
+	want := par.Map(100, fn)
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w)
+		got := par.MapLocal(100,
+			func() []int { return make([]int, 0, 8) }, // scratch, unused content
+			func(scratch []int, i int) int { return fn(i) })
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: MapLocal[%d] = %d, want %d", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapLocalOneLocalPerGoroutine checks the lazy-local contract: the
+// number of locals built never exceeds the worker budget (each executing
+// goroutine builds at most one), and the serial path builds exactly one.
+func TestMapLocalOneLocalPerGoroutine(t *testing.T) {
+	var built atomic.Int64
+	newLocal := func() int { return int(built.Add(1)) }
+
+	withWorkers(t, 1)
+	built.Store(0)
+	par.MapLocal(50, newLocal, func(local, i int) int { return local })
+	if n := built.Load(); n != 1 {
+		t.Errorf("serial path built %d locals, want 1", n)
+	}
+
+	withWorkers(t, 4)
+	built.Store(0)
+	par.MapLocal(50, newLocal, func(local, i int) int { return local })
+	if n := built.Load(); n < 1 || n > 4 {
+		t.Errorf("parallel path built %d locals, want 1..4", n)
+	}
+}
+
+// TestMapLocalPanicPoisoning checks that a panicking job surfaces as a
+// JobPanic with the lowest panicking index, like Map.
+func TestMapLocalPanicPoisoning(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w)
+		func() {
+			defer func() {
+				r := recover()
+				jp, ok := r.(par.JobPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %v, want JobPanic", w, r)
+				}
+				if jp.Index != 7 {
+					t.Errorf("workers=%d: JobPanic.Index = %d, want 7", w, jp.Index)
+				}
+			}()
+			par.MapLocal(64,
+				func() struct{} { return struct{}{} },
+				func(_ struct{}, i int) int {
+					if i == 7 {
+						panic("boom")
+					}
+					return i
+				})
+			t.Fatalf("workers=%d: MapLocal did not panic", w)
+		}()
+	}
+}
+
+// TestMapLocalZeroJobs mirrors Map's n<=0 contract.
+func TestMapLocalZeroJobs(t *testing.T) {
+	if got := par.MapLocal(0, func() int { return 0 }, func(int, int) int { return 1 }); got != nil {
+		t.Errorf("MapLocal(0) = %v, want nil", got)
+	}
+}

@@ -119,6 +119,56 @@ func NewProducer(e *event.Engine, q *buffer.Queue, t *workload.Trace) *Producer 
 	return p
 }
 
+// Reset re-arms the producer for another run over tr, reusing the frame
+// arena and pending queues when their capacity allows. Handlers and hooks
+// wired at construction persist. A reset producer satisfies the
+// checkpoint-restore precondition (no started frames), so pooled runs
+// snapshot exactly like fresh ones.
+//
+//dvlint:hotpath runs once per reused run
+func (p *Producer) Reset(tr *workload.Trace) {
+	if tr.Len() == 0 {
+		panic("pipeline: empty workload trace")
+	}
+	p.trace = tr
+	n := tr.Len()
+	if cap(p.arena) >= n {
+		p.arena = p.arena[:n]
+		p.startedIdx = p.startedIdx[:n]
+	} else {
+		//dvlint:ignore hotalloc arena grow path: paid only when a longer trace swaps into the runner
+		p.arena = make([]buffer.Frame, n)
+		//dvlint:ignore hotalloc same grow path as the arena above
+		p.startedIdx = make([]bool, n)
+	}
+	clear(p.startedIdx)
+	p.uiBusyUntil = 0
+	p.rsBusyUntil = 0
+	for i := range p.inflight {
+		p.inflight[i] = nil
+	}
+	p.inflight = p.inflight[:0]
+	if cap(p.frames) < n {
+		//dvlint:ignore hotalloc same grow path as the arena above
+		p.frames = make([]*buffer.Frame, 0, n)
+	}
+	for i := range p.frames {
+		p.frames[i] = nil
+	}
+	p.frames = p.frames[:0]
+	for i := range p.uiPending {
+		p.uiPending[i] = uiEntry{}
+	}
+	p.uiPending = p.uiPending[:0]
+	for i := range p.rsPending {
+		p.rsPending[i] = rsEntry{}
+	}
+	p.rsPending = p.rsPending[:0]
+	p.started = 0
+	p.executed = 0
+	p.overhead = 0
+}
+
 // dispatchUIDone completes the oldest pending UI stage.
 func (p *Producer) dispatchUIDone(t simtime.Time) {
 	f := p.uiPending[0].f

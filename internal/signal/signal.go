@@ -117,6 +117,17 @@ func (d *Distributor) SetDelay(fn func(k Kind, at simtime.Time) simtime.Duration
 // Delivered returns how many events of kind k have been delivered.
 func (d *Distributor) Delivered(k Kind) uint64 { return d.delivered[k] }
 
+// Reset clears the delivery counters and the delayed-delivery in-flight
+// list. Subscriptions, offsets and the delay hook persist; the caller's
+// engine reset has already dropped any scheduled deliveries.
+func (d *Distributor) Reset() {
+	clear(d.delivered)
+	for i := range d.pending {
+		d.pending[i] = nil
+	}
+	d.pending = d.pending[:0]
+}
+
 // fanoutKinds are the software signals derived from each hardware edge, in
 // delivery order. Hoisted so OnHWEdge does not rebuild the slice per edge.
 var fanoutKinds = [...]Kind{VSyncApp, VSyncRS, VSyncSF}

@@ -19,3 +19,12 @@ func BenchmarkSimRun(b *testing.B) {
 		b.Run(mode.String(), bench.SimRun(mode))
 	}
 }
+
+// BenchmarkRunnerReuse measures the reuse path: one Runner replaying the
+// pinned workload back to back. It reports runs/sec and the steady-state
+// allocs/op of a rewound run (gated at ≤ 8 by TestRunnerSteadyStateAllocs
+// and the trajectory baseline). The body lives in internal/bench for the
+// same single-definition reason as BenchmarkSimRun.
+func BenchmarkRunnerReuse(b *testing.B) {
+	bench.RunnerReuse(b)
+}

@@ -1,0 +1,26 @@
+//go:build !race
+
+package sim
+
+import (
+	"testing"
+
+	"dvsync/internal/ipl"
+)
+
+// TestRunnerSteadyStateAllocs pins the reuse-path allocation budget: once
+// every arena and ring has grown to the workload's high-water mark, a
+// rewound run must stay at or under 8 allocations (the trajectory
+// baseline pins the benchmark's exact count). Race instrumentation
+// perturbs allocation accounting, so this file is excluded from -race
+// runs — BenchmarkRunnerReuse and the perf gate cover the same budget.
+func TestRunnerSteadyStateAllocs(t *testing.T) {
+	p := ckptProfile()
+	rn := NewRunner(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 4,
+		Trace: p.Generate(200, 42), Predictor: ipl.Kalman{}})
+	rn.Run()
+	rn.Run()
+	if avg := testing.AllocsPerRun(5, func() { rn.Run() }); avg > 8 {
+		t.Errorf("steady-state allocations per reused run = %v, want <= 8", avg)
+	}
+}

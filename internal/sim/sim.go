@@ -900,21 +900,98 @@ func normalized(cfg Config) Config {
 	return cfg
 }
 
+// reset rewinds every component of the wired graph to its as-constructed
+// condition so the System can replay another run — same scenario, possibly
+// a new trace — without rebuilding the object graph. It is the Runner's
+// per-run hot path: a reset run must behave byte-identically to
+// New(cfg).Run() on the same inputs.
+//
+// Order matters in three places: the injector reseeds before the panel
+// resets (the panel's fault hooks stay wired, so a half-reset injector
+// would desynchronise its RNG streams), the LTPO coordinator resets after
+// the panel (it re-reads the configured base rate), and the telemetry
+// binding resets after the supervisor state is rebuilt (its gauges are
+// re-primed from the same values the constructor used).
+//
+//dvlint:hotpath runs once per reused run
+func (s *System) reset(tr *workload.Trace) {
+	s.engine.Reset()
+	if s.inj != nil {
+		s.inj.Reset()
+	}
+	s.panel.Reset()
+	s.dist.Reset()
+	s.queue.Reset()
+	s.cfg.Trace = tr
+	s.producer.Reset(tr)
+	if s.cfg.Mode == ModeDVSync {
+		s.dtv.Reset(s.res.Period)
+		s.ctl.Reset(s.cfg.PreRenderLimit)
+		s.appSwitch = !s.cfg.DisableDVSync
+		if s.monitor != nil {
+			s.monitor.Reset()
+		}
+		s.fallbackActive = false
+		s.applyEnabled()
+		s.fpe.Reset()
+	}
+	if s.ltpo != nil {
+		s.ltpo.Reset()
+	}
+	if s.tel != nil {
+		s.tel.reset(s.cfg.Panel.RefreshHz)
+	}
+	if s.cfg.Recorder != nil {
+		// A fresh run starts with an empty recorder; so does a reused one.
+		s.cfg.Recorder.Reset()
+	}
+
+	// Re-prime the result exactly as New does, handing the previous run's
+	// slice capacity back to prepare for reuse.
+	s.res = Result{
+		Mode:        s.cfg.Mode,
+		Period:      s.res.Period,
+		MemoryBytes: s.queue.MemoryBytes(),
+		Presented:   s.res.Presented[:0],
+		LatencyMs:   s.res.LatencyMs[:0],
+		Janks:       s.res.Janks[:0],
+		Fallbacks:   s.res.Fallbacks[:0],
+	}
+
+	s.nextIdx = 0
+	s.started = false
+	s.ticks = 0
+	s.prepared = false
+	s.presentPending = s.presentPending[:0]
+}
+
 // prepare runs the once-per-run setup before the first engine segment:
 // size the result and trace buffers from the frame count up front (at most
 // one presented frame and latency sample per trace entry, and roughly six
 // trace records per frame — start, ui-done, queued, vsync, latched,
-// present — saving the append doubling churn on the hot path), arm the
-// telemetry sampling chain, and start the panel.
+// present — saving the append doubling churn on the hot path), reserve the
+// telemetry row ring, arm the sampling chain, and start the panel. On the
+// Runner's reuse path the buffers usually still hold enough capacity from
+// the previous run, so nothing here allocates.
 func (s *System) prepare() {
 	s.prepared = true
 	n := s.cfg.Trace.Len()
-	s.res.Presented = make([]*buffer.Frame, 0, n)
-	s.res.LatencyMs = make([]float64, 0, n)
+	if cap(s.res.Presented) < n {
+		s.res.Presented = make([]*buffer.Frame, 0, n)
+	}
+	if cap(s.res.LatencyMs) < n {
+		s.res.LatencyMs = make([]float64, 0, n)
+	}
 	if s.cfg.Recorder != nil {
 		s.cfg.Recorder.Reserve(6*n + 64)
 	}
 	if s.tel != nil {
+		// One row per sampling interval over the expected run, with slack
+		// for fault-stretched tails. The estimate only sizes the ring:
+		// Sample still grows past it if a run overshoots, so row content
+		// never depends on this number.
+		run := simtime.Duration(n+64) * s.res.Period * 2
+		s.tel.reg.Reserve(int(run/s.tel.interval) + 8)
 		s.scheduleSample(0)
 	}
 	s.panel.Start(0)

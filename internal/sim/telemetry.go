@@ -83,6 +83,18 @@ func newTelemetryState(reg *telemetry.Registry, interval simtime.Duration, hz in
 	return t
 }
 
+// reset re-arms the telemetry binding for another run on the same wiring:
+// the registry's instruments and row ring rewind, the FDPS window empties,
+// and the refresh-rate gauge is re-primed exactly as newTelemetryState
+// does (Registry.Reset zeroes every gauge, including that priming).
+func (t *telemetryState) reset(hz int) {
+	t.reg.Reset()
+	t.window.Reset()
+	t.done = false
+	t.tickID = 0
+	t.refreshHz.Set(float64(hz))
+}
+
 // observeJank feeds one repeated-frame edge into the counter and the
 // trailing FDPS window.
 //

@@ -246,26 +246,90 @@ func (r *Registry) Len() int { return len(r.metrics) }
 // slice is owned by the series; treat it as read-only.
 func (r *Registry) OnSample(fn func(SampleRow)) { r.onSam = fn }
 
+// Reserve preallocates ring storage for n sample rows — the capacity the
+// simulation negotiates from the run length so the steady-state sampling
+// path never allocates. Each reserved slot carries its own Values buffer
+// sized to the current metric count. Reserving less than the current
+// capacity is a no-op; rows past the reservation still append, because the
+// series never drops samples (determinism outranks bounded memory).
+func (r *Registry) Reserve(n int) {
+	if n <= cap(r.series.Rows) {
+		return
+	}
+	rows := make([]SampleRow, n)
+	used := len(r.series.Rows)
+	copy(rows, r.series.Rows)
+	for i := used; i < n; i++ {
+		rows[i].Values = make([]float64, 0, len(r.metrics))
+	}
+	r.series.Rows = rows[:used]
+}
+
+// Reset re-arms a sampled registry for another run of the same wiring:
+// instrument values return to zero and the row ring rewinds, keeping every
+// slot and its Values buffer for recycling. The frozen column set persists
+// — the reuse path never re-registers, so a reused run exports the exact
+// column order a fresh run would freeze. The OnSample hook persists too.
+func (r *Registry) Reset() {
+	for _, m := range r.metrics {
+		switch m.kind {
+		case KindCounter:
+			m.counter.v = 0
+		case KindGauge:
+			m.gauge.v = 0
+		default:
+			clear(m.hist.counts)
+			m.hist.sum = 0
+			m.hist.n = 0
+		}
+	}
+	r.series.Rows = r.series.Rows[:0]
+}
+
 // Sample appends one time-series row at a virtual-time instant. Instants
 // must be non-decreasing. The first sample freezes the column set:
 // registering metrics afterwards panics, which keeps every row
-// rectangular.
+// rectangular. Row storage is a recycling ring: slots left behind by
+// Reserve (or by a previous run on a Reset registry) are reused in place,
+// so a correctly reserved run samples without allocating.
+//
+//dvlint:hotpath runs at every telemetry sampling tick
 func (r *Registry) Sample(now simtime.Time) {
 	if !r.frozen {
 		r.frozen = true
+		//dvlint:ignore hotalloc the column set is built once, at the first sample of a run
 		r.series.Columns = make([]string, len(r.metrics))
 		for i, m := range r.metrics {
 			r.series.Columns[i] = m.name
 		}
 	}
-	if n := len(r.series.Rows); n > 0 && now < r.series.Rows[n-1].At {
-		panic(fmt.Sprintf("telemetry: sample at %v after %v", now, r.series.Rows[n-1].At))
+	rows := r.series.Rows
+	n := len(rows)
+	if n > 0 && now < rows[n-1].At {
+		panic(fmt.Sprintf("telemetry: sample at %v after %v", now, rows[n-1].At))
 	}
-	row := SampleRow{At: now, Values: make([]float64, len(r.metrics))}
+	var row SampleRow
+	if n < cap(rows) {
+		rows = rows[:n+1]
+		row = rows[n] // recycled slot: its Values buffer is reused below
+		row.At = now
+		if cap(row.Values) >= len(r.metrics) {
+			row.Values = row.Values[:len(r.metrics)]
+		} else {
+			//dvlint:ignore hotalloc a slot reserved before the metric count grew; never on the negotiated path
+			row.Values = make([]float64, len(r.metrics))
+		}
+	} else {
+		//dvlint:ignore hotalloc ring grow path: only runs past the negotiated reservation
+		row = SampleRow{At: now, Values: make([]float64, len(r.metrics))}
+		//dvlint:ignore hotalloc same past-reservation grow path as the row above
+		rows = append(rows, row)
+	}
 	for i, m := range r.metrics {
 		row.Values[i] = m.sampleValue()
 	}
-	r.series.Rows = append(r.series.Rows, row)
+	rows[len(rows)-1] = row
+	r.series.Rows = rows
 	if r.onSam != nil {
 		r.onSam(row)
 	}
@@ -300,6 +364,9 @@ func NewWindowRate(window simtime.Duration) *WindowRate {
 	}
 	return &WindowRate{window: window}
 }
+
+// Reset drops every recorded event, rewinding the tracker for a reused run.
+func (w *WindowRate) Reset() { w.times = w.times[:0] }
 
 // Observe records one event. Instants must be non-decreasing.
 //

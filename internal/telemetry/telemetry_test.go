@@ -229,3 +229,82 @@ func TestWritersDeterministic(t *testing.T) {
 		t.Errorf("snapshot series %+v", snap.Series)
 	}
 }
+
+// sampleScript drives one fixed instrument sequence and returns the
+// registry's JSON export.
+func sampleScript(t *testing.T, r *Registry, c *Counter, g *Gauge) []byte {
+	t.Helper()
+	for i := 1; i <= 5; i++ {
+		c.Add(float64(i))
+		g.Set(float64(10 * i))
+		r.Sample(simtime.Time(i) * simtime.Time(simtime.Millisecond))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRegistryResetReplaysIdentically checks the run-reuse contract: a
+// Reset registry replays an identical instrument script into a byte-
+// identical export, with the frozen column order preserved.
+func TestRegistryResetReplaysIdentically(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames", "frames")
+	g := r.Gauge("depth", "depth")
+	first := sampleScript(t, r, c, g)
+	r.Reset()
+	second := sampleScript(t, r, c, g)
+	if !bytes.Equal(first, second) {
+		t.Errorf("reset replay export differs:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}
+
+// TestReserveMakesSamplingAllocationFree checks the ring contract: after
+// Reserve sized the ring, a full sample script allocates nothing, and on
+// a Reset registry the recycled slots keep it that way.
+func TestReserveMakesSamplingAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames", "frames")
+	r.Reserve(16)
+	r.Sample(0) // freeze columns outside the measurement
+	now := simtime.Time(simtime.Millisecond)
+	if avg := testing.AllocsPerRun(10, func() {
+		c.Inc()
+		r.Sample(now)
+		now += simtime.Time(simtime.Millisecond)
+	}); avg > 0 {
+		t.Errorf("reserved Sample allocates %v per row, want 0", avg)
+	}
+	r.Reset()
+	now = 0
+	if avg := testing.AllocsPerRun(10, func() {
+		c.Inc()
+		r.Sample(now)
+		now += simtime.Time(simtime.Millisecond)
+	}); avg > 0 {
+		t.Errorf("recycled Sample allocates %v per row after Reset, want 0", avg)
+	}
+}
+
+// TestSampleGrowsPastReservation checks that the ring never drops rows:
+// sampling past the reserved capacity appends instead of overwriting.
+func TestSampleGrowsPastReservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames", "frames")
+	r.Reserve(2)
+	for i := 0; i < 7; i++ {
+		c.Inc()
+		r.Sample(simtime.Time(i) * simtime.Time(simtime.Millisecond))
+	}
+	rows := r.Series().Rows
+	if len(rows) != 7 {
+		t.Fatalf("sampled %d rows past a 2-row reservation, want 7", len(rows))
+	}
+	for i, row := range rows {
+		if got := row.Values[0]; got != float64(i+1) {
+			t.Errorf("row %d counter = %v, want %d", i, got, i+1)
+		}
+	}
+}

@@ -14,13 +14,18 @@
 //	GET /metrics     Prometheus text exposition of one scenario run
 //	GET /snapshot    JSON snapshot (schema: internal/telemetry.Snapshot)
 //	GET /stream      SSE: one columns event, a sample event per sampled
-//	                 row as the virtual clock advances, a final snapshot
+//	                 row as the virtual clock advances, a final snapshot;
+//	                 a run that dies mid-stream ends with an error event
+//	POST /fleet      JSON census spec in, SSE out: one cohort event per
+//	                 cohort, then a terminal fleet event (DESIGN.md §14)
 //	GET /healthz     liveness probe
 //	GET /debug/pprof/  standard pprof handlers
 //
 // The flags select the default scenario; every request may override it
 // with query parameters (mode, hz, buffers, frames, seed, fault,
 // severity), e.g. /metrics?mode=vsync&hz=120 or /metrics?fault=stall.
+// fault=none (or fault=) clears a default fault set with -fault, so a
+// faulted server can still serve clean runs.
 // Invalid parameters are an HTTP 400 with a JSON {"error": ...} body.
 // Runs are deterministic: identical parameters produce byte-identical
 // /metrics and /snapshot bodies on every scrape, so diffs between

@@ -55,7 +55,12 @@ func (rn *runner) entry(p params) *runEntry {
 	if !ok {
 		if len(rn.order) >= runnerCacheSize {
 			delete(rn.cache, rn.order[0])
-			rn.order = rn.order[1:]
+			// Compact in place: re-slicing forward (order = order[1:])
+			// pins the backing array and keeps evicted keys reachable, so
+			// a scrape fleet cycling through many scenarios grows memory
+			// it can never release.
+			copy(rn.order, rn.order[1:])
+			rn.order = rn.order[:len(rn.order)-1]
 		}
 		e = &runEntry{}
 		rn.cache[k] = e

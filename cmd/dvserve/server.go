@@ -121,8 +121,16 @@ func (p params) withQuery(q url.Values) (params, error) {
 		seed = n
 	}
 	fault := p.fault
-	if v := q.Get("fault"); v != "" {
-		fault = v
+	if v, ok := q["fault"]; ok && len(v) > 0 {
+		// fault=none (or an explicit empty value) clears the server's
+		// default fault class: a server started with -fault can still
+		// serve clean runs. Before this distinction, fault= silently
+		// inherited the default and a clean run was unreachable.
+		if v[0] == "none" || v[0] == "" {
+			fault = ""
+		} else {
+			fault = v[0]
+		}
 	}
 	severity := p.severity
 	if v := q.Get("severity"); v != "" {
@@ -203,6 +211,7 @@ func newServer(def params, rn *runner) http.Handler {
 		}
 	})
 	mux.HandleFunc("/stream", streamHandler(def, rn))
+	mux.HandleFunc("/fleet", fleetHandler(dvsync.NewFleetEngine()))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -217,21 +226,22 @@ func newServer(def params, rn *runner) http.Handler {
 			return
 		}
 		io.WriteString(w, "dvsync telemetry server\n\n"+
-			"GET /metrics    Prometheus exposition of one scenario run\n"+
-			"GET /snapshot   JSON snapshot\n"+
-			"GET /stream     SSE live sample stream\n"+
-			"GET /healthz    liveness probe\n"+
-			"GET /debug/pprof/  profiling\n\n"+
-			"query overrides: mode, hz, buffers, frames, seed, fault, severity\n")
+			"GET  /metrics    Prometheus exposition of one scenario run\n"+
+			"GET  /snapshot   JSON snapshot\n"+
+			"GET  /stream     SSE live sample stream\n"+
+			"POST /fleet      SSE census of a JSON population spec\n"+
+			"GET  /healthz    liveness probe\n"+
+			"GET  /debug/pprof/  profiling\n\n"+
+			"query overrides: mode, hz, buffers, frames, seed, fault, severity\n"+
+			"(fault=none clears the server's default fault class)\n")
 	})
 	return mux
 }
 
-// sampleEvent is the SSE payload of one sampled row. at_ns is the exact
-// virtual-time instant, matching the JSON snapshot schema.
-type sampleEvent struct {
-	AtNs   int64     `json:"at_ns"`
-	Values []float64 `json:"values"`
+// errorEvent is the payload of a terminal SSE error event, matching the
+// JSON body writeError sends before streaming starts.
+type errorEvent struct {
+	Error string `json:"error"`
 }
 
 // streamHandler runs the scenario synchronously inside the request
@@ -258,7 +268,9 @@ func streamHandler(def params, rn *runner) http.HandlerFunc {
 				writeEvent(w, "columns", reg.Series().Columns)
 				sentColumns = true
 			}
-			writeEvent(w, "sample", sampleEvent{AtNs: int64(row.At), Values: row.Values})
+			// TelemetryRow's JSON encoding renders non-finite values as
+			// null — a NaN sample must not silently drop the whole row.
+			writeEvent(w, "sample", dvsync.TelemetryRow{AtNs: int64(row.At), Values: row.Values})
 			if canFlush {
 				fl.Flush()
 			}
@@ -268,8 +280,19 @@ func streamHandler(def params, rn *runner) http.HandlerFunc {
 				fl.Flush()
 			}
 		})
-		if err != nil && !sentColumns {
-			writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
+		if err != nil {
+			if !sentColumns {
+				writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
+				return
+			}
+			// The stream is already flowing: the status line is gone, so a
+			// terminal error event is the only way to tell the client the
+			// run died. Swallowing the error here left clients with a
+			// silently truncated stream.
+			writeEvent(w, "error", errorEvent{Error: "dvserve: " + err.Error()})
+			if canFlush {
+				fl.Flush()
+			}
 		}
 	}
 }

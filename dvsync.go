@@ -43,6 +43,7 @@ import (
 	"dvsync/internal/display"
 	"dvsync/internal/exp"
 	"dvsync/internal/fault"
+	"dvsync/internal/fleet"
 	"dvsync/internal/health"
 	"dvsync/internal/input"
 	"dvsync/internal/ipl"
@@ -159,6 +160,9 @@ type (
 	TelemetrySnapshot = telemetry.Snapshot
 	// TelemetrySample is one sampled time-series row.
 	TelemetrySample = telemetry.SampleRow
+	// TelemetryRow is one sample row in export form; its JSON encoding
+	// renders non-finite values as null instead of failing the marshal.
+	TelemetryRow = telemetry.RowSnapshot
 )
 
 // NewTelemetryRegistry returns an empty registry to attach to a Config's
@@ -336,6 +340,29 @@ var (
 	RunUseCase = autotest.RunCase
 	// RunCensus executes the full 75-case benchmark.
 	RunCensus = autotest.RunCensus
+)
+
+// Fleet census engine (DESIGN.md §14): batch device-population runs with
+// per-cohort telemetry aggregation and content-addressed cell memoisation.
+type (
+	// FleetSpec declares one census population.
+	FleetSpec = fleet.Spec
+	// FleetCohort is one population segment of a spec.
+	FleetCohort = fleet.Cohort
+	// FleetEngine runs censuses and owns the fleet-wide result cache.
+	FleetEngine = fleet.Engine
+	// FleetResult is one census outcome.
+	FleetResult = fleet.Result
+	// FleetCohortResult is one cohort's aggregate.
+	FleetCohortResult = fleet.CohortResult
+)
+
+// Fleet helpers.
+var (
+	// NewFleetEngine returns an empty census engine.
+	NewFleetEngine = fleet.NewEngine
+	// FleetDemoSpec is the canonical demo census (dvbench -exp fleet).
+	FleetDemoSpec = fleet.DemoSpec
 )
 
 // Experiments exposes the harness that regenerates every table and figure;

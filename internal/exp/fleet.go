@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"dvsync/internal/fleet"
+	"dvsync/internal/report"
+)
+
+// FleetResult pairs the canonical census outcome with its printable
+// table.
+type FleetResult struct {
+	Table  *report.Table
+	Result *fleet.Result
+}
+
+// Fleet runs the canonical device-census (fleet.DemoSpec) on a fresh
+// engine: every Table 1 device, an LTPO refresh sweep, clean and faulted
+// cohorts, and a duplicated cohort exercising the content-addressed cell
+// cache. Like every experiment, the output is byte-identical at any
+// -workers width.
+func Fleet(quick bool) *FleetResult {
+	res, err := fleet.NewEngine().Census(fleet.DemoSpec(quick), nil)
+	if err != nil {
+		// The demo spec is static; failing to resolve it is a programming
+		// error, not an input error.
+		panic(fmt.Sprintf("exp: fleet demo spec invalid: %v", err))
+	}
+	t := &report.Table{
+		Title: "Fleet census — batch device-population run",
+		Note: "cohorts sweep Table 1 devices, LTPO refresh rates, architectures and fault classes; " +
+			"duplicate cells are served from the content-addressed result cache (DESIGN.md §14)",
+		Columns: []string{"cohort", "cells", "simulated", "cache hits", "mean FDPS", "mean latency (ms)", "janks"},
+	}
+	for _, c := range res.Cohorts {
+		t.AddRow(c.Name, c.Cells, c.Simulated, c.CacheHits, c.MeanFDPS, c.MeanLatencyMs, c.Janks)
+	}
+	return &FleetResult{Table: t, Result: res}
+}
+
+// renderFleet writes the census table plus the fleet-wide cache ledger.
+func renderFleet(w io.Writer, quick bool) {
+	r := Fleet(quick)
+	r.Table.Render(w)
+	fmt.Fprintf(w, "fleet total: %d cells, %d unique, %d simulated, %d cache hits\n",
+		r.Result.Cells, r.Result.UniqueCells, r.Result.Simulated, r.Result.CacheHits)
+}

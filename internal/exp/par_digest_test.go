@@ -53,12 +53,13 @@ func find(id string) (Experiment, bool) {
 // produce byte-identical output. "future" covers the replica fan-out and
 // calibration under par.Map; "faults" covers the (class, severity) matrix
 // with seeded fault injection — the scenario most sensitive to stream
-// splitting mistakes.
+// splitting mistakes; "fleet" covers the census engine's shard→merge
+// order and cache-hit accounting under par.MapLocal.
 func TestParallelDigestEquality(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment rendering is slow")
 	}
-	for _, id := range []string{"future", "faults"} {
+	for _, id := range []string{"future", "faults", "fleet"} {
 		t.Run(id, func(t *testing.T) {
 			serial := renderExperiment(t, id, 1)
 			if len(serial) == 0 {

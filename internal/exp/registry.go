@@ -171,6 +171,13 @@ func Registry() []Experiment {
 		}, Tables: func() []*report.Table {
 			return []*report.Table{AblatePreRenderLimit().Table, AblateDTVCalibration().Table, AblateIPLPredictors().Table, AblateVSyncPipelineDepth().Table, AblateDTVPacing().Table, AblateConsumerPolicy().Table, AblateAppOffset().Table}
 		}},
+		{ID: "fleet", Title: "Fleet census — batch device-population runs", Run: func(w io.Writer) {
+			renderFleet(w, false)
+		}, RunQuick: func(w io.Writer) {
+			renderFleet(w, true)
+		}, Tables: func() []*report.Table {
+			return []*report.Table{Fleet(false).Table}
+		}},
 		{ID: "faults", Title: "Fault matrix — degradation under injected faults", Run: func(w io.Writer) {
 			r := Faults(false)
 			r.Table.Render(w)

@@ -1,0 +1,36 @@
+package fleet
+
+// DemoSpec is the canonical census dvbench's fleet experiment and the CI
+// smoke run: every Table 1 device, an LTPO refresh sweep, clean and
+// faulted cohorts, and a deliberately duplicated cohort that exercises
+// the result cache. The quick variant shrinks frames and replicas for CI.
+//
+// The pixel5-rerun cohort repeats pixel5-moderate parameter-for-parameter
+// — its cells are all cache hits, which the determinism tests assert
+// exactly.
+func DemoSpec(quick bool) Spec {
+	frames, replicas := 600, 5
+	if quick {
+		frames, replicas = 120, 2
+	}
+	sev := func(v float64) *float64 { return &v }
+	return Spec{
+		Name:     "device-census",
+		Seed:     7,
+		Frames:   frames,
+		Replicas: replicas,
+		Cohorts: []Cohort{
+			{Name: "pixel5-moderate", Device: "pixel5", Hz: []int{60},
+				Workload: "moderate"},
+			{Name: "mate40-ltpo", Device: "mate40", Hz: []int{60, 90},
+				Modes: []string{"dvsync"}, Workload: "scattered"},
+			{Name: "mate60-ltpo", Device: "mate60", Hz: []int{60, 90, 120},
+				Modes: []string{"dvsync"}, Workload: "scattered"},
+			{Name: "mate40-stall", Device: "mate40", Hz: []int{90},
+				Modes: []string{"dvsync"}, Workload: "heavy-tail",
+				Fault: "stall", Severity: sev(0.6)},
+			{Name: "pixel5-rerun", Device: "pixel5", Hz: []int{60},
+				Workload: "moderate"},
+		},
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -69,6 +70,64 @@ type RowSnapshot struct {
 // fmtFloat renders a float the way both writers do: shortest
 // representation that round-trips, identical on every platform.
 func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// jsonFloat renders v exactly as encoding/json would, except that
+// non-finite values — which bare JSON cannot represent and json.Marshal
+// rejects wholesale — encode as null. Percentiles over empty sample sets
+// are legitimately NaN (metrics.Percentile), and one undefined column
+// must not make a whole row or snapshot vanish from an export.
+func jsonFloat(v float64) json.RawMessage {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.RawMessage("null")
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // unreachable: finite floats always marshal
+	}
+	return b
+}
+
+// MarshalJSON encodes the row with non-finite values as null, keeping the
+// byte-exact encoding of the reflection path for finite values.
+func (r RowSnapshot) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 16+12*len(r.Values))
+	b = append(b, `{"at_ns":`...)
+	b = strconv.AppendInt(b, r.AtNs, 10)
+	b = append(b, `,"values":`...)
+	if r.Values == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, v := range r.Values {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, jsonFloat(v)...)
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}'), nil
+}
+
+// MarshalJSON encodes the metric with non-finite values as null; field
+// set, order and omission rules match the plain struct encoding.
+func (m MetricSnapshot) MarshalJSON() ([]byte, error) {
+	type shadow struct {
+		Name    string           `json:"name"`
+		Help    string           `json:"help,omitempty"`
+		Kind    string           `json:"kind"`
+		Value   json.RawMessage  `json:"value"`
+		Sum     json.RawMessage  `json:"sum,omitempty"`
+		Count   uint64           `json:"count,omitempty"`
+		Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	}
+	s := shadow{Name: m.Name, Help: m.Help, Kind: m.Kind,
+		Value: jsonFloat(m.Value), Count: m.Count, Buckets: m.Buckets}
+	if m.Sum != 0 { // NaN compares unequal, so a poisoned sum still exports (as null)
+		s.Sum = jsonFloat(m.Sum)
+	}
+	return json.Marshal(s)
+}
 
 // Snapshot captures the registry's current state. The result is detached:
 // later updates to the registry do not modify it (series rows are copied

@@ -99,6 +99,32 @@ type Histogram struct {
 	n      uint64
 }
 
+// NewHistogram builds a standalone, unregistered histogram — scratch
+// storage for aggregation pipelines (the fleet census folds per-cell
+// latency distributions through one before merging into a registered
+// cohort histogram). Bounds follow the same contract as
+// Registry.Histogram: strictly increasing upper bounds with an implicit
+// +Inf bucket; invalid bounds panic.
+func NewHistogram(bounds []float64) *Histogram {
+	validateBounds("(standalone)", bounds)
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// validateBounds enforces the shared histogram-bounds contract.
+func validateBounds(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly increasing at %v", name, bounds[i]))
+		}
+	}
+}
+
 // Observe records one value.
 //
 //dvlint:hotpath fed once per frame
@@ -107,6 +133,28 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.n++
+}
+
+// Merge folds every observation of o into h. Both histograms must share
+// identical bounds; merging mismatched layouts panics, because silently
+// rebucketing would make merged distributions incomparable. Merge order
+// matters for float determinism — callers that promise byte-identical
+// output must merge in a fixed order (the fleet engine merges cells in
+// spec-expansion order).
+func (h *Histogram) Merge(o *Histogram) {
+	if len(o.bounds) != len(h.bounds) {
+		panic(fmt.Sprintf("telemetry: merging histograms with %d and %d bounds", len(o.bounds), len(h.bounds)))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != o.bounds[i] {
+			panic(fmt.Sprintf("telemetry: merging histograms with mismatched bound %v != %v", h.bounds[i], o.bounds[i]))
+		}
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	h.n += o.n
 }
 
 // Count returns how many values were observed.
@@ -222,14 +270,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // Histogram registers a fixed-bucket histogram. Bounds must be strictly
 // increasing upper bounds; an implicit +Inf bucket is appended.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	if len(bounds) == 0 {
-		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
-	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("telemetry: histogram %q bounds not strictly increasing at %v", name, bounds[i]))
-		}
-	}
+	validateBounds(name, bounds)
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]uint64, len(bounds)+1),

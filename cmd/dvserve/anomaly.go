@@ -1,0 +1,229 @@
+// SSE plumbing and the anomaly-dump store. Streaming handlers write
+// through sseWriter so the host-time keepalive ticker can interleave
+// comments without tearing events, and every flight-recorder dump a run
+// captures is indexed here for GET /anomalies.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"dvsync"
+	"dvsync/internal/flight"
+)
+
+// keepaliveInterval is the cadence of `: keepalive` SSE comments. A
+// package variable so tests can shrink it. Host time, deliberately: the
+// comments exist to cover wall-clock gaps while the virtual clock is
+// busy computing, so they cannot ride the virtual clock themselves.
+// cmd/* sits outside the NoWallClock lint surface for exactly this kind
+// of serving-shell concern (see internal/lint/nowallclock.go).
+var keepaliveInterval = 15 * time.Second
+
+// retryHintMs is the reconnect delay suggested to SSE clients at stream
+// open.
+const retryHintMs = 2000
+
+// sseWriter serialises SSE writes between a handler goroutine and its
+// keepalive ticker. Every frame (event, comment, hint) is written and
+// flushed under one mutex hold, so frames never interleave mid-line.
+type sseWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+	fl http.Flusher // nil when the ResponseWriter cannot flush
+}
+
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	sw := &sseWriter{w: w}
+	if fl, ok := w.(http.Flusher); ok {
+		sw.fl = fl
+	}
+	return sw
+}
+
+// event emits one SSE event with a single-line JSON payload.
+func (s *sseWriter) event(event string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, data)
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// comment emits one SSE comment line (ignored by clients, but it keeps
+// the connection warm through proxies and idle timeouts).
+func (s *sseWriter) comment(text string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, ": %s\n\n", text)
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// retryHint emits the SSE `retry:` reconnect-delay hint.
+func (s *sseWriter) retryHint(ms int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "retry: %d\n\n", ms)
+	if s.fl != nil {
+		s.fl.Flush()
+	}
+}
+
+// startKeepalive emits `: keepalive` comments on a host-time ticker
+// until the returned stop function is called. stop blocks until the
+// ticker goroutine has exited, so no write can land on the
+// ResponseWriter after the handler returns.
+func (s *sseWriter) startKeepalive(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	ticker := time.NewTicker(interval)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.comment("keepalive")
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// anomalyStoreCap bounds the server's anomaly-dump index (FIFO).
+const anomalyStoreCap = 256
+
+// anomalyStore indexes sealed anomaly-dump envelopes by their
+// deterministic id. Re-capturing an id already present is a no-op, so
+// identical scenario re-runs keep first-seen order and byte content.
+type anomalyStore struct {
+	mu    sync.Mutex
+	dumps map[string][]byte
+	order []string
+}
+
+// capture seals every dump the ring holds under digest and indexes it,
+// returning this run's dump ids (present or newly added) in order.
+func (st *anomalyStore) capture(digest string, ring *dvsync.FlightRing) []string {
+	dumps := ring.Dumps()
+	if len(dumps) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(dumps))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.dumps == nil {
+		st.dumps = map[string][]byte{}
+	}
+	for i := range dumps {
+		d := &dumps[i]
+		id := flight.DumpID(digest, i, d.Trigger.Kind)
+		ids = append(ids, id)
+		if _, ok := st.dumps[id]; ok {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := flight.EncodeDump(&buf, digest, d); err != nil {
+			continue
+		}
+		if len(st.order) >= anomalyStoreCap {
+			delete(st.dumps, st.order[0])
+			copy(st.order, st.order[1:])
+			st.order = st.order[:len(st.order)-1]
+		}
+		st.dumps[id] = buf.Bytes()
+		st.order = append(st.order, id)
+	}
+	return ids
+}
+
+func (st *anomalyStore) get(id string) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	b, ok := st.dumps[id]
+	return b, ok
+}
+
+func (st *anomalyStore) ids() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.order...)
+}
+
+// anomalyEvent is the payload of one `anomaly` SSE event.
+type anomalyEvent struct {
+	ID string `json:"id"`
+}
+
+// anomalyList is the GET /anomalies body.
+type anomalyList struct {
+	Anomalies []string `json:"anomalies"`
+}
+
+// anomaliesHandler serves GET /anomalies: every indexed dump id —
+// scenario-run dumps first, then fleet-census dumps — deduplicated in
+// first-seen order.
+func anomaliesHandler(rn *runner, eng *dvsync.FleetEngine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "dvserve: /anomalies is read-only")
+			return
+		}
+		list := anomalyList{Anomalies: []string{}}
+		seen := map[string]bool{}
+		for _, id := range append(rn.anomalies.ids(), eng.AnomalyIDs()...) {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			list.Anomalies = append(list.Anomalies, id)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(list) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+	}
+}
+
+// anomalyHandler serves GET /anomalies/{id}: the sealed envelope bytes
+// of one dump, decodable with `dvtrace -why`.
+func anomalyHandler(rn *runner, eng *dvsync.FleetEngine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, "dvserve: /anomalies is read-only")
+			return
+		}
+		id := strings.TrimPrefix(r.URL.Path, "/anomalies/")
+		if id == "" || strings.Contains(id, "/") {
+			writeError(w, http.StatusNotFound, "dvserve: want /anomalies/{id}")
+			return
+		}
+		data, ok := rn.anomalies.get(id)
+		if !ok {
+			data, ok = eng.AnomalyDump(id)
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("dvserve: unknown anomaly dump %q", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
+	}
+}

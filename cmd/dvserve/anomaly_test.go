@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dvsync"
+)
+
+// TestSSEWriterKeepaliveNoTearing is the slow-consumer regression: a
+// keepalive ticker racing a handler writing events must never interleave
+// mid-frame. The writer runs under -race with a fast ticker while events
+// stream concurrently; afterwards every frame in the output must be a
+// complete retry hint, comment, or event/data pair.
+func TestSSEWriterKeepaliveNoTearing(t *testing.T) {
+	var buf bytes.Buffer
+	sw := &sseWriter{w: &buf}
+	sw.retryHint(retryHintMs)
+	stop := sw.startKeepalive(100 * time.Microsecond)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			sw.event("sample", dvsync.TelemetryRow{AtNs: int64(i), Values: []float64{float64(i)}})
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	stop()
+	out := buf.String()
+	if !strings.HasPrefix(out, fmt.Sprintf("retry: %d\n\n", retryHintMs)) {
+		t.Errorf("stream does not open with the retry hint: %.60q", out)
+	}
+	if !strings.Contains(out, ": keepalive\n\n") {
+		t.Error("no keepalive comment in 10ms of streaming at a 100µs ticker")
+	}
+	frame := regexp.MustCompile(`\A(retry: \d+|: keepalive|event: sample\ndata: \{[^\n]*\})\z`)
+	for i, f := range strings.Split(strings.TrimSuffix(out, "\n\n"), "\n\n") {
+		if !frame.MatchString(f) {
+			t.Fatalf("frame %d is torn: %q", i, f)
+		}
+	}
+	// stop is idempotent enough for deferred use: no writes land after it.
+	n := buf.Len()
+	time.Sleep(2 * time.Millisecond)
+	if buf.Len() != n {
+		t.Error("keepalive wrote after stop returned")
+	}
+}
+
+// faultedStreamURL is a scenario whose run captures anomaly dumps: the
+// stall class janks hard enough to trip jank-burst and fault-onset
+// triggers.
+const faultedStreamQuery = "?fault=stall&severity=0.8&frames=400"
+
+// TestStreamAnnouncesAnomalies: a faulted /stream run ends with anomaly
+// events naming dump ids, the ids appear in GET /anomalies, and each
+// resolves to a sealed envelope that decodes as a flight dump.
+func TestStreamAnnouncesAnomalies(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/stream"+faultedStreamQuery)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(body, "retry: ") {
+		t.Errorf("stream does not open with a retry hint: %.60q", body)
+	}
+	re := regexp.MustCompile(`event: anomaly\ndata: (\{[^\n]*\})`)
+	matches := re.FindAllStringSubmatch(body, -1)
+	if len(matches) == 0 {
+		t.Fatalf("faulted stream announced no anomalies:\n%.300s", body[max(0, len(body)-300):])
+	}
+	var ids []string
+	for _, m := range matches {
+		var ev struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(m[1]), &ev); err != nil || ev.ID == "" {
+			t.Fatalf("anomaly payload %q: %v", m[1], err)
+		}
+		ids = append(ids, ev.ID)
+	}
+
+	code, listBody := get(t, srv.URL+"/anomalies")
+	if code != 200 {
+		t.Fatalf("/anomalies status %d", code)
+	}
+	var list struct {
+		Anomalies []string `json:"anomalies"`
+	}
+	if err := json.Unmarshal([]byte(listBody), &list); err != nil {
+		t.Fatalf("/anomalies body %q: %v", listBody, err)
+	}
+	indexed := map[string]bool{}
+	for _, id := range list.Anomalies {
+		indexed[id] = true
+	}
+	for _, id := range ids {
+		if !indexed[id] {
+			t.Errorf("announced id %q missing from /anomalies (%v)", id, list.Anomalies)
+		}
+		code, dump := get(t, srv.URL+"/anomalies/"+id)
+		if code != 200 {
+			t.Fatalf("/anomalies/%s status %d", id, code)
+		}
+		d, _, err := dvsync.DecodeAnomalyDump(strings.NewReader(dump), "")
+		if err != nil {
+			t.Fatalf("dump %s does not decode: %v", id, err)
+		}
+		if len(d.Events) == 0 {
+			t.Errorf("dump %s carries no events", id)
+		}
+	}
+
+	// A repeat of the identical scenario announces the same ids and the
+	// dump bytes are stable.
+	_, body2 := get(t, srv.URL+"/stream"+faultedStreamQuery)
+	if got := re.FindAllStringSubmatch(body2, -1); len(got) != len(matches) {
+		t.Errorf("repeat run announced %d anomalies, first run %d", len(got), len(matches))
+	}
+	_, dumpA := get(t, srv.URL+"/anomalies/"+ids[0])
+	_, dumpB := get(t, srv.URL+"/anomalies/"+ids[0])
+	if dumpA != dumpB {
+		t.Error("dump bytes changed between fetches")
+	}
+}
+
+// TestAnomalyEndpointRejections: the anomaly surface is read-only and
+// unknown ids are JSON 404s.
+func TestAnomalyEndpointRejections(t *testing.T) {
+	srv := testServer(t)
+	if code, _ := get(t, srv.URL+"/anomalies"); code != 200 {
+		t.Errorf("empty /anomalies status %d, want 200", code)
+	}
+	_, body := get(t, srv.URL+"/anomalies")
+	if body != "{\"anomalies\":[]}\n" {
+		t.Errorf("empty list body %q, want explicit empty array", body)
+	}
+	if code, _ := get(t, srv.URL+"/anomalies/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown id: status %d, want 404", code)
+	}
+	if code, _ := get(t, srv.URL+"/anomalies/a/b"); code != http.StatusNotFound {
+		t.Errorf("nested path: status %d, want 404", code)
+	}
+	resp, err := http.Post(srv.URL+"/anomalies", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /anomalies: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestFleetAnomalyEvents: a faulted census streams anomaly events after
+// each anomalous cohort, and the engine-indexed dumps are served by id.
+func TestFleetAnomalyEvents(t *testing.T) {
+	srv := testServer(t)
+	spec := `{"name":"anomaly","frames":400,"cohorts":[` +
+		`{"name":"stalled","device":"pixel5","hz":[60],"modes":["dvsync"],"fault":"stall","severity":0.8}]}`
+	code, body := postFleet(t, srv.URL, spec)
+	if code != 200 {
+		t.Fatalf("status %d: %.300s", code, body)
+	}
+	if !strings.HasPrefix(body, "retry: ") {
+		t.Errorf("fleet stream does not open with a retry hint: %.60q", body)
+	}
+	re := regexp.MustCompile(`event: anomaly\ndata: \{"id":"([^"]+)"\}`)
+	matches := re.FindAllStringSubmatch(body, -1)
+	if len(matches) == 0 {
+		t.Fatalf("faulted census announced no anomalies:\n%.300s", body)
+	}
+	// Anomaly events ride between the cohort and terminal fleet events.
+	if ci, fi := strings.Index(body, "event: cohort\n"), strings.Index(body, "event: anomaly\n"); fi < ci {
+		t.Error("anomaly events precede their cohort event")
+	}
+	for _, m := range matches {
+		code, dump := get(t, srv.URL+"/anomalies/"+m[1])
+		if code != 200 {
+			t.Fatalf("/anomalies/%s status %d", m[1], code)
+		}
+		if _, _, err := dvsync.DecodeAnomalyDump(strings.NewReader(dump), ""); err != nil {
+			t.Errorf("fleet dump %s does not decode: %v", m[1], err)
+		}
+	}
+}

@@ -57,22 +57,24 @@ func fleetHandler(eng *dvsync.FleetEngine) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
-		fl, canFlush := w.(http.Flusher)
+		sw := newSSEWriter(w)
+		sw.retryHint(retryHintMs)
+		stop := sw.startKeepalive(keepaliveInterval)
+		defer stop()
 		res, err := eng.Census(spec, func(c *dvsync.FleetCohortResult) {
-			writeEvent(w, "cohort", c)
-			if canFlush {
-				fl.Flush()
+			sw.event("cohort", c)
+			// Announce each anomalous cell's dumps as the cohort lands, so
+			// a client can fetch GET /anomalies/{id} mid-census.
+			for _, id := range c.AnomalyDumps {
+				sw.event("anomaly", anomalyEvent{ID: id})
 			}
 		})
 		if err != nil {
 			// Validation passed, so this is a mid-census failure: the
 			// stream is the only channel left to report it on.
-			writeEvent(w, "error", errorEvent{Error: "dvserve: " + err.Error()})
+			sw.event("error", errorEvent{Error: "dvserve: " + err.Error()})
 			return
 		}
-		writeEvent(w, "fleet", res)
-		if canFlush {
-			fl.Flush()
-		}
+		sw.event("fleet", res)
 	}
 }

@@ -17,7 +17,10 @@
 //	                 row as the virtual clock advances, a final snapshot;
 //	                 a run that dies mid-stream ends with an error event
 //	POST /fleet      JSON census spec in, SSE out: one cohort event per
-//	                 cohort, then a terminal fleet event (DESIGN.md §14)
+//	                 cohort (followed by anomaly events naming its dumps),
+//	                 then a terminal fleet event (DESIGN.md §14)
+//	GET /anomalies   JSON list of captured flight-recorder anomaly dump ids
+//	GET /anomalies/{id}  one sealed dump envelope (decode: dvtrace -why)
 //	GET /healthz     liveness probe
 //	GET /debug/pprof/  standard pprof handlers
 //

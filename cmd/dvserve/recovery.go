@@ -32,6 +32,10 @@ type runner struct {
 	cache map[scenarioKey]*runEntry
 	order []scenarioKey
 
+	// anomalies indexes the flight-recorder dumps captured by cached
+	// scenario runs, served at GET /anomalies.
+	anomalies anomalyStore
+
 	// crashAfter, when non-zero, aborts the run right after the first
 	// checkpoint at or past this instant — test hook for the recovery path.
 	crashAfter simtime.Time

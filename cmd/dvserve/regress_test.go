@@ -47,17 +47,18 @@ func TestStreamErrorEvent(t *testing.T) {
 
 // TestWriteEventNonFinite: a sample row carrying NaN/Inf values must
 // still reach the stream, with the non-finite columns encoded as null —
-// before the fix json.Marshal rejected the payload and writeEvent
+// before the fix json.Marshal rejected the payload and the event writer
 // silently dropped the whole row.
 func TestWriteEventNonFinite(t *testing.T) {
 	var buf bytes.Buffer
-	writeEvent(&buf, "sample", dvsync.TelemetryRow{
+	sw := &sseWriter{w: &buf}
+	sw.event("sample", dvsync.TelemetryRow{
 		AtNs:   5,
 		Values: []float64{1, math.NaN(), math.Inf(1), 2.5},
 	})
 	want := "event: sample\ndata: {\"at_ns\":5,\"values\":[1,null,null,2.5]}\n\n"
 	if got := buf.String(); got != want {
-		t.Errorf("writeEvent emitted %q, want %q", got, want)
+		t.Errorf("sseWriter.event emitted %q, want %q", got, want)
 	}
 
 	// The snapshot path shares the encoding: a registry holding a NaN

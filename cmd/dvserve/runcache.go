@@ -35,9 +35,11 @@ func (p params) key() scenarioKey {
 // registry. The entry lock serialises runs on the shared graph; handlers
 // finish exporting from the registry before the lock releases.
 type runEntry struct {
-	mu  sync.Mutex
-	rn  *dvsync.Runner
-	reg *dvsync.TelemetryRegistry
+	mu     sync.Mutex
+	rn     *dvsync.Runner
+	reg    *dvsync.TelemetryRegistry
+	ring   *dvsync.FlightRing // flight recorder wired into the cached graph
+	digest string             // config digest pinning the entry's dumps
 }
 
 // entry returns the cached run context for p's parameter set, creating
@@ -80,9 +82,13 @@ func (rn *runner) entry(p params) *runEntry {
 // registry past it. Checkpointed runs keep the uncached path — their
 // graphs are rebuilt or resumed from snapshots by design, and reuse
 // would fight the resume machinery for the same state.
+// serve also returns the anomaly-dump ids the run's flight recorder
+// captured (always empty on the checkpointed path, which runs without a
+// recorder by design): the SSE handlers announce them as `anomaly`
+// events and GET /anomalies serves the dumps.
 func (rn *runner) serve(p params,
 	onSample func(*dvsync.TelemetryRegistry, dvsync.TelemetrySample),
-	emit func(*dvsync.TelemetryRegistry)) (simtime.Time, error) {
+	emit func(*dvsync.TelemetryRegistry)) (simtime.Time, []string, error) {
 	if rn.dir != "" {
 		reg := dvsync.NewTelemetryRegistry()
 		if onSample != nil {
@@ -90,17 +96,21 @@ func (rn *runner) serve(p params,
 		}
 		resumedFrom, err := rn.run(p, reg)
 		if err != nil {
-			return resumedFrom, err
+			return resumedFrom, nil, err
 		}
 		emit(reg)
-		return resumedFrom, nil
+		return resumedFrom, nil, nil
 	}
 	e := rn.entry(p)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.rn == nil {
 		e.reg = dvsync.NewTelemetryRegistry()
-		e.rn = dvsync.NewRunner(p.config(e.reg))
+		e.ring = dvsync.NewFlightRecorder(dvsync.FlightConfig{})
+		cfg := p.config(e.reg)
+		cfg.Recorder = e.ring
+		e.digest = dvsync.ConfigDigest(cfg)
+		e.rn = dvsync.NewRunner(cfg)
 	}
 	if onSample != nil {
 		reg := e.reg
@@ -108,6 +118,7 @@ func (rn *runner) serve(p params,
 		defer reg.OnSample(nil)
 	}
 	e.rn.Run()
+	ids := rn.anomalies.capture(e.digest, e.ring)
 	emit(e.reg)
-	return 0, nil
+	return 0, ids, nil
 }

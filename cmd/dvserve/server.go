@@ -189,7 +189,7 @@ func newServer(def params, rn *runner) http.Handler {
 		if !ok {
 			return
 		}
-		_, err := rn.serve(p, nil, func(reg *dvsync.TelemetryRegistry) {
+		_, _, err := rn.serve(p, nil, func(reg *dvsync.TelemetryRegistry) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			reg.WritePrometheus(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 		})
@@ -202,7 +202,7 @@ func newServer(def params, rn *runner) http.Handler {
 		if !ok {
 			return
 		}
-		_, err := rn.serve(p, nil, func(reg *dvsync.TelemetryRegistry) {
+		_, _, err := rn.serve(p, nil, func(reg *dvsync.TelemetryRegistry) {
 			w.Header().Set("Content-Type", "application/json")
 			reg.WriteJSON(w) //dvlint:ignore errflow write error to the ResponseWriter means the client went away; a handler has nowhere to propagate it
 		})
@@ -211,7 +211,10 @@ func newServer(def params, rn *runner) http.Handler {
 		}
 	})
 	mux.HandleFunc("/stream", streamHandler(def, rn))
-	mux.HandleFunc("/fleet", fleetHandler(dvsync.NewFleetEngine()))
+	eng := dvsync.NewFleetEngine()
+	mux.HandleFunc("/fleet", fleetHandler(eng))
+	mux.HandleFunc("/anomalies", anomaliesHandler(rn, eng))
+	mux.HandleFunc("/anomalies/", anomalyHandler(rn, eng))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -230,6 +233,8 @@ func newServer(def params, rn *runner) http.Handler {
 			"GET  /snapshot   JSON snapshot\n"+
 			"GET  /stream     SSE live sample stream\n"+
 			"POST /fleet      SSE census of a JSON population spec\n"+
+			"GET  /anomalies  ids of captured flight-recorder anomaly dumps\n"+
+			"GET  /anomalies/{id}  one sealed dump (decode with dvtrace -why)\n"+
 			"GET  /healthz    liveness probe\n"+
 			"GET  /debug/pprof/  profiling\n\n"+
 			"query overrides: mode, hz, buffers, frames, seed, fault, severity\n"+
@@ -253,6 +258,12 @@ type errorEvent struct {
 // before the resume point are restored straight into the registry — the
 // stream then carries only post-resume rows, but the final snapshot is
 // complete and byte-identical to an uninterrupted run's.
+// Each stream opens with a `retry:` reconnect hint, and a host-time
+// keepalive ticker interleaves `: keepalive` comments whenever the run
+// computes for longer than keepaliveInterval, so proxies and idle
+// timeouts never cut a slow stream. After the snapshot, one `anomaly`
+// event per flight-recorder dump the run captured names the ids
+// GET /anomalies/{id} serves.
 func streamHandler(def params, rn *runner) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		p, ok := requestParams(w, r, def)
@@ -261,47 +272,32 @@ func streamHandler(def params, rn *runner) http.HandlerFunc {
 		}
 		w.Header().Set("Content-Type", "text/event-stream")
 		w.Header().Set("Cache-Control", "no-cache")
-		fl, canFlush := w.(http.Flusher)
+		sw := newSSEWriter(w)
+		sw.retryHint(retryHintMs)
+		stop := sw.startKeepalive(keepaliveInterval)
+		defer stop()
 		sentColumns := false
-		_, err := rn.serve(p, func(reg *dvsync.TelemetryRegistry, row dvsync.TelemetrySample) {
+		_, ids, err := rn.serve(p, func(reg *dvsync.TelemetryRegistry, row dvsync.TelemetrySample) {
 			if !sentColumns {
-				writeEvent(w, "columns", reg.Series().Columns)
+				sw.event("columns", reg.Series().Columns)
 				sentColumns = true
 			}
 			// TelemetryRow's JSON encoding renders non-finite values as
 			// null — a NaN sample must not silently drop the whole row.
-			writeEvent(w, "sample", dvsync.TelemetryRow{AtNs: int64(row.At), Values: row.Values})
-			if canFlush {
-				fl.Flush()
-			}
+			sw.event("sample", dvsync.TelemetryRow{AtNs: int64(row.At), Values: row.Values})
 		}, func(reg *dvsync.TelemetryRegistry) {
-			writeEvent(w, "snapshot", reg.Snapshot())
-			if canFlush {
-				fl.Flush()
-			}
+			sw.event("snapshot", reg.Snapshot())
 		})
 		if err != nil {
-			if !sentColumns {
-				writeError(w, http.StatusInternalServerError, "dvserve: "+err.Error())
-				return
-			}
-			// The stream is already flowing: the status line is gone, so a
-			// terminal error event is the only way to tell the client the
-			// run died. Swallowing the error here left clients with a
-			// silently truncated stream.
-			writeEvent(w, "error", errorEvent{Error: "dvserve: " + err.Error()})
-			if canFlush {
-				fl.Flush()
-			}
+			// The stream is already flowing (the retry hint opened it): the
+			// status line is gone, so a terminal error event is the only way
+			// to tell the client the run died. Swallowing the error here
+			// left clients with a silently truncated stream.
+			sw.event("error", errorEvent{Error: "dvserve: " + err.Error()})
+			return
+		}
+		for _, id := range ids {
+			sw.event("anomaly", anomalyEvent{ID: id})
 		}
 	}
-}
-
-// writeEvent emits one SSE event with a single-line JSON payload.
-func writeEvent(w io.Writer, event string, payload any) {
-	data, err := json.Marshal(payload)
-	if err != nil {
-		return
-	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
 }

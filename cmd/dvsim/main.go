@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dvsync"
 	"dvsync/internal/autotest"
 	"dvsync/internal/checkpoint"
 	"dvsync/internal/exp"
+	"dvsync/internal/flight"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
 	"dvsync/internal/simtime"
@@ -68,6 +70,7 @@ func main() {
 		ckptEvery = flag.Float64("checkpoint-every", 500, "checkpoint interval (virtual ms, with -checkpoint-dir)")
 		resume    = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir (fresh start if none)")
 		digestOut = flag.Bool("trace-digest", false, "record a structured trace and print its sha256 (for resume-equivalence checks)")
+		flightOut = flag.String("flight", "", "attach the flight recorder and write its anomaly dumps into this directory")
 		crashMs   = flag.Float64("crash-after-ms", 0, "exit(3) after the first checkpoint at or past this virtual time (crash-recovery testing)")
 	)
 	flag.Parse()
@@ -104,6 +107,15 @@ func main() {
 	}
 	ckpt = checkpointing{dir: *ckptDir, everyMs: *ckptEvery, resume: *resume,
 		traceDigest: *digestOut, crashAfterMs: *crashMs}
+	if *flightOut != "" && *digestOut {
+		fmt.Fprintln(os.Stderr, "dvsim: -flight and -trace-digest are mutually exclusive (the ring retains a window, not the full trace)")
+		os.Exit(2)
+	}
+	if *flightOut != "" && (*appName != "" || *caseName != "" || *gameName != "") {
+		fmt.Fprintln(os.Stderr, "dvsim: -flight applies to workload runs, not scenario runs")
+		os.Exit(2)
+	}
+	flightDir = *flightOut
 
 	if *appName != "" || *caseName != "" || *gameName != "" {
 		if err := runScenario(*appName, *caseName, *gameName); err != nil {
@@ -180,6 +192,9 @@ type checkpointing struct {
 
 var ckpt checkpointing
 
+// flightDir is the -flight anomaly-dump directory ("" when detached).
+var flightDir string
+
 // execute runs one configuration, honouring the checkpoint flags: a plain
 // run when checkpointing is off, otherwise a periodically checkpointed run
 // with optional resume and deterministic crash injection.
@@ -252,6 +267,35 @@ func resumeSystem(cfg dvsync.Config, store *checkpoint.Store, digest string) (*s
 	return sys, nil
 }
 
+// writeFlightDumps seals every anomaly dump the ring captured into
+// -flight/<id>.dump, pinned to the run's config digest. Ids and bytes
+// are deterministic: two identical runs write identical files.
+func writeFlightDumps(ring *dvsync.FlightRing, cfg dvsync.Config) error {
+	if err := os.MkdirAll(flightDir, 0o755); err != nil {
+		return err
+	}
+	digest := sim.ConfigDigest(cfg)
+	dumps := ring.Dumps()
+	for i := range dumps {
+		d := &dumps[i]
+		id := flight.DumpID(digest, i, d.Trigger.Kind)
+		f, err := os.Create(filepath.Join(flightDir, id+".dump"))
+		if err != nil {
+			return err
+		}
+		if err := flight.EncodeDump(f, digest, d); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("anomaly %s trigger=%s at %v events=%d\n", id, d.Trigger.Kind, d.Trigger.At, len(d.Events))
+	}
+	fmt.Printf("flight: %d anomaly dump(s) in %s\n", len(dumps), flightDir)
+	return nil
+}
+
 // buildFaults turns the -fault* flags into a single-class injection plan.
 func buildFaults(cls string, sev, fromMs, toMs float64, seed int64) (*dvsync.FaultConfig, error) {
 	if cls == "" {
@@ -299,15 +343,26 @@ func runModes(mode string, hz, buffers, limit int, jitterUs float64, tr *dvsync.
 		if ckpt.traceDigest {
 			cfg.Recorder = dvsync.NewRecorder()
 		}
+		var ring *dvsync.FlightRing
+		if flightDir != "" {
+			ring = dvsync.NewFlightRecorder(dvsync.FlightConfig{})
+			cfg.Recorder = ring
+		}
 		r, err := execute(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dvsim:", err)
 			os.Exit(1)
 		}
 		printResult(r, bufs)
-		if cfg.Recorder != nil {
+		if ring != nil {
+			if err := writeFlightDumps(ring, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "dvsim:", err)
+				os.Exit(1)
+			}
+		}
+		if ring == nil && cfg.Recorder != nil {
 			var buf bytes.Buffer
-			if err := cfg.Recorder.WriteJSONL(&buf); err != nil {
+			if err := dvsync.WriteEventsJSONL(&buf, cfg.Recorder.Events()); err != nil {
 				fmt.Fprintln(os.Stderr, "dvsim:", err)
 				os.Exit(1)
 			}

@@ -12,19 +12,26 @@
 //	dvtrace -spans run.jsonl                       # per-frame stage table
 //	dvtrace -perfetto out.json run.jsonl           # convert JSONL → Perfetto
 //	dvtrace -check out.json                        # validate an export
+//	dvtrace -why run.jsonl                         # cause chains per jank
+//	dvtrace -why anomaly.dump                      # same, from a flight dump
 //
 // Open exports at https://ui.perfetto.dev (or chrome://tracing): per-frame
 // spans land on ui/render/queue/display tracks, counters and markers below.
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"dvsync"
+	"dvsync/internal/checkpoint"
+	"dvsync/internal/flight"
 	"dvsync/internal/obs"
 	"dvsync/internal/trace"
 	"dvsync/internal/workload"
@@ -55,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeline = fs.Bool("timeline", false, "render an ASCII timeline instead of a summary")
 		spans    = fs.Bool("spans", false, "render the per-frame stage table instead of a summary")
 		check    = fs.Bool("check", false, "validate a Perfetto export file and exit")
+		why      = fs.Bool("why", false, "attribute every jank/edge-missed/fallback of a trace or anomaly dump to its cause chain")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,7 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	err := dispatch(fs, set, *record, *mode, *hz, *buffers, *frames, *seed,
-		*out, *perfetto, *timeline, *spans, *check, stdout)
+		*out, *perfetto, *timeline, *spans, *check, *why, stdout)
 	switch err.(type) {
 	case nil:
 		return 0
@@ -85,11 +93,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 // which distinguishes `-hz 60` (set to its default) from an untouched
 // default.
 func dispatch(fs *flag.FlagSet, set map[string]bool, record bool, mode string, hz, buffers, frames int,
-	seed int64, out, perfetto string, timeline, spans, check bool, stdout io.Writer) error {
+	seed int64, out, perfetto string, timeline, spans, check, why bool, stdout io.Writer) error {
 	if timeline && spans {
 		return usageError{"-timeline and -spans are mutually exclusive"}
 	}
 	switch {
+	case why:
+		if record || timeline || spans || check || perfetto != "" {
+			return usageError{"-why takes only a recorded trace or anomaly dump"}
+		}
+		if err := rejectSetFlags(set, "-why"); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return usageError{"-why requires exactly one trace or dump file"}
+		}
+		return doWhy(fs.Arg(0), stdout)
 	case check:
 		if record || timeline || spans || perfetto != "" {
 			return usageError{"-check takes only a Perfetto export file"}
@@ -221,15 +240,45 @@ func doCheck(path string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tracks, err := obs.ValidatePerfetto(data)
+	rep, err := obs.ValidatePerfettoReport(data)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "%s: valid Perfetto export, %d counter tracks", path, len(tracks))
-	for _, t := range tracks {
-		fmt.Fprintf(stdout, " %s", t)
+	fmt.Fprintf(stdout, "%s: valid Perfetto export (trace schema v%d)\n", path, rep.SchemaVersion)
+	fmt.Fprintf(stdout, "  events  %d (%d frame spans over %d frames, %d counter samples, %d instants)\n",
+		rep.Events, rep.Spans, rep.Frames, rep.Counters, rep.Instants)
+	fmt.Fprintf(stdout, "  tracks  %s\n", strings.Join(rep.Tracks, " "))
+	return nil
+}
+
+// doWhy attributes every jank / edge-missed / fallback instant of a
+// recorded trace — or of the event window inside a flight-recorder
+// anomaly dump — to its proximate and root cause.
+func doWhy(path string, stdout io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintln(stdout)
+	var events []trace.Event
+	switch d, digest, derr := flight.DecodeDump(bytes.NewReader(data), ""); {
+	case derr == nil:
+		fmt.Fprintf(stdout, "anomaly dump: trigger=%s at %s config=%.12s events=%d\n",
+			d.Trigger.Kind, d.Trigger.At, digest, len(d.Events))
+		if d.Trigger.Detail != "" {
+			fmt.Fprintf(stdout, "  %s\n", d.Trigger.Detail)
+		}
+		events = d.Events
+	case errors.Is(derr, checkpoint.ErrNotCheckpoint):
+		// Not an envelope at all: treat it as a JSONL trace.
+		rec, rerr := trace.ReadJSONL(bytes.NewReader(data))
+		if rerr != nil {
+			return rerr
+		}
+		events = rec.Events()
+	default:
+		return derr
+	}
+	obs.WriteCauseTable(stdout, obs.Attribute(events))
 	return nil
 }
 

@@ -44,11 +44,13 @@ import (
 	"dvsync/internal/exp"
 	"dvsync/internal/fault"
 	"dvsync/internal/fleet"
+	"dvsync/internal/flight"
 	"dvsync/internal/health"
 	"dvsync/internal/input"
 	"dvsync/internal/ipl"
 	"dvsync/internal/ltpo"
 	"dvsync/internal/metrics"
+	"dvsync/internal/obs"
 	"dvsync/internal/scenarios"
 	"dvsync/internal/sim"
 	"dvsync/internal/simtime"
@@ -137,6 +139,51 @@ var ValidateConfig = sim.Validate
 
 // NewRecorder returns an empty trace recorder to attach to a Config.
 func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// Flight recording and causal attribution (DESIGN.md §15).
+type (
+	// TraceSink is the event-sink interface a Config's Recorder field
+	// accepts; Recorder and FlightRing both implement it.
+	TraceSink = trace.Sink
+	// TraceEvent is one structured trace event.
+	TraceEvent = trace.Event
+	// FlightConfig tunes the flight recorder's ring capacity and trigger
+	// thresholds; the zero value selects the documented defaults.
+	FlightConfig = flight.Config
+	// FlightRing is the fixed-capacity always-on flight recorder: it
+	// retains the last events of a run and snapshots them into anomaly
+	// dumps when a trigger fires.
+	FlightRing = flight.Ring
+	// AnomalyDump is one triggered snapshot of the flight ring.
+	AnomalyDump = flight.Dump
+	// Cause is one link in a cause chain, proximate to root.
+	Cause = obs.Cause
+	// CauseChain explains one jank / edge-missed / fallback instant.
+	CauseChain = obs.CauseChain
+)
+
+// Flight-recorder and attribution helpers.
+var (
+	// NewFlightRecorder returns a flight ring to attach to a Config.
+	NewFlightRecorder = flight.New
+	// AttributeTrace walks a recorded event stream back to cause chains —
+	// the library form of `dvtrace -why`.
+	AttributeTrace = obs.Attribute
+	// WriteCauseTable renders cause chains as an aligned text table.
+	WriteCauseTable = obs.WriteCauseTable
+	// WriteEventsJSONL writes events in the schema's JSONL interchange form.
+	WriteEventsJSONL = trace.WriteEventsJSONL
+	// DumpID names an anomaly dump from the run's config digest, the
+	// dump's index and its trigger kind.
+	DumpID = flight.DumpID
+	// EncodeAnomalyDump / DecodeAnomalyDump seal and verify dumps under a
+	// config digest using the checkpoint envelope.
+	EncodeAnomalyDump = flight.EncodeDump
+	DecodeAnomalyDump = flight.DecodeDump
+	// ConfigDigest fingerprints a configuration for checkpoint and
+	// anomaly-dump pinning.
+	ConfigDigest = sim.ConfigDigest
+)
 
 // Runner is a reusable run context: the full simulation graph is wired
 // once and rewound per run, so back-to-back runs of one scenario skip

@@ -17,6 +17,7 @@ import (
 
 	"dvsync/internal/display"
 	"dvsync/internal/event"
+	"dvsync/internal/flight"
 	"dvsync/internal/ipl"
 	"dvsync/internal/sim"
 	"dvsync/internal/simtime"
@@ -114,6 +115,30 @@ func RunnerReuse(b *testing.B) {
 	}
 }
 
+// RunnerReuseFlight is RunnerReuse with the flight recorder attached: the
+// always-on observability contract says recording costs nothing at steady
+// state, so this body must hold the same single-digit allocs/op and the
+// same runs/sec floor as the bare reuse path. The delta between the two
+// benchmarks IS the recorder's price; the gate keeps it at zero allocs.
+func RunnerReuseFlight(b *testing.B) {
+	rn := sim.NewRunner(sim.Config{
+		Mode:    sim.ModeDVSync,
+		Panel:   display.Config{Name: "test", RefreshHz: 60, Width: 1080, Height: 2340},
+		Buffers: 4, Trace: simTrace(), Predictor: ipl.Kalman{},
+		Recorder: flight.New(flight.Config{}),
+	})
+	rn.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rn.Run()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "runs/sec")
+	}
+}
+
 // Pinned names one gated benchmark. Names match the keys of
 // BENCH_baseline.json and the names `go test -bench` reports.
 type Pinned struct {
@@ -128,6 +153,7 @@ func Benchmarks() []Pinned {
 		{Name: "BenchmarkSimRun/VSync", Body: SimRun(sim.ModeVSync)},
 		{Name: "BenchmarkSimRun/D-VSync", Body: SimRun(sim.ModeDVSync)},
 		{Name: "BenchmarkRunnerReuse", Body: RunnerReuse},
+		{Name: "BenchmarkRunnerReuseFlight", Body: RunnerReuseFlight},
 	}
 }
 

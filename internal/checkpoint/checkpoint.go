@@ -142,6 +142,19 @@ func Decode(r io.Reader) (*Envelope, error) {
 	if len(trimmed) == 0 || trimmed[0] != '{' {
 		return nil, ErrNotCheckpoint
 	}
+	// Probe the magic leniently before the strict decode: a well-formed
+	// JSON object that simply isn't ours (a JSONL trace line, some other
+	// tool's output) is "not a checkpoint", not a corrupt envelope —
+	// callers dispatch on that distinction to fall back to other formats.
+	// A Decoder reads just the first object, so trailing JSONL lines don't
+	// defeat the probe; trailing data after a real envelope still fails in
+	// ensureEOF below.
+	var probe struct {
+		Magic string `json:"magic"`
+	}
+	if err := json.NewDecoder(bytes.NewReader(trimmed)).Decode(&probe); err == nil && probe.Magic != Magic {
+		return nil, ErrNotCheckpoint
+	}
 	var env Envelope
 	dec := json.NewDecoder(bytes.NewReader(trimmed))
 	dec.DisallowUnknownFields()

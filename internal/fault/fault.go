@@ -87,6 +87,33 @@ func (c *Config) byClass() []class {
 	}
 }
 
+// EpisodeRef identifies one configured episode: its class name, its index
+// within the class, and the window itself.
+type EpisodeRef struct {
+	// Class is the fault class name (byClass vocabulary: "stall",
+	// "vsync-jitter", "missed-vsync", "clock-drift", "alloc-fail",
+	// "input-drop", "input-burst").
+	Class string
+	// Index is the episode's position within its class.
+	Index int
+	// Episode is the window.
+	Episode Episode
+}
+
+// Episodes lists every configured episode in fixed class order (the
+// byClass order), episodes within a class in declaration order — the
+// deterministic walk the simulator precomputes schema-v3 fault markers
+// from.
+func (c *Config) Episodes() []EpisodeRef {
+	var out []EpisodeRef
+	for _, cl := range c.byClass() {
+		for i, e := range cl.episodes {
+			out = append(out, EpisodeRef{Class: cl.name, Index: i, Episode: e})
+		}
+	}
+	return out
+}
+
 // Enabled reports whether any episode is configured.
 func (c *Config) Enabled() bool {
 	for _, cl := range c.byClass() {

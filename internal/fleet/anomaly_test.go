@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"dvsync/internal/flight"
+	"dvsync/internal/par"
+)
+
+// anomalySpec is a census guaranteed to contain anomalous cells: a
+// stall-faulted cohort plus a clean low-rate cohort, with the faulted
+// cohort duplicated so cache hits must reuse cached dumps.
+func anomalySpec() Spec {
+	sev := 0.8
+	return Spec{
+		Name: "anomaly-test", Frames: 400,
+		Cohorts: []Cohort{
+			{Name: "stalled", Device: "pixel5", Hz: []int{60},
+				Modes: []string{"dvsync"}, Fault: "stall", Severity: &sev},
+			{Name: "clean", Device: "pixel5", Hz: []int{60},
+				Modes: []string{"dvsync"}},
+			{Name: "stalled-again", Device: "pixel5", Hz: []int{60},
+				Modes: []string{"dvsync"}, Fault: "stall", Severity: &sev},
+		},
+	}
+}
+
+// TestCensusAnomalyAccounting: anomalous cells are re-run with the flight
+// recorder and their dumps indexed; cohort anomaly counts and dump ids
+// are deterministic across worker widths; cache-hit cells reuse the
+// cached dumps (a warm census re-reports identical anomalies without
+// re-simulating); and every announced id resolves to decodable bytes.
+func TestCensusAnomalyAccounting(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	spec := anomalySpec()
+	type snap struct {
+		anomalies int
+		dumpIDs   []string
+		dumps     map[string][]byte
+	}
+	var want *snap
+	for _, w := range []int{1, 4, 8} {
+		par.SetWorkers(w)
+		eng := NewEngine()
+		res, err := eng.Census(spec, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if res.Simulated+res.CacheHits != res.Cells {
+			t.Fatalf("workers=%d: simulated %d + hits %d != cells %d",
+				w, res.Simulated, res.CacheHits, res.Cells)
+		}
+		if res.Anomalies == 0 {
+			t.Fatalf("workers=%d: stall census found no anomalies (spec too tame)", w)
+		}
+		got := snap{anomalies: res.Anomalies, dumpIDs: eng.AnomalyIDs(),
+			dumps: map[string][]byte{}}
+		for _, id := range got.dumpIDs {
+			data, ok := eng.AnomalyDump(id)
+			if !ok {
+				t.Fatalf("workers=%d: announced dump %q is not retrievable", w, id)
+			}
+			d, _, err := flight.DecodeDump(bytes.NewReader(data), "")
+			if err != nil {
+				t.Fatalf("workers=%d: dump %q does not decode: %v", w, id, err)
+			}
+			if len(d.Events) == 0 {
+				t.Errorf("workers=%d: dump %q carries no events", w, id)
+			}
+			got.dumps[id] = data
+		}
+
+		// The duplicated cohort must report the same anomalies as the
+		// original without contributing new dump ids.
+		byName := map[string]*CohortResult{}
+		for _, c := range res.Cohorts {
+			byName[c.Name] = c
+		}
+		orig, again := byName["stalled"], byName["stalled-again"]
+		if orig == nil || again == nil {
+			t.Fatal("census lost a cohort")
+		}
+		if orig.Anomalies == 0 {
+			t.Fatalf("workers=%d: stalled cohort has no anomalies", w)
+		}
+		if again.Anomalies != orig.Anomalies {
+			t.Errorf("workers=%d: duplicated cohort reports %d anomalies, original %d",
+				w, again.Anomalies, orig.Anomalies)
+		}
+		if again.Simulated != 0 {
+			t.Errorf("workers=%d: duplicated cohort simulated %d cells", w, again.Simulated)
+		}
+		if !equalStrings(again.AnomalyDumps, orig.AnomalyDumps) {
+			t.Errorf("workers=%d: duplicated cohort dump ids %v != original %v",
+				w, again.AnomalyDumps, orig.AnomalyDumps)
+		}
+
+		// A warm repeat simulates nothing and reproduces the anomaly
+		// accounting and dump bytes exactly.
+		warm, err := eng.Census(spec, nil)
+		if err != nil {
+			t.Fatalf("workers=%d warm: %v", w, err)
+		}
+		if warm.Simulated != 0 || warm.Anomalies != res.Anomalies {
+			t.Errorf("workers=%d warm: simulated=%d anomalies=%d, want 0/%d",
+				w, warm.Simulated, warm.Anomalies, res.Anomalies)
+		}
+		for _, id := range got.dumpIDs {
+			data, ok := eng.AnomalyDump(id)
+			if !ok || !bytes.Equal(data, got.dumps[id]) {
+				t.Errorf("workers=%d warm: dump %q changed or vanished", w, id)
+			}
+		}
+
+		if want == nil {
+			w1 := got
+			want = &w1
+			continue
+		}
+		if got.anomalies != want.anomalies || !equalStrings(got.dumpIDs, want.dumpIDs) {
+			t.Errorf("workers=%d: anomalies=%d ids=%v differ from workers=1 (%d, %v)",
+				w, got.anomalies, got.dumpIDs, want.anomalies, want.dumpIDs)
+		}
+		for id, data := range want.dumps {
+			if !bytes.Equal(got.dumps[id], data) {
+				t.Errorf("workers=%d: dump %q bytes differ from workers=1", w, id)
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

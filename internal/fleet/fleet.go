@@ -1,10 +1,12 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
 
+	"dvsync/internal/flight"
 	"dvsync/internal/par"
 	"dvsync/internal/sim"
 	"dvsync/internal/telemetry"
@@ -17,6 +19,15 @@ const SchemaVersion = 1
 // with in-place compaction — the order slice never pins evicted keys in
 // its backing array (the dvserve runner cache had exactly that leak).
 const cacheCap = 4096
+
+// dumpIndexCap bounds the engine's anomaly-dump index (FIFO, like the
+// result cache).
+const dumpIndexCap = 1024
+
+// AnomalyJankThreshold classifies a cell anomalous on total jank count:
+// at or above it the cell is re-run once with the flight recorder
+// attached. Matches the recorder's own burst trigger default.
+const AnomalyJankThreshold = flight.DefaultJankBurst
 
 // Per-cell distribution buckets of the cohort aggregates.
 var (
@@ -37,8 +48,17 @@ type cellOutcome struct {
 	edges     int
 	skipped   int
 	stale     int
+	fallbacks int
 	completed bool
 	latency   *telemetry.Histogram // per-frame latency, LatencyBucketsMs
+
+	// anomalous marks cells that met the anomaly predicate and were
+	// re-run once under the flight recorder. dumpIDs/dumps carry the
+	// resulting envelope-sealed anomaly dumps, keyed by the cell's plain
+	// config digest — cache hits reuse them without re-running anything.
+	anomalous bool
+	dumpIDs   []string
+	dumps     [][]byte
 }
 
 // Engine runs censuses and owns the fleet-wide result cache. One engine
@@ -49,11 +69,49 @@ type Engine struct {
 	mu    sync.Mutex
 	cache map[string]*cellOutcome // sim.ConfigDigest → outcome
 	order []string                // FIFO eviction order, compacted on evict
+
+	dumps     map[string][]byte // anomaly dump id → sealed envelope bytes
+	dumpOrder []string          // FIFO eviction order of the dump index
 }
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{cache: map[string]*cellOutcome{}}
+	return &Engine{cache: map[string]*cellOutcome{}, dumps: map[string][]byte{}}
+}
+
+// AnomalyIDs lists every indexed anomaly-dump id in registration order
+// (census expansion order — deterministic across repeats and -workers
+// widths).
+func (e *Engine) AnomalyIDs() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.dumpOrder...)
+}
+
+// AnomalyDump returns the sealed envelope bytes of one anomaly dump.
+func (e *Engine) AnomalyDump(id string) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.dumps[id]
+	return b, ok
+}
+
+// indexDumps publishes one outcome's dumps, FIFO-evicting past the
+// bound. Re-registration (cache hits, warm repeats) is a no-op, so ids
+// stay in first-seen order. Caller holds e.mu.
+func (e *Engine) indexDumps(out *cellOutcome) {
+	for i, id := range out.dumpIDs {
+		if _, ok := e.dumps[id]; ok {
+			continue
+		}
+		if len(e.dumpOrder) >= dumpIndexCap {
+			delete(e.dumps, e.dumpOrder[0])
+			copy(e.dumpOrder, e.dumpOrder[1:])
+			e.dumpOrder = e.dumpOrder[:len(e.dumpOrder)-1]
+		}
+		e.dumps[id] = out.dumps[i]
+		e.dumpOrder = append(e.dumpOrder, id)
+	}
 }
 
 // CohortResult is the aggregate of one cohort's cells.
@@ -73,6 +131,12 @@ type CohortResult struct {
 	MeanLatencyMs float64 `json:"mean_latency_ms"`
 	// Janks totals repeated-frame edges across the cohort.
 	Janks int `json:"janks"`
+	// Anomalies counts cells that met the anomaly predicate (watchdog
+	// trip, fallback, or ≥ AnomalyJankThreshold janks) and were re-run
+	// under the flight recorder; AnomalyDumps lists their dump ids in
+	// expansion order.
+	Anomalies    int      `json:"anomalies"`
+	AnomalyDumps []string `json:"anomaly_dumps,omitempty"`
 	// Metrics is the cohort's telemetry snapshot: counters, mean gauges
 	// and the FDPS/jank/latency distribution histograms.
 	Metrics *telemetry.Snapshot `json:"metrics"`
@@ -97,6 +161,8 @@ type Result struct {
 	// left behind by earlier censuses on the same engine).
 	Simulated int `json:"simulated"`
 	CacheHits int `json:"cache_hits"`
+	// Anomalies totals anomalous cells across every cohort.
+	Anomalies int `json:"anomalies"`
 	// Cohorts lists per-cohort aggregates in spec order.
 	Cohorts []*CohortResult `json:"cohorts"`
 }
@@ -144,6 +210,7 @@ func (e *Engine) Census(spec Spec, onCohort func(*CohortResult)) (*Result, error
 		res.Cells += cr.Cells
 		res.Simulated += cr.Simulated
 		res.CacheHits += cr.CacheHits
+		res.Anomalies += cr.Anomalies
 		if onCohort != nil {
 			onCohort(cr)
 		}
@@ -193,6 +260,7 @@ func (e *Engine) censusCohort(rc resolvedCohort, seen map[string]bool) *CohortRe
 		if plans[i].out == nil {
 			plans[i].out = outs[pending[plans[i].digest]]
 		}
+		e.indexDumps(plans[i].out)
 	}
 	return aggregate(rc.name, plans, len(need), hits)
 }
@@ -233,13 +301,38 @@ func (wk *worker) run(p plan) *cellOutcome {
 		edges:     res.EdgesInWindow,
 		skipped:   res.Skipped,
 		stale:     res.StaleDropped,
+		fallbacks: len(res.Fallbacks),
 		completed: res.Completed,
 		latency:   telemetry.NewHistogram(telemetry.LatencyBucketsMs),
 	}
 	for _, ms := range res.LatencyMs {
 		out.latency.Observe(ms)
 	}
+	if !out.completed || out.fallbacks > 0 || out.janks >= AnomalyJankThreshold {
+		out.anomalous = true
+		flightRerun(p, out)
+	}
 	return out
+}
+
+// flightRerun replays one anomalous cell fresh with the flight recorder
+// attached and seals whatever it triggered into envelope dumps keyed by
+// the cell's plain config digest. The replay is a pure function of the
+// cell config, so dumps are byte-identical no matter which worker (or
+// which census) produced them.
+func flightRerun(p plan, out *cellOutcome) {
+	cfg := p.cfg
+	ring := flight.New(flight.Config{})
+	cfg.Recorder = ring
+	sim.Run(cfg)
+	for i, d := range ring.Dumps() {
+		var buf bytes.Buffer
+		if err := flight.EncodeDump(&buf, p.digest, &d); err != nil {
+			continue
+		}
+		out.dumpIDs = append(out.dumpIDs, flight.DumpID(p.digest, i, d.Trigger.Kind))
+		out.dumps = append(out.dumps, buf.Bytes())
+	}
 }
 
 // aggregate folds the cohort's outcomes — in expansion order, so float
@@ -253,6 +346,8 @@ func aggregate(name string, plans []plan, simulated, hits int) *CohortResult {
 	janks := reg.Counter("fleet_janks_total", "repeated-frame edges across the cohort")
 	edges := reg.Counter("fleet_edges_total", "hardware refresh edges across the cohort")
 	incomplete := reg.Counter("fleet_cells_incomplete_total", "cells whose run hit the watchdog")
+	anom := reg.Counter("fleet_cells_anomalous_total", "cells re-run under the flight recorder")
+	anomDumps := reg.Counter("fleet_anomaly_dumps_total", "anomaly dumps captured across the cohort")
 	meanFDPS := reg.Gauge("fleet_fdps_mean", "mean per-cell FDPS of the cohort")
 	meanLat := reg.Gauge("fleet_latency_mean_ms", "mean per-frame rendering latency of the cohort")
 	hFDPS := reg.Histogram("fleet_cell_fdps", "per-cell FDPS distribution", CellFDPSBuckets)
@@ -263,9 +358,17 @@ func aggregate(name string, plans []plan, simulated, hits int) *CohortResult {
 	hitc.Add(float64(hits))
 	var fdpsSum float64
 	jankTotal := 0
+	anomalies := 0
+	var dumpIDs []string
 	for i := range plans {
 		out := plans[i].out
 		cells.Inc()
+		if out.anomalous {
+			anomalies++
+			anom.Inc()
+			anomDumps.Add(float64(len(out.dumpIDs)))
+			dumpIDs = append(dumpIDs, out.dumpIDs...)
+		}
 		frames.Add(float64(out.presented))
 		janks.Add(float64(out.janks))
 		edges.Add(float64(out.edges))
@@ -279,7 +382,7 @@ func aggregate(name string, plans []plan, simulated, hits int) *CohortResult {
 		jankTotal += out.janks
 	}
 	cr := &CohortResult{Name: name, Cells: len(plans), Simulated: simulated,
-		CacheHits: hits, Janks: jankTotal}
+		CacheHits: hits, Janks: jankTotal, Anomalies: anomalies, AnomalyDumps: dumpIDs}
 	if len(plans) > 0 {
 		cr.MeanFDPS = fdpsSum / float64(len(plans))
 	}

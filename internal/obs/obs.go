@@ -129,10 +129,21 @@ type Model struct {
 	Start, End simtime.Time
 }
 
+// EventSource is any holder of a recorded event stream: *trace.Recorder,
+// a flight-recorder ring, or a decoded anomaly dump wrapped in one.
+type EventSource interface {
+	Events() []trace.Event
+}
+
 // Build reconstructs the observability model from a recorded trace in one
 // deterministic forward pass.
-func Build(rec *trace.Recorder) *Model {
-	events := rec.Events()
+func Build(src EventSource) *Model {
+	return BuildEvents(src.Events())
+}
+
+// BuildEvents is Build over a raw event slice (non-decreasing time order,
+// as every Sink guarantees).
+func BuildEvents(events []trace.Event) *Model {
 	m := &Model{SchemaVersion: trace.SchemaVersion, Roles: make([]Role, len(events))}
 	if len(events) == 0 {
 		return m
@@ -209,6 +220,12 @@ func Build(rec *trace.Recorder) *Model {
 		case trace.RateChange:
 			m.Roles[i] = RoleInstant
 			m.Instants = append(m.Instants, Instant{At: ev.At, Name: "rate-change", EdgeSeq: ev.EdgeSeq, Hz: ev.Hz})
+		case trace.FaultOnset, trace.FaultEnd, trace.DTVReAnchor:
+			// Schema-v3 markers: fault-episode boundaries and calibration
+			// re-anchors ride the marker lane so attribution stays a pure
+			// function of the event stream.
+			m.Roles[i] = RoleInstant
+			m.Instants = append(m.Instants, Instant{At: ev.At, Name: string(ev.Kind), Detail: ev.Detail})
 		case trace.Fallback:
 			m.Roles[i] = RoleInstant
 			m.Instants = append(m.Instants, Instant{At: ev.At, Name: "fallback", Detail: ev.Detail})

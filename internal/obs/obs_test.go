@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"testing"
 
@@ -265,6 +266,100 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	}
 	if _, err := ValidatePerfetto([]byte(good)); err != nil {
 		t.Errorf("good export rejected: %v", err)
+	}
+}
+
+// adversarialDoc wraps hand-built traceEvents records in a validly
+// stamped document, so each fixture isolates one corruption class.
+func adversarialDoc(events string) string {
+	return `{"traceEvents":[` + events +
+		`],"otherData":{"schema":"dvsync-trace","schemaVersion":3}}`
+}
+
+// TestValidateAdversarial: fixtures that are well-formed JSON with a
+// valid schema stamp but violate the structural contract — the cases a
+// subtly buggy exporter (not random corruption) would produce.
+func TestValidateAdversarial(t *testing.T) {
+	cases := map[string]struct {
+		events  string
+		wantErr string
+	}{
+		"duplicate span id": {
+			events: `{"name":"frame 3 ui","ph":"X","ts":100,"dur":5,"pid":1,"tid":1},` +
+				`{"name":"frame 3 ui","ph":"X","ts":100,"dur":7,"pid":1,"tid":1}`,
+			wantErr: "duplicate span id",
+		},
+		"negative duration": {
+			events:  `{"name":"frame 3 ui","ph":"X","ts":100,"dur":-5,"pid":1,"tid":1}`,
+			wantErr: "negative duration",
+		},
+		"counter time regression": {
+			events: `{"name":"fdps","ph":"C","ts":100,"pid":1,"args":{"value":1}},` +
+				`{"name":"fdps","ph":"C","ts":50,"pid":1,"args":{"value":2}}`,
+			wantErr: "before previous sample",
+		},
+		"counter without value": {
+			events:  `{"name":"fdps","ph":"C","ts":100,"pid":1,"args":{"note":"x"}}`,
+			wantErr: "numeric args.value",
+		},
+		"instant without ts": {
+			events:  `{"name":"jank","ph":"i","pid":1,"tid":5,"s":"t"}`,
+			wantErr: "instant without ts",
+		},
+		"missing pid": {
+			events:  `{"name":"jank","ph":"i","ts":100,"tid":5}`,
+			wantErr: "missing pid",
+		},
+	}
+	for name, tc := range cases {
+		_, err := ValidatePerfetto([]byte(adversarialDoc(tc.events)))
+		if err == nil {
+			t.Errorf("%s: validation passed, want error containing %q", name, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+	// The same shapes on distinct identities are legal: two spans that
+	// differ only in tid, and independent counter tracks regressing
+	// relative to each other.
+	legal := `{"name":"frame 3 ui","ph":"X","ts":100,"dur":5,"pid":1,"tid":1},` +
+		`{"name":"frame 3 ui","ph":"X","ts":100,"dur":5,"pid":1,"tid":2},` +
+		`{"name":"fdps","ph":"C","ts":100,"pid":1,"args":{"value":1}},` +
+		`{"name":"janks","ph":"C","ts":50,"pid":1,"args":{"value":0}}`
+	if _, err := ValidatePerfetto([]byte(adversarialDoc(legal))); err != nil {
+		t.Errorf("distinct identities rejected: %v", err)
+	}
+}
+
+// TestValidateReportCoverage: the success-path report carries the counts
+// `dvtrace -check` prints, and they match the model that produced the
+// export.
+func TestValidateReportCoverage(t *testing.T) {
+	rec := record(t, sim.ModeDVSync)
+	var buf bytes.Buffer
+	if err := ExportPerfetto(rec, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidatePerfettoReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Build(rec)
+	if rep.SchemaVersion != m.SchemaVersion {
+		t.Errorf("report schema v%d, model v%d", rep.SchemaVersion, m.SchemaVersion)
+	}
+	if rep.Events == 0 || rep.Spans == 0 || rep.Counters != len(m.Counters) ||
+		rep.Instants != len(m.Instants) {
+		t.Errorf("report coverage %+v does not match model (%d counters, %d instants)",
+			rep, len(m.Counters), len(m.Instants))
+	}
+	if rep.Frames != len(m.Spans) {
+		t.Errorf("report covers %d frames, model has %d spans", rep.Frames, len(m.Spans))
+	}
+	if !sort.StringsAreSorted(rep.Tracks) || len(rep.Tracks) == 0 {
+		t.Errorf("report tracks %v are empty or unsorted", rep.Tracks)
 	}
 }
 

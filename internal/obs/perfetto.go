@@ -7,7 +7,6 @@ import (
 	"sort"
 
 	"dvsync/internal/simtime"
-	"dvsync/internal/trace"
 )
 
 // Perfetto track layout: one process, one thread per pipeline stage plus a
@@ -169,18 +168,45 @@ func (m *Model) WritePerfetto(w io.Writer) error {
 
 // ExportPerfetto is the one-call path from a recorded trace to Perfetto
 // JSON.
-func ExportPerfetto(rec *trace.Recorder, w io.Writer) error {
-	return Build(rec).WritePerfetto(w)
+func ExportPerfetto(src EventSource, w io.Writer) error {
+	return Build(src).WritePerfetto(w)
 }
 
-// ValidatePerfetto checks an export against the minimal schema contract:
+// ExportReport summarises a validated Perfetto export: the schema stamp,
+// event totals, and the per-view coverage `dvtrace -check` prints.
+type ExportReport struct {
+	// SchemaVersion is the stamped trace vocabulary version.
+	SchemaVersion int
+	// Events is the total traceEvents count (metadata included).
+	Events int
+	// Spans / Counters / Instants count the X / C / i records.
+	Spans, Counters, Instants int
+	// Frames is the number of distinct frames covered by span records.
+	Frames int
+	// Tracks lists the counter track names, sorted.
+	Tracks []string
+}
+
+// ValidatePerfetto checks an export against the schema contract:
 // a JSON object with a non-empty traceEvents array whose records carry a
 // name, a known phase, and the per-phase required fields; duration events
-// must not run backwards; the document must stamp the trace schema
+// must not run backwards; span records must not collide on the same
+// (name, pid, tid, ts) identity; counter samples on one track must be in
+// non-decreasing time order; the document must stamp the trace schema
 // version. On success it returns the sorted counter track names, so
 // callers (tests, the CI gate behind `dvtrace -check`) can assert the
 // expected tracks are present.
 func ValidatePerfetto(data []byte) ([]string, error) {
+	rep, err := ValidatePerfettoReport(data)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Tracks, nil
+}
+
+// ValidatePerfettoReport is ValidatePerfetto returning the full coverage
+// report instead of just the counter tracks.
+func ValidatePerfettoReport(data []byte) (*ExportReport, error) {
 	var doc struct {
 		TraceEvents []struct {
 			Name string         `json:"name"`
@@ -189,6 +215,7 @@ func ValidatePerfetto(data []byte) ([]string, error) {
 			Dur  *float64       `json:"dur"`
 			Args map[string]any `json:"args"`
 			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
 		} `json:"traceEvents"`
 		OtherData struct {
 			Schema        string `json:"schema"`
@@ -205,7 +232,16 @@ func ValidatePerfetto(data []byte) ([]string, error) {
 		return nil, fmt.Errorf("obs: missing schema stamp (got %q v%d)",
 			doc.OtherData.Schema, doc.OtherData.SchemaVersion)
 	}
+	rep := &ExportReport{SchemaVersion: doc.OtherData.SchemaVersion, Events: len(doc.TraceEvents)}
 	counters := map[string]bool{}
+	lastCounterTs := map[string]float64{}
+	type spanID struct {
+		name     string
+		pid, tid int
+		ts       float64
+	}
+	spans := map[spanID]bool{}
+	frames := map[string]bool{}
 	for i, ev := range doc.TraceEvents {
 		if ev.Name == "" {
 			return nil, fmt.Errorf("obs: event %d: empty name", i)
@@ -225,6 +261,20 @@ func ValidatePerfetto(data []byte) ([]string, error) {
 			if *ev.Dur < 0 {
 				return nil, fmt.Errorf("obs: event %d (%s): negative duration %v", i, ev.Name, *ev.Dur)
 			}
+			tid := 0
+			if ev.Tid != nil {
+				tid = *ev.Tid
+			}
+			id := spanID{name: ev.Name, pid: *ev.Pid, tid: tid, ts: *ev.Ts}
+			if spans[id] {
+				return nil, fmt.Errorf("obs: event %d (%s): duplicate span id (pid %d tid %d ts %v)",
+					i, ev.Name, id.pid, id.tid, id.ts)
+			}
+			spans[id] = true
+			rep.Spans++
+			if f, ok := ev.Args["frame"].(float64); ok {
+				frames[fmt.Sprintf("%v", f)] = true
+			}
 		case "C":
 			if ev.Ts == nil {
 				return nil, fmt.Errorf("obs: event %d (%s): counter without ts", i, ev.Name)
@@ -232,19 +282,28 @@ func ValidatePerfetto(data []byte) ([]string, error) {
 			if _, ok := ev.Args["value"].(float64); !ok {
 				return nil, fmt.Errorf("obs: event %d (%s): counter without numeric args.value", i, ev.Name)
 			}
+			if last, seen := lastCounterTs[ev.Name]; seen && *ev.Ts < last {
+				return nil, fmt.Errorf("obs: event %d (%s): counter sample at %v before previous sample at %v",
+					i, ev.Name, *ev.Ts, last)
+			}
+			lastCounterTs[ev.Name] = *ev.Ts
 			counters[ev.Name] = true
+			rep.Counters++
 		case "i":
 			if ev.Ts == nil {
 				return nil, fmt.Errorf("obs: event %d (%s): instant without ts", i, ev.Name)
 			}
+			rep.Instants++
 		default:
 			return nil, fmt.Errorf("obs: event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
 		}
 	}
+	rep.Frames = len(frames)
 	tracks := make([]string, 0, len(counters))
 	for t := range counters {
 		tracks = append(tracks, t)
 	}
 	sort.Strings(tracks)
-	return tracks, nil
+	rep.Tracks = tracks
+	return rep, nil
 }

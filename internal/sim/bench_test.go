@@ -28,3 +28,10 @@ func BenchmarkSimRun(b *testing.B) {
 func BenchmarkRunnerReuse(b *testing.B) {
 	bench.RunnerReuse(b)
 }
+
+// BenchmarkRunnerReuseFlight is the reuse path with the flight recorder
+// attached: the always-on observability contract pins its steady-state
+// cost at zero extra allocations over BenchmarkRunnerReuse.
+func BenchmarkRunnerReuseFlight(b *testing.B) {
+	bench.RunnerReuseFlight(b)
+}

@@ -12,6 +12,7 @@ import (
 	"dvsync/internal/display"
 	"dvsync/internal/event"
 	"dvsync/internal/fault"
+	"dvsync/internal/flight"
 	"dvsync/internal/health"
 	"dvsync/internal/ltpo"
 	"dvsync/internal/pipeline"
@@ -96,6 +97,7 @@ type State struct {
 	Telemetry  *TelemetryState       `json:"telemetry,omitempty"`
 
 	Trace  []trace.Event `json:"trace,omitempty"`
+	Flight *flight.State `json:"flight,omitempty"`
 	Driver DriverState   `json:"driver"`
 	Accum  AccumState    `json:"accum"`
 }
@@ -128,14 +130,18 @@ type cfgDigestView struct {
 	VSyncPipelineDepth int
 	MaxSimTime         simtime.Duration
 	HasRecorder        bool
-	HasMetrics         bool
-	MetricsInterval    simtime.Duration
-	HasLTPO            bool
-	Faults             *fault.Config
-	FPEOverloadAfter   int
-	FPERecoverAfter    int
-	EnableFallback     bool
-	Health             health.Config
+	// FlightRecorder carries the flight ring's trigger parameters when the
+	// attached sink is a flight recorder, empty otherwise. omitempty keeps
+	// every pre-flight digest byte-identical.
+	FlightRecorder   string `json:",omitempty"`
+	HasMetrics       bool
+	MetricsInterval  simtime.Duration
+	HasLTPO          bool
+	Faults           *fault.Config
+	FPEOverloadAfter int
+	FPERecoverAfter  int
+	EnableFallback   bool
+	Health           health.Config
 }
 
 // ConfigDigest fingerprints a configuration for checkpoint pinning: two
@@ -175,6 +181,11 @@ func ConfigDigest(cfg Config) string {
 		FPERecoverAfter:    cfg.FPERecoverAfter,
 		EnableFallback:     cfg.EnableFallback,
 		Health:             cfg.Health,
+	}
+	if r, ok := cfg.Recorder.(*flight.Ring); ok {
+		fc := r.Config()
+		v.FlightRecorder = fmt.Sprintf("cap=%d burst=%d window=%v cooldown=%v max=%d",
+			fc.Capacity, fc.JankBurst, fc.JankWindow, fc.Cooldown, fc.MaxDumps)
 	}
 	if cfg.Trace != nil {
 		v.TraceName = cfg.Trace.Name
@@ -302,7 +313,11 @@ func (s *System) captureState() (*State, error) {
 		st.Telemetry = tc
 	}
 	if s.cfg.Recorder != nil {
-		st.Trace = append([]trace.Event(nil), s.cfg.Recorder.Events()...)
+		if r, ok := s.cfg.Recorder.(*flight.Ring); ok {
+			st.Flight = r.CaptureState()
+		} else {
+			st.Trace = append([]trace.Event(nil), s.cfg.Recorder.Events()...)
+		}
 	}
 	d := DriverState{
 		NextIdx:        s.nextIdx,
@@ -423,7 +438,8 @@ func (s *System) restore(st *State) error {
 		{"fault injector", s.inj != nil, st.Fault != nil},
 		{"health monitor", s.monitor != nil, st.Health != nil},
 		{"telemetry", s.tel != nil, st.Telemetry != nil},
-		{"trace recorder", s.cfg.Recorder != nil, st.Trace != nil || len(st.Driver.PresentPending) > 0},
+		{"trace recorder", s.cfg.Recorder != nil,
+			st.Trace != nil || st.Flight != nil || len(st.Driver.PresentPending) > 0},
 	} {
 		if err := presence(c.name, c.wired, c.snap); err != nil {
 			return err
@@ -480,10 +496,37 @@ func (s *System) restore(st *State) error {
 	}
 	n := s.cfg.Trace.Len()
 	if s.cfg.Recorder != nil {
-		if err := s.cfg.Recorder.Restore(st.Trace); err != nil {
-			return fmt.Errorf("sim: resume: %w", err)
+		if r, ok := s.cfg.Recorder.(*flight.Ring); ok {
+			if st.Flight == nil {
+				return fmt.Errorf("sim: resume: config wires a flight recorder but the snapshot carries plain trace state")
+			}
+			if err := r.RestoreState(st.Flight); err != nil {
+				return fmt.Errorf("sim: resume: %w", err)
+			}
+		} else {
+			if st.Flight != nil {
+				return fmt.Errorf("sim: resume: snapshot carries flight-recorder state but the config wires a plain recorder")
+			}
+			if err := s.cfg.Recorder.Restore(st.Trace); err != nil {
+				return fmt.Errorf("sim: resume: %w", err)
+			}
+			s.cfg.Recorder.Reserve(6*n + 64)
 		}
-		s.cfg.Recorder.Reserve(6*n + 64)
+		// Rebuild the marker cursor from the restored stream: every mark at
+		// or before the newest restored event has already been emitted (for
+		// a flight ring the newest retained event is still the newest
+		// recorded one, so the rule holds there too).
+		var lastAt simtime.Time
+		if events := s.cfg.Recorder.Events(); len(events) > 0 {
+			lastAt = events[len(events)-1].At
+		}
+		s.nextMark = 0
+		for s.nextMark < len(s.marks) && s.marks[s.nextMark].at <= lastAt {
+			s.nextMark++
+		}
+		if s.dtv != nil {
+			s.lastReAnchors = s.dtv.ReAnchors()
+		}
 	}
 	s.nextIdx = st.Driver.NextIdx
 	if s.nextIdx < 0 || s.nextIdx > n {

@@ -169,7 +169,7 @@ func frameSeqs(r *Result) []int {
 func outputsDigest(cfg Config, r *Result) (string, error) {
 	var buf bytes.Buffer
 	if cfg.Recorder != nil {
-		if err := cfg.Recorder.WriteJSONL(&buf); err != nil {
+		if err := trace.WriteEventsJSONL(&buf, cfg.Recorder.Events()); err != nil {
 			return "", fmt.Errorf("trace: %w", err)
 		}
 		if err := obs.ExportPerfetto(cfg.Recorder, &buf); err != nil {

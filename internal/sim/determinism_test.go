@@ -100,7 +100,7 @@ func faultedReplayDigest(t *testing.T, mode Mode) [sha256.Size]byte {
 	r := Run(cfg)
 
 	var buf bytes.Buffer
-	if err := cfg.Recorder.WriteJSONL(&buf); err != nil {
+	if err := trace.WriteEventsJSONL(&buf, cfg.Recorder.Events()); err != nil {
 		t.Fatalf("encoding trace: %v", err)
 	}
 	fmt.Fprintf(&buf, "fdps=%v janks=%d presented=%d skipped=%d counters=%+v "+

@@ -141,7 +141,7 @@ func fallbackScenario(rec *trace.Recorder) Config {
 	// period, so the pipelined producer genuinely falls behind (a 25 ms
 	// frame would not: its longest stage still fits a period).
 	costs := append(append(repeat(5, 30), repeat(35, 25)...), repeat(5, 60)...)
-	return Config{
+	cfg := Config{
 		Mode:           ModeDVSync,
 		Panel:          panel60(),
 		Buffers:        5,
@@ -152,8 +152,13 @@ func fallbackScenario(rec *trace.Recorder) Config {
 			MaxFDPS:      10,
 			RecoverAfter: 300 * simtime.Millisecond,
 		},
-		Recorder: rec,
 	}
+	if rec != nil {
+		// Assign only when present: a typed-nil *Recorder inside the Sink
+		// interface would defeat the Recorder != nil guards.
+		cfg.Recorder = rec
+	}
+	return cfg
 }
 
 // TestGoldenFallbackScenario pins the exact supervised-fallback behaviour:

@@ -5,6 +5,7 @@ package sim
 import (
 	"testing"
 
+	"dvsync/internal/flight"
 	"dvsync/internal/ipl"
 )
 
@@ -22,5 +23,23 @@ func TestRunnerSteadyStateAllocs(t *testing.T) {
 	rn.Run()
 	if avg := testing.AllocsPerRun(5, func() { rn.Run() }); avg > 8 {
 		t.Errorf("steady-state allocations per reused run = %v, want <= 8", avg)
+	}
+}
+
+// TestRunnerSteadyStateAllocsFlight pins the always-on flight recorder's
+// steady-state price at zero: a reused run recording into the ring must
+// hold the same ≤ 8 allocation budget as a bare run. The ring's event
+// storage is preallocated at construction and Reset between runs keeps
+// it, so recording a frame is a copy into owned memory, never an append
+// that grows.
+func TestRunnerSteadyStateAllocsFlight(t *testing.T) {
+	p := ckptProfile()
+	rn := NewRunner(Config{Mode: ModeDVSync, Panel: panel60(), Buffers: 4,
+		Trace: p.Generate(200, 42), Predictor: ipl.Kalman{},
+		Recorder: flight.New(flight.Config{})})
+	rn.Run()
+	rn.Run()
+	if avg := testing.AllocsPerRun(5, func() { rn.Run() }); avg > 8 {
+		t.Errorf("steady-state allocations per reused run with flight recorder = %v, want <= 8", avg)
 	}
 }

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"dvsync/internal/buffer"
 	"dvsync/internal/core"
@@ -108,8 +109,12 @@ type Config struct {
 	// bound from the trace length.
 	MaxSimTime simtime.Duration
 	// Recorder, when set, captures a structured event trace of the run
-	// (hardware edges, frame lifecycle, janks, rate changes).
-	Recorder *trace.Recorder
+	// (hardware edges, frame lifecycle, janks, rate changes). Any
+	// trace.Sink works: *trace.Recorder keeps everything; *flight.Ring
+	// retains a bounded window and snapshots anomaly dumps on trigger
+	// (DESIGN.md §15). With a sink attached the run also emits the
+	// schema-v3 marker events (fault-onset/fault-end/dtv-reanchor).
+	Recorder trace.Sink
 	// Metrics, when set, attaches a live telemetry registry: the run
 	// registers its instruments at wiring time, updates them from hooks,
 	// and samples them into the registry's time series on MetricsInterval
@@ -284,6 +289,18 @@ type System struct {
 	fallbackActive bool // the supervisor is holding the system on VSync
 	prepared       bool // buffers sized and panel started (first Run segment)
 
+	// marks holds the precomputed schema-v3 marker events (fault episode
+	// boundaries), sorted by time with details formatted at wiring time;
+	// record() lazily interleaves them into the event stream so the hot
+	// path never formats a string. nextMark is the first unemitted mark:
+	// after any record(ev), nextMark indexes past every mark with
+	// at <= ev.At — the invariant checkpoint restore rebuilds.
+	marks    []traceMark
+	nextMark int
+	// lastReAnchors mirrors dtv.ReAnchors() so the recorder path can emit
+	// a DTVReAnchor marker the instant the counter moves.
+	lastReAnchors int
+
 	// presentPending holds latched frames whose present fence has not fired
 	// yet; presentFn is the persistent handler that replaces a per-latch
 	// closure on the recorder path. Entries are matched by fence time, not
@@ -299,6 +316,13 @@ type presentEntry struct {
 	frame     int
 	decoupled bool
 	id        event.ID
+}
+
+// traceMark is one precomputed schema-v3 marker event awaiting emission.
+type traceMark struct {
+	at     simtime.Time
+	kind   trace.EventKind
+	detail string
 }
 
 // Validate reports configuration errors: everything a caller could get
@@ -358,6 +382,9 @@ func New(cfg Config) *System {
 	s.presentFn = s.dispatchPresent
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		s.inj = fault.NewInjector(*cfg.Faults)
+		if cfg.Recorder != nil {
+			s.marks = episodeMarks(cfg.Faults)
+		}
 	}
 	panelCfg := cfg.Panel
 	if s.inj != nil {
@@ -417,7 +444,7 @@ func New(cfg Config) *System {
 
 	s.producer.OnUIDone = func(now simtime.Time, f *buffer.Frame) {
 		if cfg.Recorder != nil {
-			cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameUIDone, Frame: f.Seq,
+			s.record(trace.Event{At: now, Kind: trace.FrameUIDone, Frame: f.Seq,
 				Decoupled: f.Decoupled})
 		}
 		if s.fpe != nil {
@@ -432,7 +459,7 @@ func New(cfg Config) *System {
 			s.monitor.ObserveProgress(now)
 		}
 		if cfg.Recorder != nil {
-			cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameQueued, Frame: f.Seq,
+			s.record(trace.Event{At: now, Kind: trace.FrameQueued, Frame: f.Seq,
 				Decoupled: f.Decoupled})
 		}
 	}
@@ -451,6 +478,67 @@ func New(cfg Config) *System {
 		s.panel.OnRateChange(func(hz int) { s.tel.refreshHz.Set(float64(hz)) })
 	}
 	return s
+}
+
+// episodeMarks precomputes the schema-v3 fault marker events for a run:
+// one FaultOnset/FaultEnd pair per configured episode, details formatted
+// here (wiring time) so the hot path only copies strings. Sorted by time;
+// at equal instants episode ends sort before onsets so a window closes
+// before the next opens.
+func episodeMarks(fc *fault.Config) []traceMark {
+	refs := fc.Episodes()
+	marks := make([]traceMark, 0, 2*len(refs))
+	for _, ref := range refs {
+		marks = append(marks,
+			traceMark{at: ref.Episode.Start, kind: trace.FaultOnset,
+				detail: fmt.Sprintf("class=%s episode=%d severity=%g", ref.Class, ref.Index, ref.Episode.Severity)},
+			traceMark{at: ref.Episode.End, kind: trace.FaultEnd,
+				detail: fmt.Sprintf("class=%s episode=%d", ref.Class, ref.Index)})
+	}
+	sort.SliceStable(marks, func(i, j int) bool {
+		if marks[i].at != marks[j].at {
+			return marks[i].at < marks[j].at
+		}
+		return marks[i].kind == trace.FaultEnd && marks[j].kind == trace.FaultOnset
+	})
+	return marks
+}
+
+// record emits one trace event through the configured sink, first
+// interleaving every precomputed marker due at or before it. The caller
+// must hold cfg.Recorder != nil. After any record(ev), nextMark indexes
+// past every mark with at <= ev.At — the invariant checkpoint restore
+// rebuilds from the restored event stream.
+//
+//dvlint:hotpath wraps every recorded simulation event
+func (s *System) record(ev trace.Event) {
+	for s.nextMark < len(s.marks) {
+		m := &s.marks[s.nextMark]
+		if m.at > ev.At {
+			break
+		}
+		s.cfg.Recorder.Add(trace.Event{At: m.at, Kind: m.kind, Frame: -1, Detail: m.detail})
+		s.nextMark++
+	}
+	s.cfg.Recorder.Add(ev)
+}
+
+// noteReAnchors emits a DTVReAnchor marker when the DTV's re-anchor
+// counter moved since the last check. The caller must hold
+// cfg.Recorder != nil and s.dtv != nil.
+//
+//dvlint:hotpath checked at every latch on the recording path
+func (s *System) noteReAnchors(now simtime.Time) {
+	if ra := s.dtv.ReAnchors(); ra > s.lastReAnchors {
+		s.lastReAnchors = ra
+		s.record(trace.Event{At: now, Kind: trace.DTVReAnchor, Frame: -1})
+	}
+}
+
+// watchdogTripper is the optional sink hook the flight recorder exposes:
+// finish() fires it when the engine watchdog aborted the run.
+type watchdogTripper interface {
+	TripWatchdog(at simtime.Time, detail string)
 }
 
 // fallbackDetail precomputes the supervise() trace annotation for every
@@ -503,7 +591,7 @@ func (s *System) supervise(now simtime.Time) {
 		}
 	}
 	if s.cfg.Recorder != nil {
-		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Fallback, Frame: -1,
+		s.record(trace.Event{At: now, Kind: trace.Fallback, Frame: -1,
 			Detail: fallbackDetail[to][reason]})
 	}
 }
@@ -516,7 +604,7 @@ func (s *System) supervise(now simtime.Time) {
 //dvlint:hotpath runs at every skipped refresh under edge faults
 func (s *System) onMissedEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 	if s.cfg.Recorder != nil {
-		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.EdgeMissed, Frame: -1, EdgeSeq: seq})
+		s.record(trace.Event{At: now, Kind: trace.EdgeMissed, Frame: -1, EdgeSeq: seq})
 	}
 	if t := s.tel; t != nil {
 		// Refresh the FDPS gauge before this edge's jank enters the
@@ -537,7 +625,7 @@ func (s *System) onMissedEdge(now simtime.Time, seq uint64, period simtime.Durat
 			t.observeJank(now)
 		}
 		if s.cfg.Recorder != nil {
-			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
+			s.record(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
 		}
 	}
 	s.supervise(now)
@@ -613,7 +701,7 @@ func (s *System) startFrame(now simtime.Time, req pipeline.StartRequest) bool {
 		s.fpe.ObserveFrameCost(f.UICost+f.RSCost, s.res.Period)
 	}
 	if s.cfg.Recorder != nil {
-		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameStart, Frame: f.Seq,
+		s.record(trace.Event{At: now, Kind: trace.FrameStart, Frame: f.Seq,
 			Decoupled: f.Decoupled, DTimestamp: f.DTimestamp})
 	}
 	if s.cfg.ContentSample != nil {
@@ -724,7 +812,7 @@ func (s *System) streamDone() bool {
 //dvlint:hotpath runs at every hardware VSync edge
 func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 	if s.cfg.Recorder != nil {
-		s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.HWVSync, Frame: -1, EdgeSeq: seq,
+		s.record(trace.Event{At: now, Kind: trace.HWVSync, Frame: -1, EdgeSeq: seq,
 			Hz: simtime.HzForPeriod(period)})
 	}
 	if t := s.tel; t != nil {
@@ -758,7 +846,7 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 			t.framesPresented.Inc()
 		}
 		if s.cfg.Recorder != nil {
-			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
+			s.record(trace.Event{At: now, Kind: trace.FrameLatched, Frame: f.Seq,
 				Decoupled: f.Decoupled, EdgeSeq: seq})
 			s.presentPending = append(s.presentPending,
 				presentEntry{at: f.PresentAt, frame: f.Seq, decoupled: f.Decoupled,
@@ -767,6 +855,9 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		if s.fpe != nil {
 			if f.Decoupled {
 				s.dtv.RecordPresent(f.DTimestamp, f.PresentAt)
+				if s.cfg.Recorder != nil {
+					s.noteReAnchors(now)
+				}
 				if s.monitor != nil || s.tel != nil {
 					errAbs := f.PresentAt.Sub(f.DTimestamp)
 					if errAbs < 0 {
@@ -797,7 +888,7 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 			t.observeJank(now)
 		}
 		if s.cfg.Recorder != nil {
-			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
+			s.record(trace.Event{At: now, Kind: trace.Jank, Frame: -1, EdgeSeq: seq})
 		}
 	}
 	s.supervise(now)
@@ -806,7 +897,7 @@ func (s *System) onEdge(now simtime.Time, seq uint64, period simtime.Duration) {
 		prev := s.panel.RefreshHz()
 		s.ltpo.Observe(now, s.cfg.LTPOVelocity(now))
 		if cur := s.panel.RefreshHz(); cur != prev && s.cfg.Recorder != nil {
-			s.cfg.Recorder.Add(trace.Event{At: now, Kind: trace.RateChange, Frame: -1,
+			s.record(trace.Event{At: now, Kind: trace.RateChange, Frame: -1,
 				EdgeSeq: seq, Hz: cur})
 		}
 	}
@@ -834,7 +925,7 @@ func (s *System) dispatchPresent(t simtime.Time) {
 		}
 		copy(s.presentPending[i:], s.presentPending[i+1:])
 		s.presentPending = s.presentPending[:len(s.presentPending)-1]
-		s.cfg.Recorder.Add(trace.Event{At: t, Kind: trace.FramePresent, Frame: e.frame,
+		s.record(trace.Event{At: t, Kind: trace.FramePresent, Frame: e.frame,
 			Decoupled: e.decoupled})
 		return
 	}
@@ -945,6 +1036,8 @@ func (s *System) reset(tr *workload.Trace) {
 		// A fresh run starts with an empty recorder; so does a reused one.
 		s.cfg.Recorder.Reset()
 	}
+	s.nextMark = 0
+	s.lastReAnchors = 0
 
 	// Re-prime the result exactly as New does, handing the previous run's
 	// slice capacity back to prepare for reuse.
@@ -1063,6 +1156,9 @@ func (s *System) finish() *Result {
 	s.res.AllocFailed = st.AllocFailed
 	if err := s.engine.Err(); err != nil {
 		s.res.WatchdogTripped = err.Error()
+		if w, ok := s.cfg.Recorder.(watchdogTripper); ok {
+			w.TripWatchdog(s.engine.Now(), s.res.WatchdogTripped)
+		}
 	}
 	if s.res.LastLatch > s.res.FirstLatch {
 		s.res.EdgesInWindow = len(s.res.Presented) - 1 + len(s.res.Janks)

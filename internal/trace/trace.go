@@ -17,10 +17,14 @@ import (
 
 // SchemaVersion identifies the event vocabulary below. Version 1 is the
 // seed vocabulary; version 2 added FrameUIDone (the UI→render stage split
-// the observability layer reconstructs spans from). Consumers that persist
-// or exchange traces embed this number (internal/obs stamps it into every
-// Perfetto export) so a reader can tell which kinds it may encounter.
-const SchemaVersion = 2
+// the observability layer reconstructs spans from); version 3 added the
+// marker kinds FaultOnset, FaultEnd and DTVReAnchor, which put fault
+// episodes and calibration re-anchors into the event stream itself so
+// causal attribution (internal/obs Attribute) is a pure function of the
+// trace. Consumers that persist or exchange traces embed this number
+// (internal/obs stamps it into every Perfetto export) so a reader can
+// tell which kinds it may encounter.
+const SchemaVersion = 3
 
 // EventKind classifies trace events.
 type EventKind string
@@ -59,6 +63,16 @@ const (
 	// EdgeMissed marks a refresh the panel skipped under an injected
 	// missed-VSync fault.
 	EdgeMissed EventKind = "edge-missed"
+	// FaultOnset marks an injected fault episode opening (schema v3). The
+	// Detail field carries "class=<name> episode=<index> severity=<s>" so
+	// attribution can name the episode without reaching outside the trace.
+	FaultOnset EventKind = "fault-onset"
+	// FaultEnd marks a fault episode closing (schema v3); Detail carries
+	// "class=<name> episode=<index>".
+	FaultEnd EventKind = "fault-end"
+	// DTVReAnchor marks the DTV calibration-error bound forcing a re-anchor
+	// of the decoupled timestamp stream (schema v3).
+	DTVReAnchor EventKind = "dtv-reanchor"
 )
 
 // Event is one trace record. Fields are denormalised for easy filtering.
@@ -79,6 +93,22 @@ type Event struct {
 	Hz int `json:"hz,omitempty"`
 	// Detail carries event-specific context (fallback direction and reason).
 	Detail string `json:"detail,omitempty"`
+}
+
+// Sink is the event-capture interface the simulator drives: the plain
+// append-everything Recorder and internal/flight's fixed-capacity ring
+// both implement it. Add must accept events in non-decreasing time order;
+// Events returns the retained window oldest-first (a ring may retain
+// fewer events than were added); Restore replaces the retained window
+// from checkpointed state and, unlike Add, reports out-of-order input as
+// an error because restore paths consume untrusted bytes.
+type Sink interface {
+	Add(Event)
+	Reserve(int)
+	Reset()
+	Restore(events []Event) error
+	Events() []Event
+	Len() int
 }
 
 // Recorder accumulates events in timestamp order (append order must be
@@ -143,9 +173,15 @@ func (r *Recorder) Len() int { return len(r.events) }
 
 // WriteJSONL encodes the trace as one JSON object per line.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return WriteEventsJSONL(w, r.events)
+}
+
+// WriteEventsJSONL encodes an event slice as one JSON object per line —
+// the same format WriteJSONL emits, available to any Sink's Events().
+func WriteEventsJSONL(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, ev := range r.events {
+	for _, ev := range events {
 		if err := enc.Encode(ev); err != nil {
 			return fmt.Errorf("trace: encode: %w", err)
 		}
